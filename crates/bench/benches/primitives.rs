@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the parallel substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_parlay::rng::SplitMix64;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    for n in [10_000usize, 1_000_000] {
+        g.bench_with_input(BenchmarkId::new("exclusive_u64", n), &n, |b, &n| {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                let mut ys = xs.clone();
+                rc_parlay::scan::scan_exclusive_u64(&mut ys)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    c.bench_function("pack_index_1M", |b| {
+        b.iter(|| rc_parlay::pack::pack_index(1_000_000, |i| i % 3 == 0));
+    });
+}
+
+fn bench_semisort(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let pairs: Vec<(u64, u32)> = (0..200_000u32).map(|i| (rng.next_below(5_000), i)).collect();
+    c.bench_function("group_by_200k", |b| {
+        b.iter(|| rc_parlay::semisort::group_by_key(&pairs, 7));
+    });
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    c.bench_function("concurrent_map_insert_get_100k", |b| {
+        b.iter(|| {
+            let m = rc_parlay::hashtable::ConcurrentMap::with_capacity(100_000);
+            rc_parlay::parallel_for(100_000, |i| {
+                m.insert(i as u64, i as u64);
+            });
+            rc_parlay::parallel_for(100_000, |i| {
+                assert!(m.get(i as u64).is_some());
+            });
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scan, bench_pack, bench_semisort, bench_hashtable
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the batch query families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+fn setup(n: usize) -> (TernaryForest<SumAgg<i64>>, GeneratedForest) {
+    let cfg = paper_configs(n, 9).remove(0).1;
+    let mut g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> =
+        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    f.batch_link(&edges).unwrap();
+    (f, g)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 100_000usize;
+    let (f, mut g) = setup(n);
+    let mut grp = c.benchmark_group("queries");
+    for k in [100usize, 10_000] {
+        let pairs = g.query_pairs(k);
+        let subs = g.query_subtrees(k);
+        let triples = g.query_triples(k);
+        grp.bench_with_input(BenchmarkId::new("batch_connected", k), &k, |b, _| {
+            b.iter(|| f.batch_connected(&pairs));
+        });
+        grp.bench_with_input(BenchmarkId::new("batch_path_sum", k), &k, |b, _| {
+            b.iter(|| f.batch_path_aggregate(&pairs));
+        });
+        grp.bench_with_input(BenchmarkId::new("batch_subtree", k), &k, |b, _| {
+            b.iter(|| f.batch_subtree_aggregate(&subs));
+        });
+        grp.bench_with_input(BenchmarkId::new("batch_lca", k), &k, |b, _| {
+            b.iter(|| f.batch_lca(&triples));
+        });
+        grp.bench_with_input(BenchmarkId::new("compressed_path_tree", k), &k, |b, _| {
+            let terms: Vec<u32> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+            b.iter(|| f.compressed_path_tree(&terms));
+        });
+    }
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10: batch-incremental MSF.
+//!
+//! Time vs batch size with the paper's breakdown: compressed-path-tree
+//! generation ~ batch-insertion cost, Kruskal negligible.
+
+use rc_bench::*;
+use rc_msf::IncrementalMsf;
+use rc_parlay::rng::SplitMix64;
+
+fn main() {
+    println!("# Figure 10 — incremental MSF");
+    let n = fixed_n();
+    let t = Table::new(
+        "Incremental MSF batch times (ms)",
+        &["k", "total", "cpt gen", "kruskal", "forest update", "inserted", "evicted"],
+    );
+    for k in batch_sizes() {
+        let mut rng = SplitMix64::new(77);
+        let mut msf = IncrementalMsf::new(n);
+        // Warm up with a random spanning structure.
+        let warm: Vec<(u32, u32, u64)> = (1..n as u32)
+            .map(|v| (rng.next_below(v as u64) as u32, v, 1 + rng.next_below(1_000_000)))
+            .collect();
+        msf.insert_batch(&warm);
+        // The measured batch.
+        let batch: Vec<(u32, u32, u64)> = (0..k)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                    1 + rng.next_below(1_000_000),
+                )
+            })
+            .collect();
+        let (stats, tm) = msf.insert_batch_timed(&batch);
+        t.row(&[
+            k.to_string(),
+            ms(tm.total),
+            ms(tm.cpt),
+            ms(tm.kruskal),
+            ms(tm.forest_update),
+            stats.inserted.to_string(),
+            stats.evicted.to_string(),
+        ]);
+    }
+}

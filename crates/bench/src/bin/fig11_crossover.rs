@@ -1,0 +1,43 @@
+//! Figure 11: independent parallel subtree queries vs the batched
+//! algorithm at large n — the batched version wins for large k.
+
+use rayon::prelude::*;
+use rc_bench::*;
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+fn main() {
+    println!("# Figure 11 — subtree vs batched subtree crossover");
+    let n = match scale() {
+        "large" => 1_000_000,
+        "tiny" => 50_000,
+        _ => 300_000,
+    };
+    let cfg = paper_configs(n, 5).remove(0).1;
+    let mut g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> =
+        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    f.batch_link(&edges).unwrap();
+
+    let t = Table::new(
+        &format!("n = {n}"),
+        &["k", "independent ms", "batched ms", "batched/independent"],
+    );
+    let mut ks = batch_sizes();
+    ks.push(ks.last().unwrap() * 10);
+    for k in ks {
+        let subs = g.query_subtrees(k);
+        let (_a, d_ind) = time_once(|| {
+            subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+        });
+        let (_b, d_bat) = time_once(|| f.batch_subtree_aggregate(&subs));
+        t.row(&[
+            k.to_string(),
+            ms(d_ind),
+            ms(d_bat),
+            format!("{:.2}", d_bat.as_secs_f64() / d_ind.as_secs_f64()),
+        ]);
+    }
+}

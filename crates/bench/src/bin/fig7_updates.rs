@@ -1,0 +1,51 @@
+//! Figure 7: batch insertions + deletions vs batch size.
+//!
+//! Fixed n, k connector edges deleted and re-inserted per batch, for a
+//! bushy config (C1) and the many-tiny-trees config (C4, mean 1.1) which
+//! the paper reports as faster ("deletion of edges results in many
+//! isolated forests"). Compares against the static build cost (the paper
+//! reports roughly 2x).
+
+use rc_bench::*;
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+fn main() {
+    println!("# Figure 7 — batch insert/delete");
+    let n = fixed_n();
+    let t = Table::new(
+        "Update time vs batch size k (delete k + insert k connectors)",
+        &["config", "k", "cut ms", "link ms", "total ms", "us per edge"],
+    );
+    for (name, cfg) in paper_configs(n, 7) {
+        if !(name.starts_with("C1") || name.starts_with("C4")) {
+            continue;
+        }
+        for k in batch_sizes() {
+            let mut g = GeneratedForest::generate(cfg);
+            let edges: Vec<(u32, u32, i64)> =
+                g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+            f.batch_link(&edges).unwrap();
+            let dels = g.delete_batch(k);
+            let ins: Vec<(u32, u32, i64)> =
+                g.insert_batch(k).iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            if dels.is_empty() {
+                continue;
+            }
+            let (_, d_cut) = time_once(|| f.batch_cut(&dels).unwrap());
+            let (_, d_link) = time_once(|| f.batch_link(&ins).unwrap());
+            let total = d_cut + d_link;
+            t.row(&[
+                name.into(),
+                k.to_string(),
+                ms(d_cut),
+                ms(d_link),
+                ms(total),
+                format!("{:.2}", total.as_secs_f64() * 1e6 / (dels.len() + ins.len()) as f64),
+            ]);
+        }
+    }
+    println!("\n(static build reference for the 2x comparison: see fig6_build)");
+}

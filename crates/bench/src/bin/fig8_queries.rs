@@ -1,0 +1,51 @@
+//! Figure 8: batch query times vs batch size.
+//!
+//! Series per k: batch path sums, subtree queries (independent, in
+//! parallel), batched subtree queries, and batch LCA — the paper reports
+//! LCA about an order of magnitude slower than path/subtree.
+
+use rayon::prelude::*;
+use rc_bench::*;
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+pub fn setup(n: usize) -> (TernaryForest<SumAgg<i64>>, GeneratedForest) {
+    let cfg = paper_configs(n, 21).remove(0).1;
+    let mut g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> =
+        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    f.batch_link(&edges).unwrap();
+    let _ = &mut g;
+    (f, g)
+}
+
+fn main() {
+    println!("# Figure 8 — batch query time vs k");
+    let n = fixed_n();
+    let (f, mut g) = setup(n);
+    let t = Table::new(
+        "Query batch times (ms)",
+        &["k", "path (batch)", "subtree (indep-parallel)", "subtree (batched)", "LCA (batch)"],
+    );
+    for k in batch_sizes() {
+        let pairs = g.query_pairs(k);
+        let subs = g.query_subtrees(k);
+        let triples = g.query_triples(k);
+
+        let (_r1, d_path) = time_once(|| f.batch_path_aggregate(&pairs));
+        let (_r2, d_sub_ind) = time_once(|| {
+            subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+        });
+        let (_r3, d_sub_batch) = time_once(|| f.batch_subtree_aggregate(&subs));
+        let (_r4, d_lca) = time_once(|| f.batch_lca(&triples));
+        t.row(&[
+            k.to_string(),
+            ms(d_path),
+            ms(d_sub_ind),
+            ms(d_sub_batch),
+            ms(d_lca),
+        ]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 9: query speedup vs thread count.
+//!
+//! The paper reports decent speedups for path/LCA and the weakest scaling
+//! for batched subtree queries (atomics under contention).
+
+use rayon::prelude::*;
+use rc_bench::*;
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+fn main() {
+    println!("# Figure 9 — query speedup vs threads");
+    let n = fixed_n();
+    let k = *batch_sizes().last().unwrap();
+    let cfg = paper_configs(n, 33).remove(0).1;
+    let mut g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> =
+        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    f.batch_link(&edges).unwrap();
+    let pairs = g.query_pairs(k);
+    let subs = g.query_subtrees(k);
+    let triples = g.query_triples(k);
+
+    let t = Table::new(
+        &format!("Speedup at k = {k}"),
+        &["threads", "path ms", "subtree-batched ms", "LCA ms", "subtree-indep ms"],
+    );
+    for threads in thread_counts() {
+        let (d1, d2, d3, d4) = with_threads(threads, || {
+            let (_x, d1) = time_once(|| f.batch_path_aggregate(&pairs));
+            let (_x, d2) = time_once(|| f.batch_subtree_aggregate(&subs));
+            let (_x, d3) = time_once(|| f.batch_lca(&triples));
+            let (_x, d4) = time_once(|| {
+                subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+            });
+            (d1, d2, d3, d4)
+        });
+        t.row(&[threads.to_string(), ms(d1), ms(d2), ms(d3), ms(d4)]);
+    }
+}

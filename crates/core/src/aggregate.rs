@@ -1,0 +1,180 @@
+//! Augmented values on RC clusters.
+//!
+//! RC trees answer weight queries by storing *augmented values* on clusters,
+//! maintained bottom-up at build time and during updates (§3.2: "bottom-up
+//! computations are stored as augmented values"). The [`ClusterAggregate`]
+//! trait describes how a cluster's value derives from its children for each
+//! contraction kind; capability traits ([`PathAggregate`],
+//! [`SubtreeAggregate`], …) expose the pieces each query family needs.
+//!
+//! ## Orientation convention
+//!
+//! Directional data inside an aggregate (e.g. "distance from boundary X")
+//! is stored relative to the cluster's boundary array, which is always
+//! sorted by vertex id. The combination callbacks receive the actual
+//! boundary vertex ids, so implementations can orient themselves (see
+//! `NearestMarkedAgg` for a worked example).
+
+use crate::types::Vertex;
+
+/// How augmented values combine when clusters merge.
+///
+/// Cluster *contents* are: all edges inside the cluster, plus every vertex
+/// strictly inside it (the representative is inside; boundary vertices are
+/// *not*). A base edge cluster contains just its edge.
+pub trait ClusterAggregate:
+    Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Weight attached to each vertex (use `()` when unused).
+    type VertexWeight: Clone + Default + Send + Sync + std::fmt::Debug + 'static;
+    /// Weight attached to each edge.
+    type EdgeWeight: Clone + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Value of the base cluster for edge `{u, v}` with weight `w`.
+    fn base_edge(u: Vertex, v: Vertex, w: &Self::EdgeWeight) -> Self;
+
+    /// `v` compressed. `left` is the binary child whose cluster path runs
+    /// `a..v`; `right` runs `v..b`; `rakes` are the unary children hanging
+    /// at `v`. The result is a binary cluster with boundaries `{a, b}`
+    /// (callers pass `a < b`) and cluster path `a..b`.
+    fn compress(
+        v: Vertex,
+        vw: &Self::VertexWeight,
+        a: Vertex,
+        left: &Self,
+        b: Vertex,
+        right: &Self,
+        rakes: &[&Self],
+    ) -> Self;
+
+    /// `v` raked onto `u`. `edge` is the binary child with cluster path
+    /// `v..u`; `rakes` hang at `v`. The result is a unary cluster with
+    /// boundary `{u}`.
+    fn rake(v: Vertex, vw: &Self::VertexWeight, u: Vertex, edge: &Self, rakes: &[&Self]) -> Self;
+
+    /// `v` finalized (became the root of its component); `rakes` hang at
+    /// `v`. The result is the nullary root cluster.
+    fn finalize(v: Vertex, vw: &Self::VertexWeight, rakes: &[&Self]) -> Self;
+}
+
+/// Aggregates exposing a (commutative) monoid over *cluster paths* —
+/// enables single path queries and the compressed-path-tree machinery.
+pub trait PathAggregate: ClusterAggregate {
+    /// Value of a path (composition of edge values along it).
+    type PathVal: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Identity of the path monoid (value of an empty path).
+    fn path_identity() -> Self::PathVal;
+
+    /// Combine two adjacent path values.
+    fn path_combine(a: &Self::PathVal, b: &Self::PathVal) -> Self::PathVal;
+
+    /// The value of this (binary) cluster's cluster path. Unary/nullary
+    /// clusters have no cluster path; implementations return the identity.
+    fn cluster_path(&self) -> Self::PathVal;
+
+    /// Path value of a single edge weight.
+    fn edge_path_value(w: &Self::EdgeWeight) -> Self::PathVal;
+}
+
+/// Path aggregates whose path monoid is a *group* (has inverses) — enables
+/// batch path queries via the root-path trick of §3.6.
+pub trait GroupPathAggregate: PathAggregate {
+    /// Inverse element of the path group.
+    fn path_inverse(a: &Self::PathVal) -> Self::PathVal;
+}
+
+/// Aggregates exposing a commutative semigroup total over cluster
+/// *contents* — enables subtree queries (§3.4).
+pub trait SubtreeAggregate: ClusterAggregate {
+    /// Value of a region of the tree (vertices + edges).
+    type SubtreeVal: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Identity (value of an empty region). The paper's semigroup has no
+    /// identity; adjoining one is free and simplifies the code.
+    fn subtree_identity() -> Self::SubtreeVal;
+
+    /// Combine two disjoint regions.
+    fn subtree_combine(a: &Self::SubtreeVal, b: &Self::SubtreeVal) -> Self::SubtreeVal;
+
+    /// Total value of this cluster's contents.
+    fn cluster_total(&self) -> Self::SubtreeVal;
+
+    /// Contribution of a lone vertex with weight `vw`.
+    fn vertex_value(v: Vertex, vw: &Self::VertexWeight) -> Self::SubtreeVal;
+}
+
+/// Convenience: combine the values of an iterator of regions.
+pub fn subtree_sum<A: SubtreeAggregate>(
+    items: impl IntoIterator<Item = A::SubtreeVal>,
+) -> A::SubtreeVal {
+    items
+        .into_iter()
+        .fold(A::subtree_identity(), |acc, x| A::subtree_combine(&acc, &x))
+}
+
+/// Numeric weights closed under addition — the commutative groups used by
+/// the built-in sum aggregates.
+pub trait AddWeight:
+    Copy + PartialEq + Default + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Addition.
+    fn add(a: Self, b: Self) -> Self;
+    /// Additive inverse.
+    fn neg(a: Self) -> Self;
+}
+
+macro_rules! impl_add_weight_int {
+    ($($t:ty),*) => {$(
+        impl AddWeight for $t {
+            #[inline] fn zero() -> Self { 0 }
+            #[inline] fn add(a: Self, b: Self) -> Self { a.wrapping_add(b) }
+            #[inline] fn neg(a: Self) -> Self { a.wrapping_neg() }
+        }
+    )*};
+}
+impl_add_weight_int!(i32, i64, i128, u32, u64);
+
+impl AddWeight for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn add(a: Self, b: Self) -> Self {
+        a + b
+    }
+    #[inline]
+    fn neg(a: Self) -> Self {
+        -a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_weight_laws_i64() {
+        let a = 17i64;
+        let b = -4i64;
+        assert_eq!(i64::add(a, i64::zero()), a);
+        assert_eq!(i64::add(a, i64::neg(a)), 0);
+        assert_eq!(i64::add(a, b), i64::add(b, a));
+    }
+
+    #[test]
+    fn add_weight_wrapping_is_group() {
+        // Wrapping arithmetic keeps the group laws even at the boundaries.
+        let a = i64::MAX;
+        assert_eq!(i64::add(i64::add(a, 1), i64::neg(1)), a);
+    }
+
+    #[test]
+    fn add_weight_f64() {
+        assert_eq!(f64::add(1.5, 2.5), 4.0);
+        assert_eq!(f64::neg(3.0), -3.0);
+    }
+}

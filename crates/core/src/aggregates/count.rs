@@ -1,0 +1,133 @@
+//! Counting aggregate: hop counts on paths, sizes of subtrees.
+
+use crate::aggregate::{ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate};
+use crate::types::Vertex;
+
+/// Counts edges on cluster paths and vertices/edges in contents.
+/// Unweighted: both weights are `()`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CountAgg {
+    /// Edges on the cluster path.
+    pub path_edges: u64,
+    /// Edges in the contents.
+    pub edges: u64,
+    /// Interior vertices in the contents (boundaries excluded).
+    pub vertices: u64,
+}
+
+impl ClusterAggregate for CountAgg {
+    type VertexWeight = ();
+    type EdgeWeight = ();
+
+    fn base_edge(_u: Vertex, _v: Vertex, _w: &()) -> Self {
+        CountAgg { path_edges: 1, edges: 1, vertices: 0 }
+    }
+
+    fn compress(
+        _v: Vertex,
+        _vw: &(),
+        _a: Vertex,
+        left: &Self,
+        _b: Vertex,
+        right: &Self,
+        rakes: &[&Self],
+    ) -> Self {
+        let mut edges = left.edges + right.edges;
+        let mut vertices = left.vertices + right.vertices + 1;
+        for r in rakes {
+            edges += r.edges;
+            vertices += r.vertices;
+        }
+        CountAgg { path_edges: left.path_edges + right.path_edges, edges, vertices }
+    }
+
+    fn rake(_v: Vertex, _vw: &(), _u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
+        let mut edges = edge.edges;
+        let mut vertices = edge.vertices + 1;
+        for r in rakes {
+            edges += r.edges;
+            vertices += r.vertices;
+        }
+        CountAgg { path_edges: 0, edges, vertices }
+    }
+
+    fn finalize(_v: Vertex, _vw: &(), rakes: &[&Self]) -> Self {
+        let mut edges = 0;
+        let mut vertices = 1;
+        for r in rakes {
+            edges += r.edges;
+            vertices += r.vertices;
+        }
+        CountAgg { path_edges: 0, edges, vertices }
+    }
+}
+
+impl PathAggregate for CountAgg {
+    type PathVal = u64;
+    fn path_identity() -> u64 {
+        0
+    }
+    fn path_combine(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn cluster_path(&self) -> u64 {
+        self.path_edges
+    }
+    fn edge_path_value(_w: &()) -> u64 {
+        1
+    }
+}
+
+impl GroupPathAggregate for CountAgg {
+    fn path_inverse(a: &u64) -> u64 {
+        a.wrapping_neg()
+    }
+}
+
+impl SubtreeAggregate for CountAgg {
+    /// `(vertices, edges)` of a region.
+    type SubtreeVal = (u64, u64);
+    fn subtree_identity() -> (u64, u64) {
+        (0, 0)
+    }
+    fn subtree_combine(a: &(u64, u64), b: &(u64, u64)) -> (u64, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+    fn cluster_total(&self) -> (u64, u64) {
+        (self.vertices, self.edges)
+    }
+    fn vertex_value(_v: Vertex, _vw: &()) -> (u64, u64) {
+        (1, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_of_two_edges() {
+        let l = CountAgg::base_edge(0, 1, &());
+        let r = CountAgg::base_edge(1, 2, &());
+        let c = CountAgg::compress(1, &(), 0, &l, 2, &r, &[]);
+        assert_eq!(c.path_edges, 2);
+        assert_eq!(c.vertices, 1, "only the representative is interior");
+        assert_eq!(c.edges, 2);
+    }
+
+    #[test]
+    fn rake_counts_leaf() {
+        let e = CountAgg::base_edge(0, 1, &());
+        let r = CountAgg::rake(0, &(), 1, &e, &[]);
+        assert_eq!(r.vertices, 1);
+        assert_eq!(r.edges, 1);
+        assert_eq!(r.path_edges, 0);
+    }
+
+    #[test]
+    fn finalize_root_vertex() {
+        let f = CountAgg::finalize(0, &(), &[]);
+        assert_eq!(f.vertices, 1);
+        assert_eq!(f.edges, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Nearest-marked-vertex aggregate (§3.8, supplementary A.7.1).
+//!
+//! Maintains, per cluster: (1) the nearest marked vertex *inside* the
+//! cluster to the representative, (2) the nearest marked vertex inside to
+//! each boundary vertex, and (3) the cluster-path length — exactly the
+//! three augmented values of the paper. Marks are vertex weights (`bool`),
+//! so `BatchMark`/`BatchUnmark` are plain vertex-weight updates.
+
+use crate::aggregate::ClusterAggregate;
+use crate::types::Vertex;
+
+/// Distance to a marked vertex: `(distance, vertex)`, compared
+/// lexicographically so ties break deterministically.
+pub type Near = Option<(u64, Vertex)>;
+
+fn best(a: Near, b: Near) -> Near {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(x.min(y)),
+    }
+}
+
+fn shift(a: Near, d: u64) -> Near {
+    a.map(|(dist, v)| (dist + d, v))
+}
+
+/// Augmented values for nearest-marked-vertex queries over non-negative
+/// edge weights (`u64`). Vertex weight `true` = marked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NearestMarkedAgg {
+    /// Total weight of the cluster path (0 off binary clusters).
+    pub path_len: u64,
+    /// Nearest marked vertex in the cluster to the representative.
+    pub near_rep: Near,
+    /// Nearest marked vertex in the cluster to boundary `i`, where
+    /// boundaries are in sorted vertex-id order (unary clusters use
+    /// slot 0).
+    pub near_b: [Near; 2],
+}
+
+impl NearestMarkedAgg {
+    /// Nearest-inside value seen from boundary `b`, when the cluster's
+    /// boundaries are `{b, other}`.
+    pub fn side(&self, b: Vertex, other: Vertex) -> Near {
+        if b < other {
+            self.near_b[0]
+        } else {
+            self.near_b[1]
+        }
+    }
+}
+
+impl ClusterAggregate for NearestMarkedAgg {
+    type VertexWeight = bool;
+    type EdgeWeight = u64;
+
+    fn base_edge(_u: Vertex, _v: Vertex, w: &u64) -> Self {
+        // A base edge has no interior vertices, hence no marked ones.
+        NearestMarkedAgg { path_len: *w, near_rep: None, near_b: [None, None] }
+    }
+
+    fn compress(
+        v: Vertex,
+        vw: &bool,
+        a: Vertex,
+        left: &Self,
+        b: Vertex,
+        right: &Self,
+        rakes: &[&Self],
+    ) -> Self {
+        let mut near_rep = if *vw { Some((0, v)) } else { None };
+        near_rep = best(near_rep, left.side(v, a));
+        near_rep = best(near_rep, right.side(v, b));
+        for r in rakes {
+            near_rep = best(near_rep, r.near_b[0]);
+        }
+        let near_a = best(left.side(a, v), shift(near_rep, left.path_len));
+        let near_bv = best(right.side(b, v), shift(near_rep, right.path_len));
+        // Boundaries stored in sorted order; the forest passes a < b.
+        debug_assert!(a < b);
+        NearestMarkedAgg {
+            path_len: left.path_len + right.path_len,
+            near_rep,
+            near_b: [near_a, near_bv],
+        }
+    }
+
+    fn rake(v: Vertex, vw: &bool, u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
+        let mut near_rep = if *vw { Some((0, v)) } else { None };
+        near_rep = best(near_rep, edge.side(v, u));
+        for r in rakes {
+            near_rep = best(near_rep, r.near_b[0]);
+        }
+        let near_u = best(edge.side(u, v), shift(near_rep, edge.path_len));
+        NearestMarkedAgg { path_len: 0, near_rep, near_b: [near_u, None] }
+    }
+
+    fn finalize(v: Vertex, vw: &bool, rakes: &[&Self]) -> Self {
+        let mut near_rep = if *vw { Some((0, v)) } else { None };
+        for r in rakes {
+            near_rep = best(near_rep, r.near_b[0]);
+        }
+        NearestMarkedAgg { path_len: 0, near_rep, near_b: [None, None] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_edge_has_no_marks() {
+        let e = NearestMarkedAgg::base_edge(0, 1, &7);
+        assert_eq!(e.path_len, 7);
+        assert_eq!(e.near_rep, None);
+        assert_eq!(e.near_b, [None, None]);
+    }
+
+    #[test]
+    fn compress_marked_center() {
+        // Path 0 -5- 1 -3- 2, vertex 1 marked, compress at 1.
+        let l = NearestMarkedAgg::base_edge(0, 1, &5);
+        let r = NearestMarkedAgg::base_edge(1, 2, &3);
+        let c = NearestMarkedAgg::compress(1, &true, 0, &l, 2, &r, &[]);
+        assert_eq!(c.near_rep, Some((0, 1)));
+        assert_eq!(c.near_b[0], Some((5, 1)), "from boundary 0");
+        assert_eq!(c.near_b[1], Some((3, 1)), "from boundary 2");
+        assert_eq!(c.path_len, 8);
+    }
+
+    #[test]
+    fn rake_marked_leaf() {
+        // Leaf 0 marked rakes onto 1 over weight-4 edge.
+        let e = NearestMarkedAgg::base_edge(0, 1, &4);
+        let u = NearestMarkedAgg::rake(0, &true, 1, &e, &[]);
+        assert_eq!(u.near_rep, Some((0, 0)));
+        assert_eq!(u.near_b[0], Some((4, 0)), "distance from boundary 1");
+    }
+
+    #[test]
+    fn shift_through_unmarked() {
+        // 0 -2- 1 -6- 2 with only vertex 0's raked subtree marked: hang a
+        // marked unary at vertex 1.
+        let l = NearestMarkedAgg::base_edge(0, 1, &2);
+        let r = NearestMarkedAgg::base_edge(1, 2, &6);
+        let hang =
+            NearestMarkedAgg { path_len: 0, near_rep: Some((0, 9)), near_b: [Some((3, 9)), None] };
+        let c = NearestMarkedAgg::compress(1, &false, 0, &l, 2, &r, &[&hang]);
+        assert_eq!(c.near_rep, Some((3, 9)));
+        assert_eq!(c.near_b[0], Some((5, 9)));
+        assert_eq!(c.near_b[1], Some((9, 9)));
+    }
+
+    #[test]
+    fn ties_prefer_smaller_vertex() {
+        assert_eq!(best(Some((3, 8)), Some((3, 2))), Some((3, 2)));
+    }
+}

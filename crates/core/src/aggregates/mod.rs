@@ -1,0 +1,23 @@
+//! Ready-made augmented-value implementations.
+//!
+//! | Aggregate | Path queries | Subtree queries | Notes |
+//! |---|---|---|---|
+//! | [`SumAgg<T>`] | sums (group) | sums | edge + vertex weights |
+//! | [`MaxEdgeAgg<T>`] / [`MinEdgeAgg<T>`] | bottleneck edge | extreme edge | carries edge endpoints; drives compressed path trees & MSF |
+//! | [`CountAgg`] | hop counts | sizes | unweighted |
+//! | [`UnitAgg`] | — | — | pure structure (connectivity, LCA) |
+//! | [`NearestMarkedAgg`] | — | — | nearest-marked-vertex queries (§3.8) |
+//! | `(A, B)` pairs | from `A` | from `B` | composition |
+
+mod count;
+mod extrema;
+pub mod marked;
+mod pair;
+mod sum;
+mod unit;
+
+pub use count::CountAgg;
+pub use extrema::{EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, OrdWeight};
+pub use marked::{Near, NearestMarkedAgg};
+pub use sum::SumAgg;
+pub use unit::UnitAgg;

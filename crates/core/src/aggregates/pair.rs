@@ -1,0 +1,136 @@
+//! Aggregate composition: `(A, B)` maintains two aggregates side by side.
+//!
+//! Convention for capability traits: *path* behavior comes from the left
+//! component, *subtree* behavior from the right. `(MinEdgeAgg<u64>,
+//! SumAgg<i64>)`-style pairs thus answer bottleneck path queries and
+//! subtree sums from one forest. Both components must agree on the weight
+//! types.
+
+use crate::aggregate::{
+    ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate,
+};
+use crate::types::Vertex;
+
+impl<A, B> ClusterAggregate for (A, B)
+where
+    A: ClusterAggregate,
+    B: ClusterAggregate<VertexWeight = A::VertexWeight, EdgeWeight = A::EdgeWeight>,
+{
+    type VertexWeight = A::VertexWeight;
+    type EdgeWeight = A::EdgeWeight;
+
+    fn base_edge(u: Vertex, v: Vertex, w: &Self::EdgeWeight) -> Self {
+        (A::base_edge(u, v, w), B::base_edge(u, v, w))
+    }
+
+    fn compress(
+        v: Vertex,
+        vw: &Self::VertexWeight,
+        a: Vertex,
+        left: &Self,
+        b: Vertex,
+        right: &Self,
+        rakes: &[&Self],
+    ) -> Self {
+        let ra: Vec<&A> = rakes.iter().map(|r| &r.0).collect();
+        let rb: Vec<&B> = rakes.iter().map(|r| &r.1).collect();
+        (
+            A::compress(v, vw, a, &left.0, b, &right.0, &ra),
+            B::compress(v, vw, a, &left.1, b, &right.1, &rb),
+        )
+    }
+
+    fn rake(
+        v: Vertex,
+        vw: &Self::VertexWeight,
+        u: Vertex,
+        edge: &Self,
+        rakes: &[&Self],
+    ) -> Self {
+        let ra: Vec<&A> = rakes.iter().map(|r| &r.0).collect();
+        let rb: Vec<&B> = rakes.iter().map(|r| &r.1).collect();
+        (A::rake(v, vw, u, &edge.0, &ra), B::rake(v, vw, u, &edge.1, &rb))
+    }
+
+    fn finalize(v: Vertex, vw: &Self::VertexWeight, rakes: &[&Self]) -> Self {
+        let ra: Vec<&A> = rakes.iter().map(|r| &r.0).collect();
+        let rb: Vec<&B> = rakes.iter().map(|r| &r.1).collect();
+        (A::finalize(v, vw, &ra), B::finalize(v, vw, &rb))
+    }
+}
+
+impl<A, B> PathAggregate for (A, B)
+where
+    A: PathAggregate,
+    B: ClusterAggregate<VertexWeight = A::VertexWeight, EdgeWeight = A::EdgeWeight>,
+{
+    type PathVal = A::PathVal;
+    fn path_identity() -> Self::PathVal {
+        A::path_identity()
+    }
+    fn path_combine(a: &Self::PathVal, b: &Self::PathVal) -> Self::PathVal {
+        A::path_combine(a, b)
+    }
+    fn cluster_path(&self) -> Self::PathVal {
+        self.0.cluster_path()
+    }
+    fn edge_path_value(w: &Self::EdgeWeight) -> Self::PathVal {
+        A::edge_path_value(w)
+    }
+}
+
+impl<A, B> GroupPathAggregate for (A, B)
+where
+    A: GroupPathAggregate,
+    B: ClusterAggregate<VertexWeight = A::VertexWeight, EdgeWeight = A::EdgeWeight>,
+{
+    fn path_inverse(a: &Self::PathVal) -> Self::PathVal {
+        A::path_inverse(a)
+    }
+}
+
+impl<A, B> SubtreeAggregate for (A, B)
+where
+    A: ClusterAggregate,
+    B: SubtreeAggregate<VertexWeight = A::VertexWeight, EdgeWeight = A::EdgeWeight>,
+{
+    type SubtreeVal = B::SubtreeVal;
+    fn subtree_identity() -> Self::SubtreeVal {
+        B::subtree_identity()
+    }
+    fn subtree_combine(a: &Self::SubtreeVal, b: &Self::SubtreeVal) -> Self::SubtreeVal {
+        B::subtree_combine(a, b)
+    }
+    fn cluster_total(&self) -> Self::SubtreeVal {
+        self.1.cluster_total()
+    }
+    fn vertex_value(v: Vertex, vw: &Self::VertexWeight) -> Self::SubtreeVal {
+        B::vertex_value(v, vw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SumAgg;
+    use super::*;
+
+    type P = (SumAgg<i64>, SumAgg<i64>);
+
+    #[test]
+    fn pair_tracks_both_components() {
+        let e = P::base_edge(0, 1, &5);
+        assert_eq!(e.0.path, 5);
+        assert_eq!(e.1.total, 5);
+        let e2 = P::base_edge(1, 2, &7);
+        let c = P::compress(1, &1, 0, &e, 2, &e2, &[]);
+        assert_eq!(c.0.path, 12);
+        assert_eq!(c.1.total, 13);
+    }
+
+    #[test]
+    fn pair_capability_delegation() {
+        assert_eq!(<P as PathAggregate>::path_identity(), 0);
+        assert_eq!(<P as SubtreeAggregate>::subtree_combine(&3, &4), 7);
+        assert_eq!(<P as GroupPathAggregate>::path_inverse(&5), -5);
+    }
+}

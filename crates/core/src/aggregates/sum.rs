@@ -1,0 +1,135 @@
+//! Additive aggregates: path sums and subtree sums over a commutative group.
+
+use crate::aggregate::{
+    AddWeight, ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate,
+};
+use crate::types::Vertex;
+
+/// Sums of edge weights along cluster paths and of edge + vertex weights
+/// over cluster contents.
+///
+/// The canonical instantiations are `SumAgg<i64>` and `SumAgg<f64>`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SumAgg<T: AddWeight> {
+    /// Sum of edge weights on the cluster path (binary clusters).
+    pub path: T,
+    /// Sum of edge weights + interior vertex weights over the contents.
+    pub total: T,
+}
+
+impl<T: AddWeight> ClusterAggregate for SumAgg<T> {
+    type VertexWeight = T;
+    type EdgeWeight = T;
+
+    fn base_edge(_u: Vertex, _v: Vertex, w: &T) -> Self {
+        SumAgg { path: *w, total: *w }
+    }
+
+    fn compress(
+        _v: Vertex,
+        vw: &T,
+        _a: Vertex,
+        left: &Self,
+        _b: Vertex,
+        right: &Self,
+        rakes: &[&Self],
+    ) -> Self {
+        let mut total = T::add(T::add(left.total, right.total), *vw);
+        for r in rakes {
+            total = T::add(total, r.total);
+        }
+        SumAgg { path: T::add(left.path, right.path), total }
+    }
+
+    fn rake(_v: Vertex, vw: &T, _u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
+        let mut total = T::add(edge.total, *vw);
+        for r in rakes {
+            total = T::add(total, r.total);
+        }
+        SumAgg { path: T::zero(), total }
+    }
+
+    fn finalize(_v: Vertex, vw: &T, rakes: &[&Self]) -> Self {
+        let mut total = *vw;
+        for r in rakes {
+            total = T::add(total, r.total);
+        }
+        SumAgg { path: T::zero(), total }
+    }
+}
+
+impl<T: AddWeight> PathAggregate for SumAgg<T> {
+    type PathVal = T;
+    fn path_identity() -> T {
+        T::zero()
+    }
+    fn path_combine(a: &T, b: &T) -> T {
+        T::add(*a, *b)
+    }
+    fn cluster_path(&self) -> T {
+        self.path
+    }
+    fn edge_path_value(w: &T) -> T {
+        *w
+    }
+}
+
+impl<T: AddWeight> GroupPathAggregate for SumAgg<T> {
+    fn path_inverse(a: &T) -> T {
+        T::neg(*a)
+    }
+}
+
+impl<T: AddWeight> SubtreeAggregate for SumAgg<T> {
+    type SubtreeVal = T;
+    fn subtree_identity() -> T {
+        T::zero()
+    }
+    fn subtree_combine(a: &T, b: &T) -> T {
+        T::add(*a, *b)
+    }
+    fn cluster_total(&self) -> T {
+        self.total
+    }
+    fn vertex_value(_v: Vertex, vw: &T) -> T {
+        *vw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_edge_value() {
+        let a = SumAgg::<i64>::base_edge(0, 1, &5);
+        assert_eq!(a.path, 5);
+        assert_eq!(a.total, 5);
+    }
+
+    #[test]
+    fn compress_combines_paths_and_totals() {
+        let left = SumAgg::<i64> { path: 2, total: 10 };
+        let right = SumAgg::<i64> { path: 3, total: 20 };
+        let rake = SumAgg::<i64> { path: 0, total: 7 };
+        let c = SumAgg::compress(1, &100, 0, &left, 2, &right, &[&rake]);
+        assert_eq!(c.path, 5);
+        assert_eq!(c.total, 10 + 20 + 7 + 100);
+    }
+
+    #[test]
+    fn rake_drops_path() {
+        let edge = SumAgg::<i64> { path: 9, total: 9 };
+        let r = SumAgg::rake(3, &1, 4, &edge, &[]);
+        assert_eq!(r.path, 0);
+        assert_eq!(r.total, 10);
+    }
+
+    #[test]
+    fn finalize_sums_rakes() {
+        let r1 = SumAgg::<i64> { path: 0, total: 5 };
+        let r2 = SumAgg::<i64> { path: 0, total: 6 };
+        let f = SumAgg::finalize(0, &2, &[&r1, &r2]);
+        assert_eq!(f.total, 13);
+    }
+}

@@ -1,0 +1,35 @@
+//! The trivial aggregate: no augmented data at all.
+
+use crate::aggregate::ClusterAggregate;
+use crate::types::Vertex;
+
+/// Stores nothing. Use for purely structural workloads — connectivity and
+/// LCA queries need only the shape of the RC tree (§3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct UnitAgg;
+
+impl ClusterAggregate for UnitAgg {
+    type VertexWeight = ();
+    type EdgeWeight = ();
+
+    fn base_edge(_u: Vertex, _v: Vertex, _w: &()) -> Self {
+        UnitAgg
+    }
+    fn compress(
+        _v: Vertex,
+        _vw: &(),
+        _a: Vertex,
+        _left: &Self,
+        _b: Vertex,
+        _right: &Self,
+        _rakes: &[&Self],
+    ) -> Self {
+        UnitAgg
+    }
+    fn rake(_v: Vertex, _vw: &(), _u: Vertex, _edge: &Self, _rakes: &[&Self]) -> Self {
+        UnitAgg
+    }
+    fn finalize(_v: Vertex, _vw: &(), _rakes: &[&Self]) -> Self {
+        UnitAgg
+    }
+}

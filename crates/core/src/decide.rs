@@ -1,0 +1,205 @@
+//! Contraction decision rules — which vertices rake/compress/finalize in a
+//! round.
+//!
+//! Two rules are provided (§5.10): a randomized local-maximum rule whose
+//! decisions are pure functions of the 1-hop level state (required for
+//! canonical change propagation), and the paper's deterministic
+//! chain-coloring MIS.
+
+use crate::aggregate::ClusterAggregate;
+use crate::forest::RcForest;
+use crate::types::{Event, Vertex};
+use rc_parlay::rng::priority;
+use rc_parlay::slice::ParSlice;
+use rc_parlay::{parallel_collect, parallel_for};
+
+/// Decide `v`'s event at `level` under the randomized rule.
+///
+/// * degree 0 → finalize;
+/// * degree 1 → rake, except that of two adjacent leaves only the lower id
+///   rakes;
+/// * degree 2 → compress iff neither neighbor is a leaf and `v`'s priority
+///   is a strict local maximum.
+///
+/// `retained` reports neighbors whose event this round is already fixed
+/// (unaffected vertices during change propagation): `v` never contracts
+/// next to a retained contraction. Under a randomized-built forest the
+/// guard is provably redundant; it is what keeps updates on
+/// deterministically-built forests valid.
+pub(crate) fn decide_randomized<A: ClusterAggregate>(
+    f: &RcForest<A>,
+    v: Vertex,
+    level: u32,
+    retained: &impl Fn(Vertex) -> Option<Event>,
+) -> Event {
+    let rec = f.record(v, level);
+    let blocked = |u: Vertex| matches!(retained(u), Some(ev) if ev.contracts());
+    match rec.degree() {
+        0 => Event::Finalize,
+        1 => {
+            let u = rec.sole_neighbor().nbr;
+            if blocked(u) {
+                return Event::Live;
+            }
+            if f.record(u, level).degree() == 1 {
+                // Two adjacent leaves: the lower id rakes, the other
+                // finalizes next round.
+                if v < u {
+                    Event::Rake
+                } else {
+                    Event::Live
+                }
+            } else {
+                Event::Rake
+            }
+        }
+        2 => {
+            let mut it = rec.live();
+            let a = it.next().unwrap().nbr;
+            let b = it.next().unwrap().nbr;
+            if blocked(a) || blocked(b) {
+                return Event::Live;
+            }
+            if f.record(a, level).degree() == 1 || f.record(b, level).degree() == 1 {
+                // A leaf neighbor will rake onto us; stay put.
+                return Event::Live;
+            }
+            let pv = priority(f.opts.seed, v, level);
+            if pv > priority(f.opts.seed, a, level) && pv > priority(f.opts.seed, b, level) {
+                Event::Compress
+            } else {
+                Event::Live
+            }
+        }
+        _ => Event::Live,
+    }
+}
+
+/// Colors of the chain coloring: `2 * 64` first-differing-bit colors plus
+/// two special colors for local extrema — the paper's `O(log n) + 2`.
+const NUM_COLORS: usize = 130;
+const COLOR_MAX: u32 = 128;
+const COLOR_MIN: u32 = 129;
+
+/// Chain color of `v` at `level`; `None` when `v` is ineligible
+/// (degree > 2). Pure local function, cheap enough to recompute for
+/// neighbor checks.
+fn chain_color<A: ClusterAggregate>(f: &RcForest<A>, v: Vertex, level: u32) -> Option<u32> {
+    let rec = f.record(v, level);
+    if rec.degree() > 2 {
+        return None;
+    }
+    let mut max_nbr: Option<Vertex> = None;
+    let mut min_nbr: Option<Vertex> = None;
+    for e in rec.live() {
+        if f.record(e.nbr, level).degree() <= 2 {
+            max_nbr = Some(max_nbr.map_or(e.nbr, |m: Vertex| m.max(e.nbr)));
+            min_nbr = Some(min_nbr.map_or(e.nbr, |m: Vertex| m.min(e.nbr)));
+        }
+    }
+    Some(match max_nbr {
+        None => 0, // isolated in the eligibility graph
+        Some(mx) => {
+            if v > mx {
+                COLOR_MAX
+            } else if v < min_nbr.unwrap() {
+                COLOR_MIN
+            } else {
+                let k = (v ^ mx).trailing_zeros();
+                2 * k + ((v >> k) & 1)
+            }
+        }
+    })
+}
+
+/// The deterministic chain-coloring MIS of §5.10, deciding a whole level.
+///
+/// Eligible vertices (degree ≤ 2) are colored by the first differing bit of
+/// their id versus their maximum-id eligible neighbor (local extrema get
+/// two special colors), then a maximal independent set is taken greedily
+/// color by color via a counting sort. Adjacent same-color pairs (the
+/// vs-max coloring is not always proper) break ties by id, which preserves
+/// independence. Writes `events[v]` for every selected vertex; callers
+/// pre-fill `events` with `Live` for the live set.
+pub(crate) fn decide_deterministic<A: ClusterAggregate>(
+    f: &RcForest<A>,
+    live: &[Vertex],
+    level: u32,
+    events: &mut [Event],
+) {
+    let colored: Vec<(u32, Vertex)> = parallel_collect(live.len(), |i, acc| {
+        if let Some(c) = chain_color(f, live[i], level) {
+            acc.push((c, live[i]));
+        }
+    });
+    let (sorted, offsets) =
+        rc_parlay::sort::counting_sort_by(&colored, NUM_COLORS, |&(c, _)| c as usize);
+
+    for c in 0..NUM_COLORS {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        if lo == hi {
+            continue;
+        }
+        let chunk = &sorted[lo..hi];
+        // Read phase: decide this color's picks against earlier commits.
+        let picks: Vec<Vertex> = {
+            let events_ro: &[Event] = events;
+            parallel_collect(chunk.len(), |i, acc| {
+                let v = chunk[i].1;
+                let rec = f.record(v, level);
+                let mut ok = true;
+                for e in rec.live() {
+                    let u = e.nbr;
+                    if events_ro[u as usize].contracts() {
+                        ok = false; // a neighbor was selected in an earlier color
+                        break;
+                    }
+                    if u < v && chain_color(f, u, level) == Some(c as u32) {
+                        ok = false; // adjacent same-color: lower id wins
+                        break;
+                    }
+                }
+                if ok {
+                    acc.push(v);
+                }
+            })
+        };
+        // Commit phase: disjoint writes (picks are pairwise non-adjacent).
+        let pe = ParSlice::new(events);
+        parallel_for(picks.len(), |i| {
+            let v = picks[i];
+            let ev = match f.record(v, level).degree() {
+                0 => Event::Finalize,
+                1 => Event::Rake,
+                2 => Event::Compress,
+                _ => unreachable!("picked vertex must be eligible"),
+            };
+            // SAFETY: each picked v is written exactly once this phase.
+            unsafe { pe.write(v as usize, ev) };
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_colors_fit() {
+        assert!((COLOR_MAX as usize) < NUM_COLORS);
+        assert!((COLOR_MIN as usize) < NUM_COLORS);
+    }
+
+    #[test]
+    fn first_differing_bit_colors_differ_for_mutual_max() {
+        // If u and v are each other's max neighbor, CV coloring gives them
+        // different colors: check the arithmetic on raw bit patterns.
+        let v: u32 = 0b0110;
+        let u: u32 = 0b0100;
+        let k = (v ^ u).trailing_zeros();
+        let cv = 2 * k + ((v >> k) & 1);
+        let cu = 2 * k + ((u >> k) & 1);
+        assert_ne!(cv, cu);
+    }
+}

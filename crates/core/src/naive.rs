@@ -1,0 +1,274 @@
+//! A naive reference forest — the test oracle.
+//!
+//! Plain adjacency lists with BFS/DFS query implementations. Everything is
+//! `O(n)` per operation, unmistakably correct, and used to cross-check
+//! every RC-tree query family on randomized workloads. Also serves as the
+//! sequential baseline in benchmarks.
+
+use crate::types::{ForestError, Vertex};
+use std::collections::VecDeque;
+
+/// Adjacency-list forest with edge weights `W`.
+#[derive(Clone, Debug)]
+pub struct NaiveForest<W: Clone> {
+    adj: Vec<Vec<(Vertex, W)>>,
+}
+
+impl<W: Clone> NaiveForest<W> {
+    /// An edgeless forest on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        NaiveForest { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj[v as usize].iter().map(|&(u, _)| u)
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: Vertex, v: Vertex) -> Option<&W> {
+        self.adj[u as usize].iter().find(|&&(x, _)| x == v).map(|(_, w)| w)
+    }
+
+    /// Insert edge `{u, v}`; checks for duplicates and cycles.
+    pub fn link(&mut self, u: Vertex, v: Vertex, w: W) -> Result<(), ForestError> {
+        if u == v {
+            return Err(ForestError::SelfLoop { v });
+        }
+        if self.edge_weight(u, v).is_some() {
+            return Err(ForestError::DuplicateEdge { u, v });
+        }
+        if self.connected(u, v) {
+            return Err(ForestError::WouldCreateCycle { u, v });
+        }
+        self.adj[u as usize].push((v, w.clone()));
+        self.adj[v as usize].push((u, w));
+        Ok(())
+    }
+
+    /// Remove edge `{u, v}`.
+    pub fn cut(&mut self, u: Vertex, v: Vertex) -> Result<W, ForestError> {
+        let iu = self.adj[u as usize].iter().position(|&(x, _)| x == v);
+        match iu {
+            None => Err(ForestError::MissingEdge { u, v }),
+            Some(i) => {
+                let (_, w) = self.adj[u as usize].swap_remove(i);
+                let j = self.adj[v as usize]
+                    .iter()
+                    .position(|&(x, _)| x == u)
+                    .expect("symmetric adjacency");
+                self.adj[v as usize].swap_remove(j);
+                Ok(w)
+            }
+        }
+    }
+
+    /// Are `u` and `v` in the same tree?
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.path_vertices(u, v).is_some()
+    }
+
+    /// Vertices of `v`'s component.
+    pub fn component(&self, v: Vertex) -> Vec<Vertex> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut out = vec![v];
+        seen[v as usize] = true;
+        let mut q = VecDeque::from([v]);
+        while let Some(x) = q.pop_front() {
+            for &(y, _) in &self.adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    out.push(y);
+                    q.push_back(y);
+                }
+            }
+        }
+        out
+    }
+
+    /// The unique path from `u` to `v` as a vertex sequence.
+    pub fn path_vertices(&self, u: Vertex, v: Vertex) -> Option<Vec<Vertex>> {
+        if u == v {
+            return Some(vec![u]);
+        }
+        let n = self.adj.len();
+        let mut pred = vec![u32::MAX; n];
+        pred[u as usize] = u;
+        let mut q = VecDeque::from([u]);
+        while let Some(x) = q.pop_front() {
+            for &(y, _) in &self.adj[x as usize] {
+                if pred[y as usize] == u32::MAX {
+                    pred[y as usize] = x;
+                    if y == v {
+                        let mut path = vec![v];
+                        let mut cur = v;
+                        while cur != u {
+                            cur = pred[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(y);
+                }
+            }
+        }
+        None
+    }
+
+    /// Edge weights along the path `u..v`.
+    pub fn path_edges(&self, u: Vertex, v: Vertex) -> Option<Vec<W>> {
+        let p = self.path_vertices(u, v)?;
+        Some(
+            p.windows(2)
+                .map(|w| self.edge_weight(w[0], w[1]).expect("path edge").clone())
+                .collect(),
+        )
+    }
+
+    /// The subtree rooted at `u` with parent `p` (which must be a neighbor
+    /// of `u`): `(vertices, edge weights)`; excludes the edge `{u, p}`.
+    pub fn subtree(&self, u: Vertex, p: Vertex) -> (Vec<Vertex>, Vec<W>) {
+        let mut vertices = vec![u];
+        let mut edges = Vec::new();
+        let mut stack = vec![(u, p)];
+        while let Some((x, from)) = stack.pop() {
+            for &(y, ref w) in &self.adj[x as usize] {
+                if y != from {
+                    vertices.push(y);
+                    edges.push(w.clone());
+                    stack.push((y, x));
+                }
+            }
+        }
+        (vertices, edges)
+    }
+
+    /// LCA of `u` and `v` with respect to root `r` (all must be connected).
+    pub fn lca(&self, u: Vertex, v: Vertex, r: Vertex) -> Option<Vertex> {
+        let pu = self.path_vertices(u, r)?;
+        let pv = self.path_vertices(v, r)?;
+        // Walk back from r; the last common vertex is the LCA.
+        let mut i = pu.len();
+        let mut j = pv.len();
+        let mut lca = None;
+        while i > 0 && j > 0 && pu[i - 1] == pv[j - 1] {
+            lca = Some(pu[i - 1]);
+            i -= 1;
+            j -= 1;
+        }
+        lca
+    }
+}
+
+impl NaiveForest<u64> {
+    /// Distance-to-nearest-marked vertex for `v` (BFS over weighted
+    /// edges — Dijkstra is unnecessary since weights are non-negative and
+    /// trees have unique paths).
+    pub fn nearest_marked(&self, v: Vertex, marked: &[bool]) -> Option<(u64, Vertex)> {
+        let mut best: Option<(u64, Vertex)> = None;
+        let mut seen = vec![false; self.adj.len()];
+        seen[v as usize] = true;
+        let mut stack = vec![(v, 0u64)];
+        while let Some((x, d)) = stack.pop() {
+            if marked[x as usize] {
+                let cand = (d, x);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => b.min(cand),
+                });
+            }
+            for &(y, w) in &self.adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    stack.push((y, d + w));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> NaiveForest<u64> {
+        let mut f = NaiveForest::new(4);
+        f.link(0, 1, 10).unwrap();
+        f.link(1, 2, 20).unwrap();
+        f.link(2, 3, 30).unwrap();
+        f
+    }
+
+    #[test]
+    fn link_cut_connected() {
+        let mut f = path4();
+        assert!(f.connected(0, 3));
+        assert_eq!(f.cut(1, 2).unwrap(), 20);
+        assert!(!f.connected(0, 3));
+        assert!(f.connected(0, 1));
+        assert_eq!(f.cut(1, 2), Err(ForestError::MissingEdge { u: 1, v: 2 }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut f = path4();
+        assert_eq!(f.link(0, 3, 1), Err(ForestError::WouldCreateCycle { u: 0, v: 3 }));
+    }
+
+    #[test]
+    fn paths() {
+        let f = path4();
+        assert_eq!(f.path_vertices(0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(f.path_edges(0, 3).unwrap(), vec![10, 20, 30]);
+        assert_eq!(f.path_vertices(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn subtree_orientation() {
+        let f = path4();
+        let (vs, es) = f.subtree(2, 1);
+        assert_eq!(vs, vec![2, 3]);
+        assert_eq!(es, vec![30]);
+        let (vs, _) = f.subtree(2, 3);
+        let mut vs = vs;
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lca_on_star() {
+        let mut f = NaiveForest::new(5);
+        f.link(0, 1, 1).unwrap();
+        f.link(0, 2, 1).unwrap();
+        f.link(0, 3, 1).unwrap();
+        f.link(3, 4, 1).unwrap();
+        assert_eq!(f.lca(1, 2, 4), Some(0));
+        assert_eq!(f.lca(1, 0, 4), Some(0));
+        assert_eq!(f.lca(4, 3, 3), Some(3));
+        assert_eq!(f.lca(1, 4, 1), Some(1));
+    }
+
+    #[test]
+    fn nearest_marked_basics() {
+        let f = path4();
+        let mut marked = vec![false; 4];
+        assert_eq!(f.nearest_marked(1, &marked), None);
+        marked[3] = true;
+        assert_eq!(f.nearest_marked(1, &marked), Some((50, 3)));
+        marked[0] = true;
+        assert_eq!(f.nearest_marked(1, &marked), Some((10, 0)));
+        assert_eq!(f.nearest_marked(0, &marked), Some((0, 0)));
+    }
+}

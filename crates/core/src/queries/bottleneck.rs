@@ -1,0 +1,239 @@
+//! Batch path-minima/maxima ("bottleneck") queries (§3.7).
+//!
+//! Semigroup path queries can't be batched below the MST-verification
+//! lower bound, but extrema can: shrink the tree to the compressed path
+//! tree of the `O(k)` query endpoints (which preserves pairwise extrema),
+//! then solve the static offline problem on the small tree. The paper uses
+//! King et al.'s `O(n + k)` MST-verification subroutine; we use
+//! Euler-rooting + binary lifting over the compressed tree
+//! (`O(k log k)` — one log above, see DESIGN.md §4).
+
+use crate::aggregate::PathAggregate;
+use crate::forest::RcForest;
+use crate::queries::cpt::CompressedPathTree;
+use crate::types::Vertex;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+impl<P: PathAggregate> RcForest<P> {
+    /// For each pair `(u, v)`, the path-monoid aggregate of the `u..v`
+    /// path, computed through a compressed path tree shared across the
+    /// batch. With [`crate::MinEdgeAgg`] / [`crate::MaxEdgeAgg`] this is
+    /// `BatchPathMin` / `BatchPathMax` — the lightest/heaviest edge with
+    /// its endpoints.
+    pub fn batch_path_extrema(
+        &self,
+        pairs: &[(Vertex, Vertex)],
+    ) -> Vec<Option<P::PathVal>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut terms = Vec::with_capacity(pairs.len() * 2);
+        for &(u, v) in pairs {
+            if (u as usize) < self.n && (v as usize) < self.n {
+                terms.push(u);
+                terms.push(v);
+            }
+        }
+        let cpt = self.compressed_path_tree(&terms);
+        let solver = StaticPathSolver::<P>::build(&cpt);
+        pairs
+            .par_iter()
+            .map(|&(u, v)| {
+                if u as usize >= self.n || v as usize >= self.n {
+                    return None;
+                }
+                if u == v {
+                    return Some(P::path_identity());
+                }
+                solver.query(u, v)
+            })
+            .collect()
+    }
+}
+
+/// Offline static path-aggregate solver over a small tree: rooting by
+/// BFS + binary lifting carrying the aggregate toward each ancestor.
+pub(crate) struct StaticPathSolver<P: PathAggregate> {
+    index: HashMap<Vertex, u32>,
+    depth: Vec<u32>,
+    comp: Vec<u32>,
+    /// `up[j][x]` = 2^j-th ancestor (self when past the root).
+    up: Vec<Vec<u32>>,
+    /// `agg[j][x]` = aggregate from x up to (excluding) `up[j][x]`.
+    agg: Vec<Vec<P::PathVal>>,
+}
+
+impl<P: PathAggregate> StaticPathSolver<P> {
+    pub(crate) fn build(cpt: &CompressedPathTree<P>) -> Self {
+        let n = cpt.vertices.len();
+        let mut index = HashMap::with_capacity(n * 2);
+        for (i, &v) in cpt.vertices.iter().enumerate() {
+            index.insert(v, i as u32);
+        }
+        let mut adj: Vec<Vec<(u32, P::PathVal)>> = vec![Vec::new(); n];
+        for (a, b, w) in &cpt.edges {
+            let (ia, ib) = (index[a], index[b]);
+            adj[ia as usize].push((ib, w.clone()));
+            adj[ib as usize].push((ia, w.clone()));
+        }
+        // BFS rooting per component.
+        let mut parent = vec![u32::MAX; n];
+        let mut pw: Vec<P::PathVal> = vec![P::path_identity(); n];
+        let mut depth = vec![0u32; n];
+        let mut comp = vec![u32::MAX; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        for s in 0..n as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = s;
+            parent[s as usize] = s;
+            order.push(s);
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(x) = q.pop_front() {
+                for (y, w) in adj[x as usize].clone() {
+                    if comp[y as usize] == u32::MAX {
+                        comp[y as usize] = s;
+                        parent[y as usize] = x;
+                        pw[y as usize] = w;
+                        depth[y as usize] = depth[x as usize] + 1;
+                        order.push(y);
+                        q.push_back(y);
+                    }
+                }
+            }
+        }
+        // Lifting tables.
+        let maxd = depth.iter().copied().max().unwrap_or(0).max(1);
+        let levels = (32 - maxd.leading_zeros()) as usize + 1;
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        let mut agg: Vec<Vec<P::PathVal>> = Vec::with_capacity(levels);
+        up.push(parent);
+        agg.push(pw);
+        for j in 1..levels {
+            let (uj, aj): (Vec<u32>, Vec<P::PathVal>) = (0..n)
+                .map(|x| {
+                    let h = up[j - 1][x];
+                    (
+                        up[j - 1][h as usize],
+                        P::path_combine(&agg[j - 1][x], &agg[j - 1][h as usize]),
+                    )
+                })
+                .unzip();
+            up.push(uj);
+            agg.push(aj);
+        }
+        // The root's self-loop aggregates must be identities so lifts past
+        // the root are no-ops.
+        for j in 0..levels {
+            for x in 0..n {
+                if up[0][x] == x as u32 {
+                    // roots: ensure identity at all levels
+                    agg[j][x] = P::path_identity();
+                }
+            }
+        }
+        StaticPathSolver { index, depth, comp, up, agg }
+    }
+
+    pub(crate) fn query(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
+        let mut x = *self.index.get(&u)?;
+        let mut y = *self.index.get(&v)?;
+        if self.comp[x as usize] != self.comp[y as usize] {
+            return None;
+        }
+        let mut acc = P::path_identity();
+        // Lift to equal depth.
+        if self.depth[x as usize] < self.depth[y as usize] {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let mut delta = self.depth[x as usize] - self.depth[y as usize];
+        let mut j = 0;
+        while delta > 0 {
+            if delta & 1 == 1 {
+                acc = P::path_combine(&acc, &self.agg[j][x as usize]);
+                x = self.up[j][x as usize];
+            }
+            delta >>= 1;
+            j += 1;
+        }
+        if x == y {
+            return Some(acc);
+        }
+        // Lift both to just below the LCA.
+        for j in (0..self.up.len()).rev() {
+            if self.up[j][x as usize] != self.up[j][y as usize] {
+                acc = P::path_combine(&acc, &self.agg[j][x as usize]);
+                acc = P::path_combine(&acc, &self.agg[j][y as usize]);
+                x = self.up[j][x as usize];
+                y = self.up[j][y as usize];
+            }
+        }
+        acc = P::path_combine(&acc, &self.agg[0][x as usize]);
+        acc = P::path_combine(&acc, &self.agg[0][y as usize]);
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::{MaxEdgeAgg, MinEdgeAgg};
+    use crate::forest::{BuildOptions, RcForest};
+    use rc_parlay::rng::SplitMix64;
+
+    #[test]
+    fn batch_extrema_on_path() {
+        let edges: Vec<(u32, u32, u64)> =
+            vec![(0, 1, 5), (1, 2, 9), (2, 3, 2), (3, 4, 7)];
+        let f =
+            RcForest::<MinEdgeAgg<u64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
+        let got = f.batch_path_extrema(&[(0, 4), (0, 1), (1, 3), (2, 2)]);
+        assert_eq!(got[0].unwrap().unwrap().w, 2);
+        assert_eq!(got[1].unwrap().unwrap().w, 5);
+        assert_eq!(got[2].unwrap().unwrap().w, 2);
+        assert_eq!(got[3].unwrap(), None, "empty path has no edges");
+    }
+
+    #[test]
+    fn batch_extrema_matches_naive() {
+        let n = 300usize;
+        let mut rng = SplitMix64::new(606);
+        let mut naive = crate::naive::NaiveForest::<u64>::new(n);
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for v in 1..n as u32 {
+            if rng.next_f64() < 0.05 {
+                continue;
+            }
+            let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let w = 1 + rng.next_below(10_000);
+            if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
+                edges.push((u, v, w));
+            }
+        }
+        let f =
+            RcForest::<MaxEdgeAgg<u64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..300)
+            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .collect();
+        let got = f.batch_path_extrema(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let expect = naive.path_edges(u, v);
+            match (&got[i], expect) {
+                (None, None) => {}
+                (Some(opt), Some(es)) => {
+                    if es.is_empty() {
+                        assert!(opt.is_none(), "({u},{v})");
+                    } else {
+                        assert_eq!(
+                            opt.unwrap().w,
+                            es.iter().copied().max().unwrap(),
+                            "({u},{v})"
+                        );
+                    }
+                }
+                (g, e) => panic!("({u},{v}): {g:?} vs {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Batch connectivity queries (§3.3).
+//!
+//! Reduces to batch find-representative: mark the ancestor paths of the
+//! query vertices, push the component root's representative down the
+//! marked subtree, and compare per pair. `O(k + k log(1 + n/k))` work,
+//! `O(log n)` span (Theorem 3.5).
+
+use crate::aggregate::ClusterAggregate;
+use crate::forest::RcForest;
+use crate::types::Vertex;
+use rc_parlay::slice::ParSlice;
+use rc_parlay::parallel_for;
+
+impl<A: ClusterAggregate> RcForest<A> {
+    /// Are `u` and `v` in the same tree? (`O(log n)`.)
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.find_representative(u) == self.find_representative(v)
+    }
+
+    /// Component representatives for a batch of vertices, sharing ancestor
+    /// walks across the batch.
+    pub fn batch_find_representatives(&self, vs: &[Vertex]) -> Vec<Vertex> {
+        if vs.is_empty() {
+            return Vec::new();
+        }
+        let ms = self.mark_ancestors(vs);
+        let labels = self.root_labels(&ms);
+        let mut out = vec![0 as Vertex; vs.len()];
+        {
+            let po = ParSlice::new(&mut out);
+            parallel_for(vs.len(), |i| {
+                let slot = ms.slot(vs[i]);
+                // SAFETY: one write per output slot.
+                unsafe { po.write(i, labels[slot as usize]) };
+            });
+        }
+        out
+    }
+
+    /// `BatchConnected`: answer `k` connectivity queries in
+    /// `O(k + k log(1 + n/k))` work.
+    pub fn batch_connected(&self, pairs: &[(Vertex, Vertex)]) -> Vec<bool> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut starts = Vec::with_capacity(pairs.len() * 2);
+        for &(u, v) in pairs {
+            starts.push(u);
+            starts.push(v);
+        }
+        let reprs = self.batch_find_representatives(&starts);
+        (0..pairs.len()).map(|i| reprs[2 * i] == reprs[2 * i + 1]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::SumAgg;
+    use crate::forest::{BuildOptions, RcForest};
+
+    type F = RcForest<SumAgg<i64>>;
+
+    fn two_paths() -> F {
+        // 0-1-2-3 and 4-5-6.
+        let edges = vec![(0, 1, 1i64), (1, 2, 1), (2, 3, 1), (4, 5, 1), (5, 6, 1)];
+        F::build_edges(7, &edges, BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn connected_within_and_across() {
+        let f = two_paths();
+        assert!(f.connected(0, 3));
+        assert!(f.connected(4, 6));
+        assert!(!f.connected(0, 4));
+        assert!(f.connected(2, 2));
+    }
+
+    #[test]
+    fn batch_connected_matches_single() {
+        let f = two_paths();
+        let pairs = vec![(0, 3), (0, 4), (5, 6), (6, 1), (2, 0)];
+        let got = f.batch_connected(&pairs);
+        let expect: Vec<bool> = pairs.iter().map(|&(u, v)| f.connected(u, v)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batch_reprs_constant_per_component() {
+        let f = two_paths();
+        let reprs = f.batch_find_representatives(&[0, 1, 2, 3, 4, 5, 6]);
+        assert!(reprs[0..4].iter().all(|&r| r == reprs[0]));
+        assert!(reprs[4..7].iter().all(|&r| r == reprs[4]));
+        assert_ne!(reprs[0], reprs[4]);
+    }
+
+    #[test]
+    fn batch_on_large_random_forest() {
+        use rc_parlay::rng::SplitMix64;
+        let n = 3000usize;
+        let mut rng = SplitMix64::new(5);
+        // Random spanning structure on 3 chunks (disconnected thirds).
+        let mut edges: Vec<(u32, u32, i64)> = Vec::new();
+        for c in 0..3u32 {
+            let base = c * 1000;
+            for i in 1..1000u32 {
+                // connect i to a random earlier vertex of same chunk, chain-biased
+                let j = if rng.next_f64() < 0.8 { i - 1 } else { rng.next_below(i as u64) as u32 };
+                edges.push((base + i, base + j, 1));
+            }
+        }
+        // Degree can exceed 3 with random attach; filter to keep ≤ 3.
+        let mut deg = vec![0u8; n];
+        edges.retain(|&(u, v, _)| {
+            if deg[u as usize] < 3 && deg[v as usize] < 3 {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+                true
+            } else {
+                false
+            }
+        });
+        let f = F::build_edges(n, &edges, BuildOptions::default()).unwrap();
+        let naive = {
+            let mut nf = crate::naive::NaiveForest::<i64>::new(n);
+            for &(u, v, w) in &edges {
+                nf.link(u, v, w).unwrap();
+            }
+            nf
+        };
+        let pairs: Vec<(u32, u32)> = (0..500)
+            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .collect();
+        let got = f.batch_connected(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(got[i], naive.connected(u, v), "pair ({u},{v})");
+        }
+    }
+}

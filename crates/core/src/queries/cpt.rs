@@ -1,0 +1,452 @@
+//! Compressed path trees (§5.8, Anderson–Blelloch–Tangwongsan).
+//!
+//! Given `k` marked *terminal* vertices, produce a forest on the terminals
+//! plus `O(k)` Steiner vertices such that the path aggregate between every
+//! pair of terminals is preserved exactly (Fig. 4: "the max between any
+//! pair of nodes is maintained in the compressed tree").
+//!
+//! Construction is one bottom-up sweep over the marked subtree. Each
+//! marked cluster summarizes its terminals' partial Steiner tree by at
+//! most two *exposures* — the nearest structure node toward each boundary
+//! with the exact path aggregate from that boundary. Junctions materialize
+//! eagerly (possibly as provisional degree-2 nodes); a final compaction
+//! removes non-terminal leaves and splices non-terminal degree-2 nodes,
+//! combining edge aggregates — which keeps every pairwise aggregate exact.
+//! `O(k log(1 + n/k))` expected work, `O(k)` output.
+
+use crate::aggregate::PathAggregate;
+use crate::forest::RcForest;
+use crate::types::{ClusterId, ClusterKind, Vertex};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A tree over `O(k)` vertices preserving pairwise path aggregates
+/// between the `terminals` of the original forest.
+#[derive(Clone, Debug)]
+pub struct CompressedPathTree<P: PathAggregate> {
+    /// Original vertex ids present in the compressed tree.
+    pub vertices: Vec<Vertex>,
+    /// Edges carrying the aggregate of the original path they contract.
+    pub edges: Vec<(Vertex, Vertex, P::PathVal)>,
+}
+
+/// Exposure of a partial Steiner structure toward a boundary: the nearest
+/// structure node and the exact aggregate from the boundary to it.
+type Expose<T> = Option<(Vertex, T)>;
+
+#[derive(Clone)]
+enum Partial<T> {
+    Empty,
+    /// Exposures aligned with the cluster's sorted boundary array
+    /// (unary clusters use slot 0 only).
+    Has([Expose<T>; 2]),
+}
+
+impl<P: PathAggregate> RcForest<P> {
+    /// Build the compressed path tree of `terminals` (duplicates allowed).
+    pub fn compressed_path_tree(&self, terminals: &[Vertex]) -> CompressedPathTree<P> {
+        let term_set: HashSet<Vertex> =
+            terminals.iter().copied().filter(|&v| (v as usize) < self.n).collect();
+        if term_set.is_empty() {
+            return CompressedPathTree { vertices: Vec::new(), edges: Vec::new() };
+        }
+        let starts: Vec<Vertex> = term_set.iter().copied().collect();
+        let ms = self.mark_ancestors(&starts);
+
+        let mut partial: Vec<Partial<P::PathVal>> = vec![Partial::Empty; ms.len()];
+        let mut emitted: Vec<(Vertex, Vertex, P::PathVal)> = Vec::new();
+
+        // Exposure of a *child* cluster of `v`'s contraction toward a
+        // given vertex (v or the far boundary).
+        let expose_of = |partial: &Vec<Partial<P::PathVal>>,
+                         child: ClusterId,
+                         toward: Vertex|
+         -> Expose<P::PathVal> {
+            if !child.is_vertex() {
+                return None; // base edges hold no terminals
+            }
+            let w = child.as_vertex();
+            let slot = match ms.index.get(&w) {
+                Some(&s) => s,
+                None => return None, // unmarked: no terminals inside
+            };
+            match &partial[slot as usize] {
+                Partial::Empty => None,
+                Partial::Has(exp) => {
+                    let c = self.cluster(w);
+                    if c.kind == ClusterKind::Unary {
+                        exp[0].clone()
+                    } else {
+                        let i = if c.boundary[0] == toward { 0 } else { 1 };
+                        debug_assert_eq!(c.boundary[i], toward);
+                        exp[i].clone()
+                    }
+                }
+            }
+        };
+
+        // Bottom-up by round.
+        for bucket in ms.by_round.iter() {
+            for &s in bucket {
+                let v = ms.nodes[s as usize];
+                let c = self.cluster(v);
+                // Parts attached directly at v: rake children + v itself.
+                let mut parts: Vec<(Vertex, P::PathVal)> = Vec::new();
+                for rk in c.rake_children.iter() {
+                    if let Some(p) = expose_of(&partial, rk, v) {
+                        parts.push(p);
+                    }
+                }
+                if term_set.contains(&v) {
+                    parts.push((v, P::path_identity()));
+                }
+
+                let result = match c.kind {
+                    ClusterKind::Unary => {
+                        let e = c.bin_children[0];
+                        let path_e = self.agg_of(e).cluster_path();
+                        let e_near = expose_of(&partial, e, v);
+                        let e_far = expose_of(&partial, e, c.boundary[0]);
+                        let dirs = parts.len() + usize::from(e_near.is_some());
+                        match dirs {
+                            0 => Partial::Empty,
+                            1 => {
+                                if e_near.is_some() {
+                                    Partial::Has([e_far, None])
+                                } else {
+                                    let (t, d) = parts.pop().unwrap();
+                                    Partial::Has([
+                                        Some((t, P::path_combine(&path_e, &d))),
+                                        None,
+                                    ])
+                                }
+                            }
+                            _ => {
+                                for (t, d) in parts {
+                                    if t != v {
+                                        emitted.push((v, t, d));
+                                    }
+                                }
+                                if let Some((te, de)) = e_near {
+                                    emitted.push((v, te, de));
+                                    Partial::Has([e_far, None])
+                                } else {
+                                    Partial::Has([Some((v, path_e)), None])
+                                }
+                            }
+                        }
+                    }
+                    ClusterKind::Binary => {
+                        let (l, r) = (c.bin_children[0], c.bin_children[1]);
+                        let path_l = self.agg_of(l).cluster_path();
+                        let path_r = self.agg_of(r).cluster_path();
+                        let l_near = expose_of(&partial, l, v);
+                        let l_far = expose_of(&partial, l, c.boundary[0]);
+                        let r_near = expose_of(&partial, r, v);
+                        let r_far = expose_of(&partial, r, c.boundary[1]);
+                        let dirs = parts.len()
+                            + usize::from(l_near.is_some())
+                            + usize::from(r_near.is_some());
+                        match dirs {
+                            0 => Partial::Empty,
+                            1 => {
+                                if let Some((tl, dl)) = l_near {
+                                    Partial::Has([
+                                        l_far,
+                                        Some((tl, P::path_combine(&path_r, &dl))),
+                                    ])
+                                } else if let Some((tr, dr)) = r_near {
+                                    Partial::Has([
+                                        Some((tr, P::path_combine(&path_l, &dr))),
+                                        r_far,
+                                    ])
+                                } else {
+                                    let (t, d) = parts.pop().unwrap();
+                                    if t != v {
+                                        emitted.push((v, t, d));
+                                    }
+                                    Partial::Has([
+                                        Some((v, path_l.clone())),
+                                        Some((v, path_r.clone())),
+                                    ])
+                                }
+                            }
+                            _ => {
+                                for (t, d) in parts {
+                                    if t != v {
+                                        emitted.push((v, t, d));
+                                    }
+                                }
+                                let e0 = if let Some((tl, dl)) = l_near {
+                                    emitted.push((v, tl, dl));
+                                    l_far
+                                } else {
+                                    Some((v, path_l.clone()))
+                                };
+                                let e1 = if let Some((tr, dr)) = r_near {
+                                    emitted.push((v, tr, dr));
+                                    r_far
+                                } else {
+                                    Some((v, path_r.clone()))
+                                };
+                                Partial::Has([e0, e1])
+                            }
+                        }
+                    }
+                    ClusterKind::Nullary => {
+                        if parts.len() >= 2 {
+                            for (t, d) in parts {
+                                emitted.push((v, t, d));
+                            }
+                            Partial::Has([Some((v, P::path_identity())), None])
+                        } else {
+                            // 0 or 1 directions: structure already complete.
+                            Partial::Empty
+                        }
+                    }
+                    ClusterKind::Invalid => unreachable!(),
+                };
+                partial[s as usize] = result;
+            }
+        }
+
+        compact::<P>(emitted, &term_set)
+    }
+}
+
+/// Remove non-terminal leaves and splice non-terminal degree-2 vertices,
+/// combining the aggregates of merged edges.
+fn compact<P: PathAggregate>(
+    emitted: Vec<(Vertex, Vertex, P::PathVal)>,
+    terminals: &HashSet<Vertex>,
+) -> CompressedPathTree<P> {
+    #[derive(Clone)]
+    struct E<T> {
+        a: Vertex,
+        b: Vertex,
+        w: T,
+        alive: bool,
+    }
+    let mut edges: Vec<E<P::PathVal>> =
+        emitted.into_iter().map(|(a, b, w)| E { a, b, w, alive: true }).collect();
+    let mut adj: HashMap<Vertex, Vec<usize>> = HashMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(e.a).or_default().push(i);
+        adj.entry(e.b).or_default().push(i);
+    }
+    for &t in terminals {
+        adj.entry(t).or_default();
+    }
+    let live_deg = |adj: &HashMap<Vertex, Vec<usize>>, edges: &Vec<E<P::PathVal>>, v: Vertex| {
+        adj.get(&v).map_or(0, |es| es.iter().filter(|&&i| edges[i].alive).count())
+    };
+    let mut queue: VecDeque<Vertex> =
+        adj.keys().copied().filter(|v| !terminals.contains(v)).collect();
+    let mut removed: HashSet<Vertex> = HashSet::new();
+    while let Some(x) = queue.pop_front() {
+        if terminals.contains(&x) || removed.contains(&x) {
+            continue;
+        }
+        let live: Vec<usize> = adj
+            .get(&x)
+            .map(|es| es.iter().copied().filter(|&i| edges[i].alive).collect())
+            .unwrap_or_default();
+        match live.len() {
+            0 => {
+                removed.insert(x);
+            }
+            1 => {
+                let i = live[0];
+                edges[i].alive = false;
+                removed.insert(x);
+                let other = if edges[i].a == x { edges[i].b } else { edges[i].a };
+                queue.push_back(other);
+            }
+            2 => {
+                let (i, j) = (live[0], live[1]);
+                let a = if edges[i].a == x { edges[i].b } else { edges[i].a };
+                let b = if edges[j].a == x { edges[j].b } else { edges[j].a };
+                let w = P::path_combine(&edges[i].w, &edges[j].w);
+                edges[i].alive = false;
+                edges[j].alive = false;
+                removed.insert(x);
+                let k = edges.len();
+                edges.push(E { a, b, w, alive: true });
+                adj.entry(a).or_default().push(k);
+                adj.entry(b).or_default().push(k);
+            }
+            _ => {} // genuine Steiner branch point: keep
+        }
+    }
+    let out_edges: Vec<(Vertex, Vertex, P::PathVal)> = edges
+        .iter()
+        .filter(|e| e.alive)
+        .map(|e| (e.a, e.b, e.w.clone()))
+        .collect();
+    let mut verts: HashSet<Vertex> = terminals.iter().copied().collect();
+    for (a, b, _) in &out_edges {
+        verts.insert(*a);
+        verts.insert(*b);
+    }
+    let mut vertices: Vec<Vertex> = verts.into_iter().collect();
+    vertices.sort_unstable();
+    let _ = live_deg;
+    CompressedPathTree { vertices, edges: out_edges }
+}
+
+impl<P: PathAggregate> CompressedPathTree<P> {
+    /// Path aggregate between two vertices of the compressed tree
+    /// (BFS over the `O(k)` structure — test/verification helper).
+    pub fn path_value(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
+        if u == v {
+            return Some(P::path_identity());
+        }
+        let mut adj: HashMap<Vertex, Vec<(Vertex, &P::PathVal)>> = HashMap::new();
+        for (a, b, w) in &self.edges {
+            adj.entry(*a).or_default().push((*b, w));
+            adj.entry(*b).or_default().push((*a, w));
+        }
+        let mut q = VecDeque::from([u]);
+        let mut val: HashMap<Vertex, P::PathVal> = HashMap::new();
+        val.insert(u, P::path_identity());
+        while let Some(x) = q.pop_front() {
+            let xv = val[&x].clone();
+            if x == v {
+                return Some(xv);
+            }
+            if let Some(nbrs) = adj.get(&x) {
+                for (y, w) in nbrs {
+                    if !val.contains_key(y) {
+                        val.insert(*y, P::path_combine(&xv, w));
+                        q.push_back(*y);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::{MaxEdgeAgg, SumAgg};
+    use crate::forest::{BuildOptions, RcForest};
+    use rc_parlay::rng::SplitMix64;
+
+    #[test]
+    fn cpt_of_path_endpoints() {
+        let edges: Vec<(u32, u32, i64)> = (0..9).map(|i| (i, i + 1, (i + 1) as i64)).collect();
+        let f = RcForest::<SumAgg<i64>>::build_edges(10, &edges, BuildOptions::default()).unwrap();
+        let cpt = f.compressed_path_tree(&[0, 9]);
+        assert_eq!(cpt.edges.len(), 1, "two terminals on a path compress to one edge");
+        assert_eq!(cpt.path_value(0, 9), Some(45));
+    }
+
+    #[test]
+    fn cpt_star_center_branches() {
+        // Terminals at three leaves of a star: center becomes Steiner.
+        let edges = vec![(0u32, 1u32, 1i64), (0, 2, 2), (0, 3, 4)];
+        let f = RcForest::<SumAgg<i64>>::build_edges(4, &edges, BuildOptions::default()).unwrap();
+        let cpt = f.compressed_path_tree(&[1, 2, 3]);
+        assert_eq!(cpt.edges.len(), 3);
+        assert!(cpt.vertices.contains(&0), "center kept as branch point");
+        assert_eq!(cpt.path_value(1, 2), Some(3));
+        assert_eq!(cpt.path_value(1, 3), Some(5));
+        assert_eq!(cpt.path_value(2, 3), Some(6));
+    }
+
+    #[test]
+    fn cpt_single_terminal() {
+        let edges: Vec<(u32, u32, i64)> = (0..4).map(|i| (i, i + 1, 1)).collect();
+        let f = RcForest::<SumAgg<i64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
+        let cpt = f.compressed_path_tree(&[2]);
+        assert_eq!(cpt.vertices, vec![2]);
+        assert!(cpt.edges.is_empty());
+    }
+
+    #[test]
+    fn cpt_disconnected_terminals() {
+        let f = RcForest::<SumAgg<i64>>::build_edges(
+            4,
+            &[(0, 1, 3), (2, 3, 4)],
+            BuildOptions::default(),
+        )
+        .unwrap();
+        let cpt = f.compressed_path_tree(&[0, 1, 2, 3]);
+        assert_eq!(cpt.path_value(0, 1), Some(3));
+        assert_eq!(cpt.path_value(2, 3), Some(4));
+        assert_eq!(cpt.path_value(0, 3), None);
+    }
+
+    #[test]
+    fn cpt_preserves_all_pairwise_sums_on_random_trees() {
+        let n = 250usize;
+        let mut rng = SplitMix64::new(808);
+        for trial in 0..5 {
+            let mut naive = crate::naive::NaiveForest::<i64>::new(n);
+            let mut edges: Vec<(u32, u32, i64)> = Vec::new();
+            for v in 1..n as u32 {
+                let u =
+                    if rng.next_f64() < 0.5 { v - 1 } else { rng.next_below(v as u64) as u32 };
+                let w = 1 + rng.next_below(40) as i64;
+                if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
+                    edges.push((u, v, w));
+                }
+            }
+            let f =
+                RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
+            let terms: Vec<u32> =
+                (0..12).map(|_| rng.next_below(n as u64) as u32).collect();
+            let cpt = f.compressed_path_tree(&terms);
+            assert!(
+                cpt.vertices.len() <= 2 * terms.len(),
+                "trial {trial}: compressed tree too large: {} vertices for {} terminals",
+                cpt.vertices.len(),
+                terms.len()
+            );
+            for &a in &terms {
+                for &b in &terms {
+                    let expect = naive.path_edges(a, b).map(|es| es.iter().sum::<i64>());
+                    assert_eq!(cpt.path_value(a, b), expect, "trial {trial}: pair ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_preserves_path_maxima() {
+        let n = 150usize;
+        let mut rng = SplitMix64::new(99);
+        let mut naive = crate::naive::NaiveForest::<u64>::new(n);
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for v in 1..n as u32 {
+            let u = if rng.next_f64() < 0.5 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let w = 1 + rng.next_below(1000);
+            if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
+                edges.push((u, v, w));
+            }
+        }
+        let f =
+            RcForest::<MaxEdgeAgg<u64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
+        let terms: Vec<u32> = (0..10).map(|_| rng.next_below(n as u64) as u32).collect();
+        let cpt = f.compressed_path_tree(&terms);
+        for &a in &terms {
+            for &b in &terms {
+                if a == b {
+                    continue;
+                }
+                let expect = naive.path_edges(a, b).map(|es| es.iter().copied().max().unwrap());
+                let got = cpt.path_value(a, b).map(|o| o.map(|e| e.w));
+                assert_eq!(got.map(|x| x.unwrap_or(0)), expect.or(Some(0)).filter(|_| got.is_some()).or(expect),
+                    "pair ({a},{b})");
+                match (cpt.path_value(a, b), naive.path_edges(a, b)) {
+                    (Some(Some(e)), Some(es)) => {
+                        assert_eq!(e.w, es.iter().copied().max().unwrap(), "max ({a},{b})")
+                    }
+                    (None, None) => {}
+                    (Some(None), Some(es)) => assert!(es.is_empty()),
+                    (x, y) => panic!("shape mismatch ({a},{b}): {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+}

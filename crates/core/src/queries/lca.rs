@@ -1,0 +1,622 @@
+//! LCA queries on dynamic trees (§3.5, §5.7, supplementary A.8).
+//!
+//! The batch algorithm marks the ancestors of all query vertices, builds a
+//! static LCA structure (Euler tour + sparse table) and level-ancestor /
+//! highest-unary binary-lifting tables over the **marked subtree only**,
+//! computes the top-down `root_boundary` orientation, and answers each
+//! query by the casework of A.8:
+//!
+//! * the *common boundary* `c` (representative of the RC-LCA of `U`, `V`)
+//!   is the answer unless the walk to the root departs into one of the
+//!   arrival children's cluster paths,
+//! * in which case the answer is the vertex on that cluster path closest
+//!   to the query vertex — found via the highest unary ancestor.
+//!
+//! Arbitrary roots reduce to three fixed-root queries XOR-ed together
+//! (Lemma A.10). As in the paper, the table construction spends
+//! `O(k log(1+n/k) · log)` work — the Berkman–Vishkin structure exists but
+//! "has a 2^228 constant factor" (§5.7), so brute-force tables it is.
+
+use crate::aggregate::ClusterAggregate;
+use crate::forest::RcForest;
+use crate::queries::mark_util::MarkedSubtree;
+use crate::types::{ClusterId, ClusterKind, Vertex, NO_VERTEX};
+use rayon::prelude::*;
+use rc_parlay::NONE_U32;
+
+impl<A: ClusterAggregate> RcForest<A> {
+    /// LCA of `u` and `v` in the tree rooted at `r`; `None` when the three
+    /// vertices are not in one tree. `O(log n)`.
+    pub fn lca(&self, u: Vertex, v: Vertex, r: Vertex) -> Option<Vertex> {
+        if u as usize >= self.n || v as usize >= self.n || r as usize >= self.n {
+            return None;
+        }
+        let root = self.find_representative(u);
+        if self.find_representative(v) != root || self.find_representative(r) != root {
+            return None;
+        }
+        if u == v || u == r {
+            return Some(u);
+        }
+        if v == r {
+            return Some(v);
+        }
+        let l1 = self.fixed_lca(u, v, root);
+        let l2 = self.fixed_lca(u, r, root);
+        let l3 = self.fixed_lca(v, r, root);
+        // Lemma A.10: two of the three coincide; XOR extracts the answer.
+        Some(l1 ^ l2 ^ l3)
+    }
+
+    /// LCA of `u`, `v` with respect to the component root representative
+    /// `root` (the vertex that contracted last — rep of the root cluster).
+    fn fixed_lca(&self, u: Vertex, v: Vertex, root: Vertex) -> Vertex {
+        if u == v {
+            return u;
+        }
+        if u == root || v == root {
+            return root;
+        }
+        // Synchronized ascent to the RC-LCA, remembering arrival children.
+        let (m, arr_u, arr_v) = self.rc_meet(u, v);
+        let c = m;
+        if c == root {
+            // The meet is the root cluster — also covers D_{u,v,r} ties.
+            return self.meet_answer(u, v, m, arr_u, arr_v, NO_VERTEX);
+        }
+        // Orientation: which boundary of M leads to the root.
+        let rb_m = self.root_boundary_single(m);
+        self.meet_answer(u, v, m, arr_u, arr_v, rb_m)
+    }
+
+    /// Shared fixed-root casework, given the meet cluster rep `m`, the
+    /// arrival children (`None` when the respective endpoint *is* `m`),
+    /// and `rb_m` = the boundary of `M` toward the root (`NO_VERTEX` when
+    /// `M` is the root cluster).
+    fn meet_answer(
+        &self,
+        u: Vertex,
+        v: Vertex,
+        m: Vertex,
+        arr_u: Option<Vertex>,
+        arr_v: Option<Vertex>,
+        rb_m: Vertex,
+    ) -> Vertex {
+        let c = m;
+        match (arr_u, arr_v) {
+            (None, None) => c, // u == v == m (excluded earlier), defensive
+            (Some(x), None) => {
+                // c == v: is the root on the same side of v as x?
+                self.one_sided_answer(u, x, c, rb_m)
+            }
+            (None, Some(y)) => self.one_sided_answer(v, y, c, rb_m),
+            (Some(x), Some(y)) => {
+                let between_x = self.c_between(x, rb_m);
+                let between_y = self.c_between(y, rb_m);
+                if between_x && between_y {
+                    c
+                } else if !between_x {
+                    self.closest_on_cluster_path(x, u)
+                } else {
+                    self.closest_on_cluster_path(y, v)
+                }
+            }
+        }
+    }
+
+    /// Case `c ∈ {u, v}` (A.8): `x` is the child of `C` toward the other
+    /// endpoint `w`. If `X` is unary, or the root lies on the opposite
+    /// side of `c` from `X`'s cluster path, the LCA is `c`; otherwise it
+    /// is the vertex on `X`'s cluster path closest to `w`.
+    fn one_sided_answer(&self, w: Vertex, x: Vertex, c: Vertex, rb_m: Vertex) -> Vertex {
+        let xc = self.cluster(x);
+        if xc.kind != ClusterKind::Binary {
+            return c;
+        }
+        let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+        if far != rb_m {
+            c
+        } else {
+            self.closest_on_cluster_path(x, w)
+        }
+    }
+
+    /// Is `c = rep(M)` on the path from `X`'s contents to the root?
+    /// True when `X` is unary (its only exit is `c`) or its far boundary
+    /// is not the root boundary of `M`.
+    fn c_between(&self, x: Vertex, rb_m: Vertex) -> bool {
+        let xc = self.cluster(x);
+        if xc.kind != ClusterKind::Binary {
+            return true;
+        }
+        let c_parent = xc.parent;
+        debug_assert!(c_parent.is_vertex());
+        let c = c_parent.as_vertex();
+        let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+        far != rb_m
+    }
+
+    /// Synchronized ascent from `cluster(u)` and `cluster(v)` to their
+    /// RC-LCA. Returns `(rep of meet, arrival child of u-side, arrival
+    /// child of v-side)`; an arrival child is `None` when that side's
+    /// start cluster *is* the meet.
+    fn rc_meet(&self, u: Vertex, v: Vertex) -> (Vertex, Option<Vertex>, Option<Vertex>) {
+        let mut cu = u;
+        let mut cv = v;
+        let mut au: Option<Vertex> = None;
+        let mut av: Option<Vertex> = None;
+        loop {
+            if cu == cv {
+                return (cu, au, av);
+            }
+            let ru = self.cluster(cu).round;
+            let rv = self.cluster(cv).round;
+            if ru <= rv {
+                let p = self.cluster(cu).parent;
+                assert!(!p.is_none(), "rc_meet on disconnected vertices");
+                au = Some(cu);
+                cu = p.as_vertex();
+            } else {
+                let p = self.cluster(cv).parent;
+                assert!(!p.is_none(), "rc_meet on disconnected vertices");
+                av = Some(cv);
+                cv = p.as_vertex();
+            }
+        }
+    }
+
+    /// `root_boundary` of a single cluster: walk to the root collecting
+    /// the chain, then orient downward (`O(log n)`).
+    fn root_boundary_single(&self, m: Vertex) -> Vertex {
+        let chain = self.chain_to_root(m);
+        // chain[last] is the root; compute rb downward.
+        let mut rb = NO_VERTEX;
+        for i in (0..chain.len() - 1).rev() {
+            let p_rep = chain[i + 1];
+            let c = self.cluster(chain[i]);
+            rb = if rb != NO_VERTEX && (c.boundary[0] == rb || c.boundary[1] == rb) {
+                rb
+            } else {
+                p_rep
+            };
+        }
+        rb
+    }
+
+    fn chain_to_root(&self, m: Vertex) -> Vec<Vertex> {
+        let mut chain = vec![m];
+        let mut c = ClusterId::vertex(m);
+        loop {
+            let p = self.parent_of(c);
+            if p.is_none() {
+                return chain;
+            }
+            chain.push(p.as_vertex());
+            c = p;
+        }
+    }
+
+    /// The vertex on the cluster path of binary cluster `X` closest to the
+    /// contained vertex `w` (Lemma A.14): `w` itself if it lies on the
+    /// cluster path (no unary cluster on the chain `[W, X)`), else the
+    /// boundary of the highest unary cluster on that chain.
+    fn closest_on_cluster_path(&self, x: Vertex, w: Vertex) -> Vertex {
+        let mut cur = w;
+        let mut highest_unary: Option<Vertex> = None;
+        while cur != x {
+            if self.cluster(cur).kind == ClusterKind::Unary {
+                highest_unary = Some(cur);
+            }
+            let p = self.cluster(cur).parent;
+            debug_assert!(p.is_vertex(), "w must be inside X");
+            cur = p.as_vertex();
+        }
+        match highest_unary {
+            None => w,
+            Some(wu) => self.cluster(wu).boundary[0],
+        }
+    }
+
+    /// `BatchLCA`: answer `k` arbitrary-root LCA queries `(u, v, r)`,
+    /// sharing the marked subtree, its static-LCA tables and the
+    /// orientation pass across the whole batch (§3.5).
+    pub fn batch_lca(&self, queries: &[(Vertex, Vertex, Vertex)]) -> Vec<Option<Vertex>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let mut starts = Vec::with_capacity(queries.len() * 3);
+        for &(u, v, r) in queries {
+            for x in [u, v, r] {
+                if (x as usize) < self.n {
+                    starts.push(x);
+                }
+            }
+        }
+        if starts.is_empty() {
+            return vec![None; queries.len()];
+        }
+        let ms = self.mark_ancestors(&starts);
+        let tables = LcaTables::build(self, &ms);
+
+        queries
+            .par_iter()
+            .map(|&(u, v, r)| {
+                if [u, v, r].iter().any(|&x| x as usize >= self.n) {
+                    return None;
+                }
+                let su = ms.slot(u);
+                let sv = ms.slot(v);
+                let sr = ms.slot(r);
+                let root_u = tables.root_label[su as usize];
+                if tables.root_label[sv as usize] != root_u
+                    || tables.root_label[sr as usize] != root_u
+                {
+                    return None;
+                }
+                if u == v || u == r {
+                    return Some(u);
+                }
+                if v == r {
+                    return Some(v);
+                }
+                let l1 = tables.fixed(self, &ms, u, v, root_u);
+                let l2 = tables.fixed(self, &ms, u, r, root_u);
+                let l3 = tables.fixed(self, &ms, v, r, root_u);
+                Some(l1 ^ l2 ^ l3)
+            })
+            .collect()
+    }
+}
+
+/// Static tables over the marked subtree: Euler-tour sparse-table LCA,
+/// binary lifting with highest-unary tracking, root labels & orientation.
+struct LcaTables {
+    depth: Vec<u32>,
+    root_label: Vec<Vertex>,
+    root_boundary: Vec<Vertex>,
+    /// Euler tour as (slot) sequence; `first[slot]` = first occurrence.
+    first: Vec<u32>,
+    /// Sparse table over the Euler tour of (depth, slot) minima.
+    sparse: Vec<Vec<(u32, u32)>>,
+    /// Binary lifting: `up[j][slot]` = 2^j-th marked ancestor.
+    up: Vec<Vec<u32>>,
+    /// `hu[j][slot]` = topmost (minimum-depth) unary cluster among the
+    /// window of 2^j nodes starting at `slot` going up.
+    hu: Vec<Vec<u32>>,
+}
+
+impl LcaTables {
+    fn build<A: ClusterAggregate>(f: &RcForest<A>, ms: &MarkedSubtree) -> Self {
+        let m = ms.len();
+        // Depth + root labels via top-down bucket sweep.
+        let mut depth = vec![0u32; m];
+        let root_label = f.root_labels(ms);
+        let root_boundary = f.root_boundary(ms);
+        for bucket in ms.depth_order_topdown() {
+            for &s in bucket {
+                let p = ms.parent[s as usize];
+                depth[s as usize] = if p == NONE_U32 { 0 } else { depth[p as usize] + 1 };
+            }
+        }
+        // Euler tour (iterative DFS per root).
+        let mut euler: Vec<u32> = Vec::with_capacity(2 * m);
+        let mut first = vec![NONE_U32; m];
+        for &root in &ms.roots {
+            let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+            while let Some(&mut (s, ref mut ci)) = stack.last_mut() {
+                if *ci == 0 {
+                    first[s as usize] = euler.len() as u32;
+                    euler.push(s);
+                }
+                let kids = &ms.children[s as usize];
+                if *ci < kids.len() {
+                    let k = kids[*ci];
+                    *ci += 1;
+                    stack.push((k, 0));
+                } else {
+                    stack.pop();
+                    if let Some(&(ps, _)) = stack.last() {
+                        euler.push(ps);
+                    }
+                }
+            }
+        }
+        // Sparse table of (depth, slot) minima over the Euler tour.
+        let e = euler.len().max(1);
+        let logs = (usize::BITS - e.leading_zeros()) as usize;
+        let mut sparse: Vec<Vec<(u32, u32)>> = Vec::with_capacity(logs);
+        sparse.push(euler.iter().map(|&s| (depth[s as usize], s)).collect());
+        let mut j = 1;
+        while (1 << j) <= e {
+            let prev = &sparse[j - 1];
+            let mut row = Vec::with_capacity(e - (1 << j) + 1);
+            for i in 0..=e - (1 << j) {
+                row.push(prev[i].min(prev[i + (1 << (j - 1))]));
+            }
+            sparse.push(row);
+            j += 1;
+        }
+        // Binary lifting + highest-unary windows.
+        let maxd = depth.iter().copied().max().unwrap_or(0) as usize;
+        let levels = (usize::BITS - maxd.max(1).leading_zeros()) as usize + 1;
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        let mut hu: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        up.push(ms.parent.clone());
+        hu.push(
+            (0..m)
+                .map(|s| {
+                    if f.cluster(ms.nodes[s]).kind == ClusterKind::Unary {
+                        s as u32
+                    } else {
+                        NONE_U32
+                    }
+                })
+                .collect(),
+        );
+        for j in 1..levels {
+            let (upj, huj): (Vec<u32>, Vec<u32>) = (0..m)
+                .map(|s| {
+                    let half = up[j - 1][s];
+                    if half == NONE_U32 {
+                        (NONE_U32, hu[j - 1][s])
+                    } else {
+                        let second = hu[j - 1][half as usize];
+                        let combined = if second != NONE_U32 { second } else { hu[j - 1][s] };
+                        (up[j - 1][half as usize], combined)
+                    }
+                })
+                .unzip();
+            up.push(upj);
+            hu.push(huj);
+        }
+        LcaTables { depth, root_label, root_boundary, first, sparse, up, hu }
+    }
+
+    /// RC-LCA of two marked slots via the sparse table.
+    fn rc_lca(&self, a: u32, b: u32) -> u32 {
+        let (mut i, mut j) = (self.first[a as usize], self.first[b as usize]);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let len = (j - i + 1) as usize;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let x = self.sparse[k][i as usize];
+        let y = self.sparse[k][j as usize + 1 - (1 << k)];
+        x.min(y).1
+    }
+
+    /// Marked ancestor of `s` at depth `d` (level ancestor).
+    fn level_anc(&self, mut s: u32, d: u32) -> u32 {
+        let mut delta = self.depth[s as usize] - d;
+        let mut j = 0;
+        while delta > 0 {
+            if delta & 1 == 1 {
+                s = self.up[j][s as usize];
+            }
+            delta >>= 1;
+            j += 1;
+        }
+        s
+    }
+
+    /// Topmost unary cluster on the chain `[from, to)` (`to` exclusive);
+    /// `NONE_U32` if none.
+    fn highest_unary(&self, from: u32, to: u32) -> u32 {
+        let mut steps = self.depth[from as usize] - self.depth[to as usize];
+        let mut s = from;
+        let mut best = NONE_U32;
+        let mut j = 0;
+        while steps > 0 {
+            if steps & 1 == 1 {
+                let cand = self.hu[j][s as usize];
+                if cand != NONE_U32 {
+                    best = cand; // later windows are higher: overwrite
+                }
+                s = self.up[j][s as usize];
+            }
+            steps >>= 1;
+            j += 1;
+        }
+        best
+    }
+
+    /// Fixed-root LCA using the precomputed tables.
+    fn fixed<A: ClusterAggregate>(
+        &self,
+        f: &RcForest<A>,
+        ms: &MarkedSubtree,
+        u: Vertex,
+        v: Vertex,
+        root: Vertex,
+    ) -> Vertex {
+        if u == v {
+            return u;
+        }
+        if u == root || v == root {
+            return root;
+        }
+        let su = ms.slot(u);
+        let sv = ms.slot(v);
+        let sm = self.rc_lca(su, sv);
+        let m = ms.nodes[sm as usize];
+        let dm = self.depth[sm as usize];
+        let arr_u =
+            if su == sm { None } else { Some(ms.nodes[self.level_anc(su, dm + 1) as usize]) };
+        let arr_v =
+            if sv == sm { None } else { Some(ms.nodes[self.level_anc(sv, dm + 1) as usize]) };
+        let rb_m = self.root_boundary[sm as usize];
+
+        let closest = |x: Vertex, w: Vertex| -> Vertex {
+            let sx = ms.slot(x);
+            let sw = ms.slot(w);
+            let hu = self.highest_unary(sw, sx);
+            if hu == NONE_U32 {
+                w
+            } else {
+                f.cluster(ms.nodes[hu as usize]).boundary[0]
+            }
+        };
+        let c = m;
+        let one_sided = |w: Vertex, x: Vertex| -> Vertex {
+            let xc = f.cluster(x);
+            if xc.kind != ClusterKind::Binary {
+                return c;
+            }
+            let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+            if far != rb_m {
+                c
+            } else {
+                closest(x, w)
+            }
+        };
+        match (arr_u, arr_v) {
+            (None, None) => c,
+            (Some(x), None) => one_sided(u, x),
+            (None, Some(y)) => one_sided(v, y),
+            (Some(x), Some(y)) => {
+                let between = |x: Vertex| -> bool {
+                    let xc = f.cluster(x);
+                    if xc.kind != ClusterKind::Binary {
+                        return true;
+                    }
+                    let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+                    far != rb_m
+                };
+                let bx = between(x);
+                let by = between(y);
+                if bx && by {
+                    c
+                } else if !bx {
+                    closest(x, u)
+                } else {
+                    closest(y, v)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::UnitAgg;
+    use crate::forest::{BuildOptions, RcForest};
+    use rc_parlay::rng::SplitMix64;
+
+    type F = RcForest<UnitAgg>;
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> F {
+        let e: Vec<(u32, u32, ())> = edges.iter().map(|&(u, v)| (u, v, ())).collect();
+        F::build_edges(n, &e, BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn lca_on_small_star() {
+        // 1 - 0 - 2, 0 - 3 - 4.
+        let f = build(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(f.lca(1, 2, 4), Some(0));
+        assert_eq!(f.lca(1, 4, 2), Some(0));
+        assert_eq!(f.lca(4, 0, 1), Some(0));
+        assert_eq!(f.lca(4, 3, 3), Some(3));
+        assert_eq!(f.lca(1, 1, 4), Some(1));
+        assert_eq!(f.lca(2, 4, 4), Some(4));
+    }
+
+    #[test]
+    fn lca_on_path_all_triples() {
+        let n = 10u32;
+        let f = build(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        // On a path, LCA(u,v,r) is the median of the three positions.
+        for u in 0..n {
+            for v in 0..n {
+                for r in 0..n {
+                    let mut t = [u, v, r];
+                    t.sort_unstable();
+                    assert_eq!(f.lca(u, v, r), Some(t[1]), "lca({u},{v},{r})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_disconnected() {
+        let f = build(4, &[(0, 1), (2, 3)]);
+        assert_eq!(f.lca(0, 1, 2), None);
+        assert_eq!(f.lca(0, 2, 1), None);
+        assert_eq!(f.lca(0, 1, 1), Some(1));
+    }
+
+    #[test]
+    fn lca_matches_naive_on_random_trees() {
+        let n = 200usize;
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..5 {
+            let mut naive = crate::naive::NaiveForest::<u64>::new(n);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for v in 1..n as u32 {
+                let mut u = rng.next_below(v as u64) as u32;
+                let mut guard = 0;
+                while naive.degree(u) >= 3 && guard < 50 {
+                    u = rng.next_below(v as u64) as u32;
+                    guard += 1;
+                }
+                if naive.degree(u) < 3 {
+                    naive.link(u, v, 1).unwrap();
+                    edges.push((u, v));
+                }
+            }
+            let f = build(n, &edges);
+            for _ in 0..400 {
+                let u = rng.next_below(n as u64) as u32;
+                let v = rng.next_below(n as u64) as u32;
+                let r = rng.next_below(n as u64) as u32;
+                assert_eq!(
+                    f.lca(u, v, r),
+                    naive.lca(u, v, r),
+                    "trial {trial}: lca({u},{v},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lca_matches_single() {
+        let n = 300usize;
+        let mut rng = SplitMix64::new(4242);
+        let mut naive = crate::naive::NaiveForest::<u64>::new(n);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for v in 1..n as u32 {
+            if rng.next_f64() < 0.05 {
+                continue; // some disconnection
+            }
+            let u = if rng.next_f64() < 0.7 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            if naive.degree(u) < 3 && naive.link(u, v, 1).is_ok() {
+                edges.push((u, v));
+            }
+        }
+        let f = build(n, &edges);
+        let queries: Vec<(u32, u32, u32)> = (0..500)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        let batch = f.batch_lca(&queries);
+        for (i, &(u, v, r)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], naive.lca(u, v, r), "batch lca({u},{v},{r})");
+        }
+    }
+
+    #[test]
+    fn lca_after_updates() {
+        let mut f = build(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        assert_eq!(f.lca(0, 3, 2), Some(2));
+        f.batch_link(&[(3, 4, ())]).unwrap();
+        assert_eq!(f.lca(0, 7, 3), Some(3));
+        assert_eq!(f.lca(0, 7, 5), Some(5));
+        f.batch_cut(&[(2, 3)]).unwrap();
+        assert_eq!(f.lca(0, 7, 3), None);
+    }
+}

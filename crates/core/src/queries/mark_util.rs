@@ -1,0 +1,157 @@
+//! Shared batch-query infrastructure: marking ancestor paths and
+//! extracting the marked RC subtree.
+//!
+//! Every batch query starts the same way (§3.2): walk up from the `O(k)`
+//! query clusters, atomically claiming each ancestor ("to prevent a
+//! cluster from being marked multiple times, we maintain an atomic counter
+//! per cluster", §5.6), stopping at already-claimed nodes. By Theorem A.2
+//! the claimed set has `O(k log(1 + n/k))` nodes. The claimed nodes are
+//! collected into per-thread buffers (never scanning all `n`), compacted,
+//! and organized into a parent/children structure processed level by
+//! level (bucketed by contraction round).
+
+use crate::aggregate::ClusterAggregate;
+use crate::forest::RcForest;
+use crate::types::{ClusterKind, Vertex, NO_VERTEX};
+use rc_parlay::{parallel_collect, NONE_U32};
+use std::collections::HashMap;
+
+/// The marked subtree of the RC forest induced by a batch query.
+pub(crate) struct MarkedSubtree {
+    /// Representative vertices of the marked clusters.
+    pub nodes: Vec<Vertex>,
+    /// Vertex → compact slot.
+    pub index: HashMap<Vertex, u32>,
+    /// Compact parent (NONE_U32 for roots).
+    pub parent: Vec<u32>,
+    /// Compact children lists.
+    pub children: Vec<Vec<u32>>,
+    /// Contraction round per slot.
+    #[allow(dead_code)]
+    pub round: Vec<u32>,
+    /// Slots of root clusters.
+    pub roots: Vec<u32>,
+    /// Slots bucketed by round (ascending) — bottom-up processing order;
+    /// iterate in reverse for top-down.
+    pub by_round: Vec<Vec<u32>>,
+}
+
+impl MarkedSubtree {
+    /// Number of marked clusters.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Compact slot of vertex `v`'s cluster (must be marked).
+    pub fn slot(&self, v: Vertex) -> u32 {
+        self.index[&v]
+    }
+
+    /// Root slot above `slot` — requires `root_of` to have been computed.
+    pub fn depth_order_topdown(&self) -> impl Iterator<Item = &Vec<u32>> {
+        self.by_round.iter().rev()
+    }
+}
+
+impl<A: ClusterAggregate> RcForest<A> {
+    /// Mark every ancestor cluster of the given start vertices' clusters
+    /// and extract the marked subtree. `O(k log(1 + n/k))` expected work.
+    pub(crate) fn mark_ancestors(&self, starts: &[Vertex]) -> MarkedSubtree {
+        let epoch = self.marks.new_epochs(1);
+        let nodes: Vec<Vertex> = parallel_collect(starts.len(), |i, acc| {
+            let mut v = starts[i];
+            loop {
+                if !self.marks.claim(v, epoch) {
+                    break; // someone else owns this ancestor path
+                }
+                acc.push(v);
+                let p = self.clusters[v as usize].parent;
+                if p.is_none() {
+                    break;
+                }
+                v = p.as_vertex();
+            }
+        });
+
+        let mut index = HashMap::with_capacity(nodes.len() * 2);
+        for (i, &v) in nodes.iter().enumerate() {
+            index.insert(v, i as u32);
+        }
+        let mut parent = vec![NONE_U32; nodes.len()];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        let mut roots = Vec::new();
+        let mut round = vec![0u32; nodes.len()];
+        let mut max_round = 0;
+        for (i, &v) in nodes.iter().enumerate() {
+            round[i] = self.clusters[v as usize].round;
+            max_round = max_round.max(round[i]);
+            let p = self.clusters[v as usize].parent;
+            if p.is_none() {
+                roots.push(i as u32);
+            } else {
+                let ps = index[&p.as_vertex()];
+                parent[i] = ps;
+                children[ps as usize].push(i as u32);
+            }
+        }
+        let mut by_round: Vec<Vec<u32>> = vec![Vec::new(); max_round as usize + 1];
+        for i in 0..nodes.len() {
+            by_round[round[i] as usize].push(i as u32);
+        }
+        MarkedSubtree { nodes, index, parent, children, round, roots, by_round }
+    }
+
+    /// Top-down `root_boundary` computation over a marked subtree: for
+    /// each marked cluster, which of its boundary vertices lies on the
+    /// path to the root of its component (`NO_VERTEX` for root clusters).
+    ///
+    /// This is the orientation oracle used by batch LCA, batch path sums
+    /// and Fig. 8's query family — "determining which boundary vertex is
+    /// closer to the root can be done using the same top-down computation
+    /// as the batch-LCA algorithm" (supplementary A.6).
+    pub(crate) fn root_boundary(&self, ms: &MarkedSubtree) -> Vec<Vertex> {
+        let mut rb = vec![NO_VERTEX; ms.len()];
+        for bucket in ms.depth_order_topdown() {
+            for &s in bucket {
+                let ps = ms.parent[s as usize];
+                if ps == NONE_U32 {
+                    continue; // root: no boundary
+                }
+                let p_rep = ms.nodes[ps as usize];
+                let q = rb[ps as usize];
+                let c = &self.clusters[ms.nodes[s as usize] as usize];
+                rb[s as usize] = if q != NO_VERTEX && (c.boundary[0] == q || c.boundary[1] == q)
+                {
+                    q
+                } else {
+                    p_rep
+                };
+            }
+        }
+        rb
+    }
+
+    /// Top-down component-root labels: for each marked cluster, the
+    /// representative vertex of its root cluster.
+    pub(crate) fn root_labels(&self, ms: &MarkedSubtree) -> Vec<Vertex> {
+        let mut lab = vec![NO_VERTEX; ms.len()];
+        for bucket in ms.depth_order_topdown() {
+            for &s in bucket {
+                let ps = ms.parent[s as usize];
+                lab[s as usize] = if ps == NONE_U32 {
+                    ms.nodes[s as usize]
+                } else {
+                    lab[ps as usize]
+                };
+            }
+        }
+        lab
+    }
+
+}
+
+// `ClusterKind` is used by downstream query modules via this re-export
+// point; keep the import exercised.
+const _: fn() = || {
+    let _ = ClusterKind::Unary;
+};

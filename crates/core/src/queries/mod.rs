@@ -1,0 +1,24 @@
+//! Query algorithms on RC forests (§3, §5.4–5.8).
+//!
+//! | module | queries | work (batch of k) |
+//! |---|---|---|
+//! | [`connectivity`] | `connected`, `batch_connected`, representatives | `O(k log(1+n/k))` |
+//! | [`path`] | single path aggregates (any commutative monoid) | `O(log n)` each |
+//! | [`subtree`] | single subtree aggregates (semigroup) | `O(log n)` each |
+//! | [`subtree_batch`] | batch subtree aggregates | `O(k log(1+n/k))` |
+//! | [`lca`] | single + batch LCA (arbitrary roots) | `O(k log n)` (paper's table concession) |
+//! | [`path_batch`] | batch path sums (commutative group) | `O(k log(1+n/k))` |
+//! | [`cpt`] | compressed path trees | `O(k log(1+n/k))` |
+//! | [`bottleneck`] | batch path minima/maxima | `O(k log(1+n/k))` |
+//! | [`marked`] | batch nearest-marked-vertex | `O(k log(1+n/k))` |
+
+pub mod connectivity;
+pub mod cpt;
+pub mod lca;
+pub mod marked;
+pub mod mark_util;
+pub mod path;
+pub mod path_batch;
+pub mod bottleneck;
+pub mod subtree;
+pub mod subtree_batch;

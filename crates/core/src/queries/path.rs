@@ -1,0 +1,205 @@
+//! Single path queries (§5.4): aggregate edge weights on the `u..v` path
+//! under any commutative monoid — sums, minima, maxima, counts.
+//!
+//! Two synchronized walks climb from the clusters of `u` and `v`,
+//! maintaining the aggregate from the query vertex to each boundary of the
+//! current cluster ("when ascending from a binary cluster, we must
+//! separately track values of both the boundary vertices"). The walks meet
+//! at the RC-LCA, whose representative is the *common boundary* — a vertex
+//! the `u..v` path provably crosses. `O(log n)` work and span.
+
+use crate::aggregate::PathAggregate;
+use crate::forest::RcForest;
+use crate::types::{Vertex, NO_VERTEX};
+
+/// Walk state: the current cluster (by representative) plus path values
+/// from the query vertex to the cluster's representative and boundaries.
+pub(crate) struct Walk<P: PathAggregate> {
+    /// Representative of the current cluster.
+    pub rep: Vertex,
+    /// Aggregate from the query vertex to `rep`.
+    pub rep_val: P::PathVal,
+    /// Aggregate from the query vertex to each boundary (aligned with the
+    /// cluster's sorted boundary array).
+    pub bvals: [Option<P::PathVal>; 2],
+}
+
+impl<P: PathAggregate> Walk<P> {
+    /// Start a walk at `u`'s own cluster.
+    pub(crate) fn start(f: &RcForest<P>, u: Vertex) -> Self {
+        let c = f.cluster(u);
+        let bval = |i: usize| {
+            if c.boundary[i] == NO_VERTEX {
+                None
+            } else {
+                Some(f.agg_of(c.bin_children[i]).cluster_path())
+            }
+        };
+        Walk { rep: u, rep_val: P::path_identity(), bvals: [bval(0), bval(1)] }
+    }
+
+    /// Path value from the query vertex to boundary vertex `b` of the
+    /// current cluster.
+    pub(crate) fn val_for(&self, f: &RcForest<P>, b: Vertex) -> P::PathVal {
+        let c = f.cluster(self.rep);
+        for i in 0..2 {
+            if c.boundary[i] == b {
+                return self.bvals[i].clone().expect("boundary value present");
+            }
+        }
+        panic!("{b} is not a boundary of {}'s cluster", self.rep)
+    }
+
+    /// Ascend one step to the parent cluster. Returns false at a root.
+    pub(crate) fn ascend(&mut self, f: &RcForest<P>) -> bool {
+        let c = f.cluster(self.rep);
+        let parent = c.parent;
+        if parent.is_none() {
+            return false;
+        }
+        let p = parent.as_vertex();
+        let pv = self.val_for(f, p);
+        let pc = f.cluster(p);
+        let mut bvals: [Option<P::PathVal>; 2] = [None, None];
+        for i in 0..2 {
+            let b = pc.boundary[i];
+            if b == NO_VERTEX {
+                continue;
+            }
+            // If b was already a boundary of the child cluster, its value
+            // carries over; otherwise the path reaches b through p and then
+            // along the parent's binary child on that side.
+            let carried = (0..2)
+                .find(|&j| c.boundary[j] == b)
+                .and_then(|j| self.bvals[j].clone());
+            bvals[i] = Some(match carried {
+                Some(x) => x,
+                None => P::path_combine(
+                    &pv,
+                    &f.agg_of(pc.bin_children[i]).cluster_path(),
+                ),
+            });
+        }
+        self.rep = p;
+        self.rep_val = pv;
+        self.bvals = bvals;
+        true
+    }
+}
+
+impl<P: PathAggregate> RcForest<P> {
+    /// Aggregate of the edge weights on the path from `u` to `v`
+    /// (`None` when disconnected; the identity when `u == v`).
+    ///
+    /// Works for any commutative monoid ([`PathAggregate`]); `O(log n)`.
+    pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
+        if u == v {
+            return Some(P::path_identity());
+        }
+        let mut wu = Walk::start(self, u);
+        let mut wv = Walk::start(self, v);
+        loop {
+            if wu.rep == wv.rep {
+                return Some(P::path_combine(&wu.rep_val, &wv.rep_val));
+            }
+            let ru = self.cluster(wu.rep).round;
+            let rv = self.cluster(wv.rep).round;
+            let (au, av) = if ru < rv {
+                (true, false)
+            } else if rv < ru {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mut progressed = false;
+            if au {
+                progressed |= wu.ascend(self);
+            }
+            if av {
+                progressed |= wv.ascend(self);
+            }
+            if !progressed {
+                return None; // both at (distinct) roots: disconnected
+            }
+        }
+    }
+
+    /// Number of edges on the `u..v` path — available for any aggregate
+    /// via a [`crate::CountAgg`]-bearing forest; provided here on the
+    /// current aggregate's path monoid when that *is* the hop count.
+    pub fn path_exists(&self, u: Vertex, v: Vertex) -> bool {
+        self.connected(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::{MaxEdgeAgg, MinEdgeAgg, SumAgg};
+    use crate::forest::{BuildOptions, RcForest};
+    use rc_parlay::rng::SplitMix64;
+
+    #[test]
+    fn path_sum_on_path_graph() {
+        let edges: Vec<(u32, u32, i64)> = (0..9).map(|i| (i, i + 1, (i + 1) as i64)).collect();
+        let f = RcForest::<SumAgg<i64>>::build_edges(10, &edges, BuildOptions::default()).unwrap();
+        assert_eq!(f.path_aggregate(0, 9), Some(45));
+        assert_eq!(f.path_aggregate(3, 6), Some(4 + 5 + 6));
+        assert_eq!(f.path_aggregate(4, 4), Some(0));
+        assert_eq!(f.path_aggregate(9, 0), Some(45), "symmetric");
+    }
+
+    #[test]
+    fn path_on_star_and_disconnect() {
+        let edges = vec![(0u32, 1u32, 10i64), (0, 2, 20), (0, 3, 30)];
+        let f = RcForest::<SumAgg<i64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
+        assert_eq!(f.path_aggregate(1, 2), Some(30));
+        assert_eq!(f.path_aggregate(2, 3), Some(50));
+        assert_eq!(f.path_aggregate(1, 4), None, "4 is isolated");
+    }
+
+    #[test]
+    fn path_min_max() {
+        let edges = vec![(0u32, 1u32, 5u64), (1, 2, 9), (2, 3, 2)];
+        let fmin =
+            RcForest::<MinEdgeAgg<u64>>::build_edges(4, &edges, BuildOptions::default()).unwrap();
+        let got = fmin.path_aggregate(0, 3).unwrap().unwrap();
+        assert_eq!((got.w, got.u, got.v), (2, 2, 3));
+        let fmax =
+            RcForest::<MaxEdgeAgg<u64>>::build_edges(4, &edges, BuildOptions::default()).unwrap();
+        let got = fmax.path_aggregate(0, 3).unwrap().unwrap();
+        assert_eq!((got.w, got.u, got.v), (9, 1, 2));
+    }
+
+    #[test]
+    fn path_sums_match_naive_on_random_forest() {
+        let n = 400usize;
+        let mut rng = SplitMix64::new(31);
+        let mut naive = crate::naive::NaiveForest::<i64>::new(n);
+        let mut edges: Vec<(u32, u32, i64)> = Vec::new();
+        for v in 1..n as u32 {
+            let u = if rng.next_f64() < 0.7 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let w = rng.next_below(1000) as i64;
+            if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
+                edges.push((u, v, w));
+            }
+        }
+        let f = RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
+        for _ in 0..300 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            let expect = naive.path_edges(u, v).map(|es| es.iter().sum::<i64>());
+            assert_eq!(f.path_aggregate(u, v), expect, "path {u}..{v}");
+        }
+    }
+
+    #[test]
+    fn path_after_updates() {
+        let edges: Vec<(u32, u32, i64)> = (0..31).map(|i| (i, i + 1, 1)).collect();
+        let mut f =
+            RcForest::<SumAgg<i64>>::build_edges(32, &edges, BuildOptions::default()).unwrap();
+        f.batch_cut(&[(10, 11)]).unwrap();
+        assert_eq!(f.path_aggregate(0, 31), None);
+        f.batch_link(&[(0, 31, 100)]).unwrap();
+        assert_eq!(f.path_aggregate(10, 11), Some(10 + 100 + 20));
+    }
+}

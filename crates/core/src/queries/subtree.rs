@@ -1,0 +1,225 @@
+//! Single subtree queries (§5.5).
+//!
+//! `subtree_aggregate(u, p)` sums the contents (vertices + edges) of the
+//! subtree rooted at `u` when the tree is oriented with `p` (a neighbor of
+//! `u`) as `u`'s parent. Built on the subtree decomposition property
+//! (Theorem 3.4): the subtree is exactly `u` + the children of `U` except
+//! the one toward `p`, plus the *subtrees growing out of* `U`'s boundary
+//! vertices (except the one shared with the `p`-side child). The
+//! growing-out values are computed top-down along `U`'s ancestor chain in
+//! `O(log n)`.
+
+use crate::aggregate::SubtreeAggregate;
+use crate::forest::RcForest;
+use crate::types::{ClusterId, ClusterKind, Vertex, NO_VERTEX};
+use std::collections::HashMap;
+
+impl<S: SubtreeAggregate> RcForest<S> {
+    /// The child cluster of `U = cluster(u)` in whose direction `p` lies,
+    /// plus the boundary vertex of `U` (if any) shared with that child.
+    /// `p` must be a current neighbor of `u`.
+    pub(crate) fn child_toward(&self, u: Vertex, p: Vertex) -> (ClusterId, Option<Vertex>) {
+        let uc = self.cluster(u);
+        let final_level = uc.round;
+        let rec = self.record(u, final_level);
+        // Case 1: p appears in u's final record — either still live when u
+        // contracted (the slot holds the base edge {u,p}) or raked onto u.
+        for e in rec.adj.iter() {
+            if e.nbr == p {
+                if e.raked {
+                    return (e.cluster, None); // unary child C_p; no shared boundary
+                }
+                // Base edge {u, p}: p is a boundary of U on that side.
+                return (e.cluster, Some(p));
+            }
+        }
+        // Case 2: p compressed before u contracted; climb from C_p to the
+        // direct child of U on its chain.
+        let me = ClusterId::vertex(u);
+        let mut x = ClusterId::vertex(p);
+        loop {
+            let par = self.parent_of(x);
+            debug_assert!(!par.is_none(), "p={p} is not adjacent to u={u}");
+            if par == me {
+                break;
+            }
+            x = par;
+        }
+        // Shared boundary: the far boundary of x (the one that is not u),
+        // when x is binary.
+        let shared = {
+            let xc = self.cluster(x.as_vertex());
+            match xc.kind {
+                ClusterKind::Binary => {
+                    Some(if xc.boundary[0] == u { xc.boundary[1] } else { xc.boundary[0] })
+                }
+                _ => None,
+            }
+        };
+        (x, shared)
+    }
+
+    /// Ancestor chain of `U = cluster(u)` up to its root cluster
+    /// (inclusive), as representatives.
+    pub(crate) fn ancestor_chain(&self, u: Vertex) -> Vec<Vertex> {
+        let mut chain = vec![u];
+        let mut c = ClusterId::vertex(u);
+        loop {
+            let p = self.parent_of(c);
+            if p.is_none() {
+                return chain;
+            }
+            chain.push(p.as_vertex());
+            c = p;
+        }
+    }
+
+    /// Subtree-growing-out values (`OUT(·)`, Lemma A.1) for every boundary
+    /// vertex of every cluster on `u`'s ancestor chain, keyed by boundary
+    /// vertex. Top-down over the chain: `O(log n)`.
+    pub(crate) fn out_values(&self, chain: &[Vertex]) -> HashMap<Vertex, S::SubtreeVal> {
+        let mut out: HashMap<Vertex, S::SubtreeVal> = HashMap::new();
+        // Process from the root downward; `chain[i+1]` is the parent of
+        // `chain[i]`.
+        for i in (0..chain.len().saturating_sub(1)).rev() {
+            let c_rep = chain[i];
+            let p_rep = chain[i + 1];
+            let child_id = ClusterId::vertex(c_rep);
+            let pc = self.cluster(p_rep);
+            let cb = self.cluster(c_rep).boundary;
+            // OUT for the boundary of C equal to rep(P): everything beyond
+            // p as seen from C — p itself, P's other children, and the
+            // subtrees growing out of P's boundaries not shared with C.
+            let mut acc = S::vertex_value(p_rep, self.vertex_weight(p_rep));
+            for k in pc.children() {
+                if k != child_id {
+                    acc = S::subtree_combine(&acc, &self.agg_of(k).cluster_total());
+                }
+            }
+            for b in pc.boundary.iter().copied().filter(|&b| b != NO_VERTEX) {
+                // Boundaries of P shared with C lie on C's own side.
+                if b != cb[0] && b != cb[1] {
+                    acc = S::subtree_combine(&acc, &out[&b]);
+                }
+            }
+            out.insert(p_rep, acc);
+            // Boundaries C shares with P keep P's values — already in the
+            // map from P's own step.
+        }
+        out
+    }
+
+    /// Total aggregate of the subtree rooted at `u` oriented away from its
+    /// neighbor `p` (the *direction giver*). Includes `u`'s vertex value
+    /// and every vertex/edge strictly inside; excludes the edge `{u, p}`.
+    /// Returns `None` when `p` is not currently a neighbor of `u`.
+    pub fn subtree_aggregate(&self, u: Vertex, p: Vertex) -> Option<S::SubtreeVal> {
+        if u as usize >= self.n || p as usize >= self.n || !self.has_edge(u, p) {
+            return None;
+        }
+        let (toward, excluded_boundary) = self.child_toward(u, p);
+        let uc = self.cluster(u);
+        let mut acc = S::vertex_value(u, self.vertex_weight(u));
+        for k in uc.children() {
+            if k != toward {
+                acc = S::subtree_combine(&acc, &self.agg_of(k).cluster_total());
+            }
+        }
+        let chain = self.ancestor_chain(u);
+        let out = self.out_values(&chain);
+        for b in uc.boundary.iter().copied().filter(|&b| b != NO_VERTEX) {
+            if Some(b) != excluded_boundary {
+                acc = S::subtree_combine(&acc, &out[&b]);
+            }
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aggregates::{CountAgg, SumAgg};
+    use crate::forest::{BuildOptions, RcForest};
+    use rc_parlay::rng::SplitMix64;
+
+    #[test]
+    fn subtree_on_path() {
+        let edges: Vec<(u32, u32, i64)> = (0..4).map(|i| (i, i + 1, 1)).collect();
+        let mut f =
+            RcForest::<SumAgg<i64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
+        f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>());
+        // Subtree of 2 away from 1: vertices {2,3,4} + edges (2,3),(3,4).
+        assert_eq!(f.subtree_aggregate(2, 1), Some(20 + 30 + 40 + 2));
+        // Subtree of 2 away from 3: vertices {0,1,2} + edges (0,1),(1,2).
+        assert_eq!(f.subtree_aggregate(2, 3), Some(0 + 10 + 20 + 2));
+        assert_eq!(f.subtree_aggregate(0, 1), Some(0), "leaf away from neighbor");
+        assert_eq!(f.subtree_aggregate(4, 3), Some(40));
+        assert_eq!(f.subtree_aggregate(0, 4), None, "non-neighbor direction giver");
+    }
+
+    #[test]
+    fn subtree_sizes_on_star() {
+        let edges = vec![(0u32, 1u32, ()), (0, 2, ()), (0, 3, ())];
+        let f = RcForest::<CountAgg>::build_edges(4, &edges, BuildOptions::default()).unwrap();
+        assert_eq!(f.subtree_aggregate(0, 1), Some((3, 2)), "center minus leaf 1");
+        assert_eq!(f.subtree_aggregate(1, 0), Some((1, 0)));
+    }
+
+    #[test]
+    fn subtree_matches_naive_on_random_forests() {
+        let n = 300usize;
+        let mut rng = SplitMix64::new(77);
+        for trial in 0..4 {
+            let mut naive = crate::naive::NaiveForest::<i64>::new(n);
+            let mut edges: Vec<(u32, u32, i64)> = Vec::new();
+            for v in 1..n as u32 {
+                if rng.next_f64() < 0.1 {
+                    continue; // leave some isolated parts
+                }
+                let u =
+                    if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+                let w = rng.next_below(50) as i64;
+                if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
+                    edges.push((u, v, w));
+                }
+            }
+            let mut f =
+                RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
+            let vws: Vec<(u32, i64)> =
+                (0..n as u32).map(|v| (v, rng.next_below(30) as i64)).collect();
+            f.update_vertex_weights(&vws);
+            let vw_of = |v: u32| vws[v as usize].1;
+
+            let mut checked = 0;
+            for _ in 0..600 {
+                let u = rng.next_below(n as u64) as u32;
+                let nbrs: Vec<u32> = naive.neighbors(u).collect();
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let p = nbrs[rng.next_below(nbrs.len() as u64) as usize];
+                let (vs, es) = naive.subtree(u, p);
+                let expect: i64 =
+                    vs.iter().map(|&x| vw_of(x)).sum::<i64>() + es.iter().sum::<i64>();
+                assert_eq!(
+                    f.subtree_aggregate(u, p),
+                    Some(expect),
+                    "trial {trial}: subtree({u} away from {p})"
+                );
+                checked += 1;
+            }
+            assert!(checked > 100, "too few checks exercised");
+        }
+    }
+
+    #[test]
+    fn subtree_after_updates() {
+        let edges: Vec<(u32, u32, i64)> = (0..15).map(|i| (i, i + 1, 1)).collect();
+        let mut f =
+            RcForest::<SumAgg<i64>>::build_edges(16, &edges, BuildOptions::default()).unwrap();
+        f.batch_cut(&[(7, 8)]).unwrap();
+        f.batch_link(&[(7, 15, 5)]).unwrap();
+        // Tree now: 0..7 path, then 7-15, then 15-14-...-8.
+        assert_eq!(f.subtree_aggregate(7, 6), Some(5 + 7 * 1));
+    }
+}

@@ -1,0 +1,291 @@
+//! Core identifier types for RC forests.
+
+use rc_parlay::inline::InlineVec;
+
+/// A vertex of the underlying forest, `0 .. n`.
+pub type Vertex = u32;
+
+/// Null sentinel for vertices.
+pub const NO_VERTEX: Vertex = u32::MAX;
+
+/// Maximum degree supported by the core structure. Arbitrary-degree forests
+/// are layered on top via ternarization (`rc-ternary`).
+pub const MAX_DEGREE: usize = 3;
+
+/// Handle to an RC cluster.
+///
+/// Every vertex `v` owns exactly one internal cluster (created when `v`
+/// contracts); base edge clusters live in a separate arena. The handle is a
+/// tagged `u32`: vertex clusters are the id itself, edge clusters have the
+/// top bit set.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub(crate) u32);
+
+const EDGE_TAG: u32 = 1 << 31;
+
+impl ClusterId {
+    /// Null handle.
+    pub const NONE: ClusterId = ClusterId(u32::MAX);
+
+    /// The cluster represented by vertex `v`.
+    #[inline]
+    pub fn vertex(v: Vertex) -> Self {
+        debug_assert!(v < EDGE_TAG);
+        ClusterId(v)
+    }
+
+    /// The base cluster of edge-arena slot `idx`.
+    #[inline]
+    pub fn edge(idx: u32) -> Self {
+        debug_assert!(idx < EDGE_TAG - 1);
+        ClusterId(idx | EDGE_TAG)
+    }
+
+    /// Is this a vertex (internal) cluster?
+    #[inline]
+    pub fn is_vertex(self) -> bool {
+        self != Self::NONE && self.0 & EDGE_TAG == 0
+    }
+
+    /// Is this a base edge cluster?
+    #[inline]
+    pub fn is_edge(self) -> bool {
+        self != Self::NONE && self.0 & EDGE_TAG != 0
+    }
+
+    /// Is this the null handle?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// The vertex of a vertex cluster.
+    #[inline]
+    pub fn as_vertex(self) -> Vertex {
+        debug_assert!(self.is_vertex());
+        self.0
+    }
+
+    /// The arena slot of an edge cluster.
+    #[inline]
+    pub fn as_edge(self) -> u32 {
+        debug_assert!(self.is_edge());
+        self.0 & !EDGE_TAG
+    }
+}
+
+impl Default for ClusterId {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl std::fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "C(-)")
+        } else if self.is_vertex() {
+            write!(f, "Cv({})", self.as_vertex())
+        } else {
+            write!(f, "Ce({})", self.as_edge())
+        }
+    }
+}
+
+/// What happened to a live vertex at the end of a contraction round.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Event {
+    /// Survived the round.
+    #[default]
+    Live,
+    /// Raked (degree 1) into its unique live neighbor.
+    Rake,
+    /// Compressed (degree 2), joining its two live neighbors.
+    Compress,
+    /// Finalized (degree 0), becoming the root of its component.
+    Finalize,
+}
+
+impl Event {
+    /// Did the vertex contract (leave the tree) this round?
+    #[inline]
+    pub fn contracts(self) -> bool {
+        self != Event::Live
+    }
+}
+
+/// The kind of an internal cluster — determined by how its representative
+/// vertex contracted.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ClusterKind {
+    /// Not yet built (vertex never contracted — transient during builds).
+    #[default]
+    Invalid,
+    /// One boundary vertex; created by a rake.
+    Unary,
+    /// Two boundary vertices; created by a compress. Behaves as a
+    /// "generalized edge" between its boundaries.
+    Binary,
+    /// No boundary vertices; the root cluster of a component.
+    Nullary,
+}
+
+/// One adjacency slot of a vertex at some contraction level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct AdjEntry {
+    /// The neighbor this slot points at (for `raked` entries: the vertex
+    /// that raked onto us — no longer live).
+    pub nbr: Vertex,
+    /// The cluster currently representing this slot: a base edge, a binary
+    /// cluster (generalized edge), or — for raked slots — the unary cluster
+    /// hanging here.
+    pub cluster: ClusterId,
+    /// True when the slot holds a unary cluster that raked onto this vertex
+    /// (it no longer counts toward the degree).
+    pub raked: bool,
+}
+
+/// The state of one vertex during one contraction level: its adjacency
+/// slots (sorted by `nbr` — a canonical order that makes repaired
+/// structures bit-identical to fresh builds) and the event that ended the
+/// level for it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct LevelRecord {
+    /// Adjacency slots, sorted by `nbr`; at most [`MAX_DEGREE`].
+    pub adj: InlineVec<AdjEntry, MAX_DEGREE>,
+    /// Outcome of this round for the vertex.
+    pub event: Event,
+}
+
+impl LevelRecord {
+    /// Live degree (non-raked slots).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.adj.iter().filter(|e| !e.raked).count()
+    }
+
+    /// Iterator over live (non-raked) slots.
+    pub fn live(&self) -> impl Iterator<Item = AdjEntry> + '_ {
+        self.adj.iter().filter(|e| !e.raked)
+    }
+
+    /// Iterator over raked slots.
+    pub fn rakes(&self) -> impl Iterator<Item = AdjEntry> + '_ {
+        self.adj.iter().filter(|e| e.raked)
+    }
+
+    /// The unique live neighbor (panics unless degree is exactly 1).
+    pub fn sole_neighbor(&self) -> AdjEntry {
+        let mut it = self.live();
+        let e = it.next().expect("degree >= 1 expected");
+        debug_assert!(it.next().is_none(), "degree 1 expected");
+        e
+    }
+
+    /// Insert a slot keeping `adj` sorted by `nbr`.
+    pub fn insert_sorted(&mut self, entry: AdjEntry) {
+        self.adj.push(entry);
+        let s = self.adj.as_mut_slice();
+        let mut i = s.len() - 1;
+        while i > 0 && s[i - 1].nbr > s[i].nbr {
+            s.swap(i - 1, i);
+            i -= 1;
+        }
+    }
+
+    /// Same adjacency (used by change propagation to detect convergence)?
+    #[inline]
+    pub fn same_adj(&self, other: &LevelRecord) -> bool {
+        self.adj == other.adj
+    }
+}
+
+/// Errors reported by forest operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ForestError {
+    /// A vertex id is out of range.
+    VertexOutOfRange { v: Vertex, n: usize },
+    /// An operation would push a vertex past degree 3.
+    DegreeOverflow { v: Vertex },
+    /// An inserted edge would close a cycle.
+    WouldCreateCycle { u: Vertex, v: Vertex },
+    /// An edge scheduled for deletion does not exist.
+    MissingEdge { u: Vertex, v: Vertex },
+    /// An edge scheduled for insertion already exists (or repeats in batch).
+    DuplicateEdge { u: Vertex, v: Vertex },
+    /// Self loops are not allowed.
+    SelfLoop { v: Vertex },
+}
+
+impl std::fmt::Display for ForestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForestError::VertexOutOfRange { v, n } => {
+                write!(f, "vertex {v} out of range (forest has {n} vertices)")
+            }
+            ForestError::DegreeOverflow { v } => write!(
+                f,
+                "vertex {v} would exceed degree {MAX_DEGREE}; use rc-ternary for arbitrary degree"
+            ),
+            ForestError::WouldCreateCycle { u, v } => {
+                write!(f, "inserting edge ({u},{v}) would create a cycle")
+            }
+            ForestError::MissingEdge { u, v } => write!(f, "edge ({u},{v}) does not exist"),
+            ForestError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u},{v}) already exists or repeats in the batch")
+            }
+            ForestError::SelfLoop { v } => write!(f, "self loop at vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_id_tagging() {
+        let cv = ClusterId::vertex(42);
+        assert!(cv.is_vertex());
+        assert!(!cv.is_edge());
+        assert_eq!(cv.as_vertex(), 42);
+
+        let ce = ClusterId::edge(42);
+        assert!(ce.is_edge());
+        assert!(!ce.is_vertex());
+        assert_eq!(ce.as_edge(), 42);
+        assert_ne!(cv, ce);
+
+        assert!(ClusterId::NONE.is_none());
+        assert!(!ClusterId::NONE.is_vertex());
+        assert!(!ClusterId::NONE.is_edge());
+    }
+
+    #[test]
+    fn record_degree_and_views() {
+        let mut r = LevelRecord::default();
+        r.insert_sorted(AdjEntry { nbr: 5, cluster: ClusterId::edge(0), raked: false });
+        r.insert_sorted(AdjEntry { nbr: 2, cluster: ClusterId::edge(1), raked: false });
+        r.insert_sorted(AdjEntry { nbr: 9, cluster: ClusterId::vertex(9), raked: true });
+        assert_eq!(r.degree(), 2);
+        let nbrs: Vec<u32> = r.adj.iter().map(|e| e.nbr).collect();
+        assert_eq!(nbrs, vec![2, 5, 9], "sorted by neighbor id");
+        assert_eq!(r.rakes().count(), 1);
+    }
+
+    #[test]
+    fn sole_neighbor() {
+        let mut r = LevelRecord::default();
+        r.insert_sorted(AdjEntry { nbr: 7, cluster: ClusterId::edge(3), raked: false });
+        r.insert_sorted(AdjEntry { nbr: 1, cluster: ClusterId::vertex(1), raked: true });
+        assert_eq!(r.sole_neighbor().nbr, 7);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ForestError::DegreeOverflow { v: 3 };
+        assert!(e.to_string().contains("degree"));
+    }
+}

@@ -1,0 +1,156 @@
+//! A tiny lock-free set of at most 3 `u32` slots.
+//!
+//! RC-tree vertices accumulate at most 3 "hanging" unary clusters (one per
+//! adjacency slot in a degree-≤3 forest). During a contraction round, up to
+//! two different neighbors may rake into the same vertex concurrently, so
+//! membership updates must be atomic; reads happen in later rounds (after a
+//! fork-join barrier), so a snapshot view is race-free at its use sites.
+
+use crate::NONE_U32;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Number of slots — the maximum degree of a ternarized forest.
+pub const SLOTS: usize = 3;
+
+/// Fixed 3-slot atomic set of `u32` values (`NONE_U32` marks empty slots).
+#[derive(Debug)]
+pub struct AtomicSlots3 {
+    slots: [AtomicU32; SLOTS],
+}
+
+impl Default for AtomicSlots3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for AtomicSlots3 {
+    fn clone(&self) -> Self {
+        let out = Self::new();
+        for i in 0..SLOTS {
+            out.slots[i].store(self.slots[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+impl AtomicSlots3 {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self { slots: [AtomicU32::new(NONE_U32), AtomicU32::new(NONE_U32), AtomicU32::new(NONE_U32)] }
+    }
+
+    /// Insert `x` (must not be `NONE_U32`, must not already be present).
+    /// Panics when all slots are occupied — that would violate the
+    /// degree-≤3 invariant upstream.
+    pub fn insert(&self, x: u32) {
+        debug_assert_ne!(x, NONE_U32);
+        for s in &self.slots {
+            if s.compare_exchange(NONE_U32, x, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+        }
+        panic!("AtomicSlots3 overflow: degree-3 invariant violated");
+    }
+
+    /// Remove `x` if present; returns whether it was found.
+    pub fn remove(&self, x: u32) -> bool {
+        debug_assert_ne!(x, NONE_U32);
+        for s in &self.slots {
+            if s.compare_exchange(x, NONE_U32, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Snapshot of current occupants (quiescent reads).
+    pub fn snapshot(&self) -> crate::inline::InlineVec<u32, SLOTS> {
+        let mut out = crate::inline::InlineVec::new();
+        for s in &self.slots {
+            let v = s.load(Ordering::Acquire);
+            if v != NONE_U32 {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// True when no slot is occupied (quiescent reads).
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.load(Ordering::Acquire) == NONE_U32)
+    }
+
+    /// Remove every occupant.
+    pub fn clear(&self) {
+        for s in &self.slots {
+            s.store(NONE_U32, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel_for;
+
+    #[test]
+    fn insert_remove_snapshot() {
+        let s = AtomicSlots3::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(9);
+        let mut snap: Vec<u32> = s.snapshot().iter().collect();
+        snap.sort_unstable();
+        assert_eq!(snap, vec![5, 9]);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.snapshot().len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn four_inserts_panic() {
+        let s = AtomicSlots3::new();
+        for i in 1..=4 {
+            s.insert(i);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        // Many sets, 3 concurrent inserters each.
+        let sets: Vec<AtomicSlots3> = (0..1000).map(|_| AtomicSlots3::new()).collect();
+        parallel_for(3000, |i| {
+            let set = &sets[i / 3];
+            set.insert((i % 3 + 1) as u32);
+        });
+        for set in &sets {
+            assert_eq!(set.snapshot().len(), 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_insert_and_remove_distinct() {
+        let sets: Vec<AtomicSlots3> = (0..500).map(|_| AtomicSlots3::new()).collect();
+        for s in &sets {
+            s.insert(1);
+            s.insert(2);
+        }
+        parallel_for(1000, |i| {
+            let set = &sets[i / 2];
+            if i % 2 == 0 {
+                set.remove(1);
+            } else {
+                set.insert(3);
+            }
+        });
+        for set in &sets {
+            let mut snap: Vec<u32> = set.snapshot().iter().collect();
+            snap.sort_unstable();
+            assert_eq!(snap, vec![2, 3]);
+        }
+    }
+}

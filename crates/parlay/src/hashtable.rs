@@ -1,0 +1,271 @@
+//! A phase-concurrent lock-free hash table (Gil–Matias–Vishkin style, §2.1).
+//!
+//! Open addressing with linear probing over atomic 64-bit key cells.
+//! Supports *phase-concurrent* use in the sense of Shun–Blelloch: any number
+//! of threads may perform the *same kind* of operation concurrently
+//! (all-inserts, all-lookups, or all-erases); phases are separated by the
+//! caller's fork-join barriers. This matches every use site in the paper
+//! (ternarization's edge map, query-time compaction maps).
+//!
+//! Keys are arbitrary `u64` except the two reserved sentinels. Values are
+//! `u64`.
+
+use crate::rng::mix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const EMPTY: u64 = u64::MAX;
+const TOMBSTONE: u64 = u64::MAX - 1;
+/// Values equal to `u64::MAX` are reserved (used as the "not yet written"
+/// marker that lets concurrent inserts of distinct keys race safely).
+const VAL_UNSET: u64 = u64::MAX;
+
+/// Lock-free open-addressing map from `u64` to `u64`.
+pub struct ConcurrentMap {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ConcurrentMap {
+    /// Create a table able to hold `capacity` entries at ≤ 50% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        let keys = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        let vals = (0..slots).map(|_| AtomicU64::new(VAL_UNSET)).collect();
+        Self { keys, vals, mask: slots - 1 }
+    }
+
+    /// Number of slots (2× requested capacity, rounded up to a power of two).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn start(&self, key: u64) -> usize {
+        (mix64(key) as usize) & self.mask
+    }
+
+    /// Insert `(key, value)`. Returns the previous value if the key was
+    /// already present (last writer wins on races for the same key).
+    ///
+    /// Tombstones are only reused after the whole probe chain has been
+    /// scanned for the key — reusing one eagerly would shadow a live
+    /// entry further down the chain.
+    ///
+    /// Panics if the table is full or `key`/`value` are reserved sentinels.
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        assert!(key < TOMBSTONE, "reserved key");
+        assert!(value != VAL_UNSET, "reserved value");
+        'retry: loop {
+            let mut i = self.start(key);
+            let mut first_tomb: Option<usize> = None;
+            let mut empty_slot: Option<usize> = None;
+            for _probe in 0..=self.mask {
+                let k = self.keys[i].load(Ordering::Acquire);
+                if k == key {
+                    let old = self.vals[i].swap(value, Ordering::AcqRel);
+                    return if old == VAL_UNSET { None } else { Some(old) };
+                }
+                if k == TOMBSTONE && first_tomb.is_none() {
+                    first_tomb = Some(i);
+                }
+                if k == EMPTY {
+                    empty_slot = Some(i);
+                    break;
+                }
+                i = (i + 1) & self.mask;
+            }
+            let target = match first_tomb.or(empty_slot) {
+                Some(t) => t,
+                None => panic!("ConcurrentMap full (capacity {})", self.slots() / 2),
+            };
+            let cur = self.keys[target].load(Ordering::Acquire);
+            if cur != EMPTY && cur != TOMBSTONE {
+                continue 'retry; // slot raced away; rescan the chain
+            }
+            match self.keys[target].compare_exchange(
+                cur,
+                key,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let old = self.vals[target].swap(value, Ordering::AcqRel);
+                    return if old == VAL_UNSET { None } else { Some(old) };
+                }
+                Err(_) => continue 'retry,
+            }
+        }
+    }
+
+    /// Look up `key`. Safe concurrently with other lookups; concurrent with
+    /// inserts it is safe for keys whose insert already completed.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut i = self.start(key);
+        for _probe in 0..=self.mask {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == key {
+                // An in-flight insert may have claimed the key cell but not
+                // yet published the value; spin briefly (bounded by the
+                // other thread's two instructions).
+                loop {
+                    let v = self.vals[i].load(Ordering::Acquire);
+                    if v != VAL_UNSET {
+                        return Some(v);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Remove `key`, returning its value. Phase-concurrent with other
+    /// removes of distinct keys.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let mut i = self.start(key);
+        for _probe in 0..=self.mask {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == key {
+                if self.keys[i]
+                    .compare_exchange(key, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let v = self.vals[i].swap(VAL_UNSET, Ordering::AcqRel);
+                    return if v == VAL_UNSET { None } else { Some(v) };
+                }
+                return None;
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Snapshot all `(key, value)` pairs (quiescent use only).
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.keys.len() {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k < TOMBSTONE {
+                let v = self.vals[i].load(Ordering::Acquire);
+                if v != VAL_UNSET {
+                    out.push((k, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pack an unordered pair of `u32` vertex ids into a `u64` key.
+///
+/// Used for undirected-edge maps: `edge_key(u, v) == edge_key(v, u)`.
+#[inline]
+pub fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel_for;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m = ConcurrentMap::with_capacity(100);
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.insert(3, 31), Some(30));
+        assert_eq!(m.get(3), Some(31));
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.remove(3), Some(31));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.remove(3), None);
+    }
+
+    #[test]
+    fn tombstone_reuse() {
+        let m = ConcurrentMap::with_capacity(4);
+        for round in 0..20 {
+            // Insert+remove more distinct keys than capacity over time;
+            // tombstone recycling must keep the table usable.
+            let k = 100 + round;
+            assert_eq!(m.insert(k, k * 2), None);
+            assert_eq!(m.get(k), Some(k * 2));
+            assert_eq!(m.remove(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn parallel_insert_then_lookup() {
+        let n = 100_000u64;
+        let m = ConcurrentMap::with_capacity(n as usize);
+        parallel_for(n as usize, |i| {
+            m.insert(i as u64, i as u64 + 7);
+        });
+        parallel_for(n as usize, |i| {
+            assert_eq!(m.get(i as u64), Some(i as u64 + 7));
+        });
+    }
+
+    #[test]
+    fn parallel_remove_half() {
+        let n = 50_000u64;
+        let m = ConcurrentMap::with_capacity(n as usize);
+        parallel_for(n as usize, |i| {
+            m.insert(i as u64, 1);
+        });
+        parallel_for(n as usize, |i| {
+            if i % 2 == 0 {
+                m.remove(i as u64);
+            }
+        });
+        parallel_for(n as usize, |i| {
+            let expect = if i % 2 == 0 { None } else { Some(1) };
+            assert_eq!(m.get(i as u64), expect, "key {i}");
+        });
+    }
+
+    #[test]
+    fn racing_inserts_same_key_last_writer_wins() {
+        let m = ConcurrentMap::with_capacity(16);
+        parallel_for(10_000, |i| {
+            m.insert(5, (i % 3 + 1) as u64);
+        });
+        let v = m.get(5).unwrap();
+        assert!((1..=3).contains(&v));
+    }
+
+    #[test]
+    fn edge_key_symmetric() {
+        assert_eq!(edge_key(3, 9), edge_key(9, 3));
+        assert_ne!(edge_key(3, 9), edge_key(3, 10));
+    }
+
+    #[test]
+    fn entries_snapshot() {
+        let m = ConcurrentMap::with_capacity(10);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.remove(1);
+        let mut e = m.entries();
+        e.sort_unstable();
+        assert_eq!(e, vec![(2, 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overfull_panics() {
+        let m = ConcurrentMap::with_capacity(4);
+        for i in 0..100 {
+            m.insert(i, 1);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Parallel list contraction (§2.1, used by ternarization §4).
+//!
+//! Given doubly linked lists stored as `next`/`prev` index arrays, splice
+//! out a set of marked nodes in parallel. Each round selects an independent
+//! set of marked nodes by random priorities (a marked node splices when its
+//! priority is a strict local maximum among marked neighbors), so adjacent
+//! marked nodes never splice simultaneously. Expected `O(m)` work and
+//! `O(log m)` rounds w.h.p. for `m` marked nodes — the bounds of
+//! Cole–Vishkin-style contraction used in the paper.
+
+use crate::rng::priority;
+use crate::slice::ParSlice;
+use crate::{parallel_for, NONE_U32};
+
+/// Splice every node in `marked` out of its doubly linked list.
+///
+/// `next[v]` / `prev[v]` use [`NONE_U32`] as the end-of-list sentinel.
+/// After the call, for each marked `v`, its former neighbors are linked to
+/// each other and `next[v] == prev[v] == NONE_U32`.
+///
+/// Marked nodes must be distinct. Unmarked nodes' links are only modified
+/// where they pointed at a spliced node.
+pub fn splice_out(next: &mut [u32], prev: &mut [u32], marked: &[u32], seed: u64) {
+    debug_assert_eq!(next.len(), prev.len());
+    let mut live: Vec<u32> = marked.to_vec();
+    let mut round = 0u32;
+    while !live.is_empty() {
+        // is_live[v] tells whether v still awaits splicing this round. We
+        // need O(1) membership; use a stamped lookup built per call.
+        // For simplicity and predictable memory use we re-derive liveness
+        // from the links: a node is "still marked" iff it appears in `live`.
+        // Since `live` shrinks geometrically, carrying a boolean stamp map
+        // costs O(n) once.
+        round += 1;
+        let stamp = round;
+        let _ = stamp;
+
+        let n_live = live.len();
+        let mut mark_flag = vec![false; next.len()];
+        for &v in &live {
+            mark_flag[v as usize] = true;
+        }
+        // Select the independent set: v splices when its priority beats all
+        // still-marked neighbors'.
+        let selected: Vec<u32> = {
+            let mark_flag = &mark_flag;
+            let next_ro: &[u32] = next;
+            let prev_ro: &[u32] = prev;
+            let sel: Vec<bool> = (0..n_live)
+                .map(|i| {
+                    let v = live[i];
+                    let p = priority(seed, v, round);
+                    let beats = |u: u32| {
+                        u == NONE_U32
+                            || !mark_flag[u as usize]
+                            || priority(seed, u, round) < p
+                    };
+                    beats(next_ro[v as usize]) && beats(prev_ro[v as usize])
+                })
+                .collect();
+            live.iter().zip(&sel).filter(|(_, &s)| s).map(|(&v, _)| v).collect()
+        };
+        debug_assert!(!selected.is_empty(), "IS selection must make progress");
+        // Splice the independent set: neighbors of distinct selected nodes
+        // are distinct (independence), so writes are disjoint.
+        {
+            let pn = ParSlice::new(next);
+            let pp = ParSlice::new(prev);
+            parallel_for(selected.len(), |i| {
+                let v = selected[i] as usize;
+                // SAFETY: `selected` is an independent set in the list:
+                // each neighbor cell is written by at most one node.
+                unsafe {
+                    let nx = pn.read(v);
+                    let pv = pp.read(v);
+                    if pv != NONE_U32 {
+                        pn.write(pv as usize, nx);
+                    }
+                    if nx != NONE_U32 {
+                        pp.write(nx as usize, pv);
+                    }
+                    pn.write(v, NONE_U32);
+                    pp.write(v, NONE_U32);
+                }
+            });
+        }
+        let selected_set: Vec<bool> = {
+            let mut s = vec![false; next.len()];
+            for &v in &selected {
+                s[v as usize] = true;
+            }
+            s
+        };
+        live.retain(|&v| !selected_set[v as usize]);
+    }
+}
+
+/// Build `next`/`prev` arrays for a set of disjoint chains given as vertex
+/// sequences. Convenience for tests and the ternarization layer.
+pub fn build_lists(n: usize, chains: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut next = vec![NONE_U32; n];
+    let mut prev = vec![NONE_U32; n];
+    for chain in chains {
+        for w in chain.windows(2) {
+            next[w[0] as usize] = w[1];
+            prev[w[1] as usize] = w[0];
+        }
+    }
+    (next, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(next: &[u32], start: u32) -> Vec<u32> {
+        let mut out = vec![start];
+        let mut cur = start;
+        while next[cur as usize] != NONE_U32 {
+            cur = next[cur as usize];
+            out.push(cur);
+            assert!(out.len() <= next.len(), "cycle detected");
+        }
+        out
+    }
+
+    #[test]
+    fn splice_single_node() {
+        let (mut next, mut prev) = build_lists(3, &[vec![0, 1, 2]]);
+        splice_out(&mut next, &mut prev, &[1], 42);
+        assert_eq!(walk(&next, 0), vec![0, 2]);
+        assert_eq!(prev[2], 0);
+        assert_eq!(next[1], NONE_U32);
+        assert_eq!(prev[1], NONE_U32);
+    }
+
+    #[test]
+    fn splice_adjacent_run() {
+        let chain: Vec<u32> = (0..10).collect();
+        let (mut next, mut prev) = build_lists(10, &[chain]);
+        splice_out(&mut next, &mut prev, &[3, 4, 5, 6], 7);
+        assert_eq!(walk(&next, 0), vec![0, 1, 2, 7, 8, 9]);
+        assert_eq!(prev[7], 2);
+    }
+
+    #[test]
+    fn splice_endpoints() {
+        let chain: Vec<u32> = (0..6).collect();
+        let (mut next, mut prev) = build_lists(6, &[chain]);
+        splice_out(&mut next, &mut prev, &[0, 5], 19);
+        assert_eq!(walk(&next, 1), vec![1, 2, 3, 4]);
+        assert_eq!(prev[1], NONE_U32);
+    }
+
+    #[test]
+    fn splice_entire_list() {
+        let chain: Vec<u32> = (0..8).collect();
+        let (mut next, mut prev) = build_lists(8, &[chain]);
+        splice_out(&mut next, &mut prev, &(0..8).collect::<Vec<_>>(), 3);
+        assert!(next.iter().all(|&x| x == NONE_U32));
+        assert!(prev.iter().all(|&x| x == NONE_U32));
+    }
+
+    #[test]
+    fn splice_large_random_matches_reference() {
+        use crate::rng::SplitMix64;
+        let n = 50_000u32;
+        let chain: Vec<u32> = (0..n).collect();
+        let (mut next, mut prev) = build_lists(n as usize, &[chain.clone()]);
+        let mut rng = SplitMix64::new(1234);
+        let marked: Vec<u32> =
+            (0..n).filter(|_| rng.next_f64() < 0.4).collect();
+        splice_out(&mut next, &mut prev, &marked, 99);
+
+        let marked_set: Vec<bool> = {
+            let mut s = vec![false; n as usize];
+            for &v in &marked {
+                s[v as usize] = true;
+            }
+            s
+        };
+        let expect: Vec<u32> = chain.iter().copied().filter(|&v| !marked_set[v as usize]).collect();
+        if expect.is_empty() {
+            assert!(next.iter().all(|&x| x == NONE_U32));
+        } else {
+            assert_eq!(walk(&next, expect[0]), expect);
+        }
+    }
+
+    #[test]
+    fn multiple_chains_stay_separate() {
+        let (mut next, mut prev) = build_lists(9, &[vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]);
+        splice_out(&mut next, &mut prev, &[1, 4, 7], 5);
+        assert_eq!(walk(&next, 0), vec![0, 2]);
+        assert_eq!(walk(&next, 3), vec![3, 5]);
+        assert_eq!(walk(&next, 6), vec![6, 8]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Parallel random permutations (§6.1: "every edge returned from the
+//! treegen has its vertices shuffled via a bijective map that is
+//! constructed with a parallel shuffle").
+
+use crate::rng::hash3;
+use crate::sort::sort_by_u64_key;
+use crate::SEQ_THRESHOLD;
+
+const SHUFFLE_SALT: u64 = 0x5EED_0F5A_17C0_FFEE;
+
+/// A uniformly random bijection on `[0, n)`, deterministic in `seed`.
+///
+/// Large inputs are shuffled by sorting indices by independent 64-bit hash
+/// keys (ties broken by index) — the parallel-shuffle construction of
+/// Parlay. Small inputs use sequential Fisher–Yates.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    if n <= SEQ_THRESHOLD {
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+    } else {
+        sort_by_u64_key(&mut perm, |&v| hash3(seed, SHUFFLE_SALT, v as u64));
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(p: &[u32]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &x in p {
+            if seen[x as usize] {
+                return false;
+            }
+            seen[x as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn small_is_permutation() {
+        for n in [0usize, 1, 2, 17, 100] {
+            assert!(is_permutation(&random_permutation(n, 9)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn large_is_permutation() {
+        assert!(is_permutation(&random_permutation(100_000, 3)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_permutation(5000, 1), random_permutation(5000, 1));
+        assert_ne!(random_permutation(5000, 1), random_permutation(5000, 2));
+    }
+
+    #[test]
+    fn looks_shuffled() {
+        let p = random_permutation(10_000, 4);
+        let fixed = p.iter().enumerate().filter(|&(i, &x)| i as u32 == x).count();
+        // Expected number of fixed points of a random permutation is 1.
+        assert!(fixed < 20, "too many fixed points: {fixed}");
+    }
+}

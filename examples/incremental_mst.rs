@@ -1,0 +1,49 @@
+//! Streaming minimum spanning forest (paper §5.8).
+//!
+//! Edges of a random graph arrive in batches; the MSF is maintained with
+//! compressed-path-tree + Kruskal batches and verified against offline
+//! Kruskal at the end.
+
+use rcforest::{kruskal, IncrementalMsf};
+use rc_parlay::rng::SplitMix64;
+
+fn main() {
+    let n = 20_000usize;
+    let batches = 10usize;
+    let k = 5_000usize;
+    let mut rng = SplitMix64::new(7);
+
+    let mut msf = IncrementalMsf::new(n);
+    let mut all_edges: Vec<(u32, u32, u64)> = Vec::new();
+
+    for b in 0..batches {
+        let batch: Vec<(u32, u32, u64)> = (0..k)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                    1 + rng.next_below(1_000_000),
+                )
+            })
+            .collect();
+        all_edges.extend(batch.iter().copied());
+        let (stats, t) = msf.insert_batch_timed(&batch);
+        println!(
+            "batch {b:>2}: +{:<5} edges, {:>4} evicted, {:>5} rejected, cpt {:>5} vertices, {:>8.3} ms (cpt {:>7.3} / kruskal {:>7.3} / update {:>7.3})",
+            stats.inserted,
+            stats.evicted,
+            stats.rejected,
+            stats.cpt_vertices,
+            t.total.as_secs_f64() * 1e3,
+            t.cpt.as_secs_f64() * 1e3,
+            t.kruskal.as_secs_f64() * 1e3,
+            t.forest_update.as_secs_f64() * 1e3,
+        );
+    }
+
+    let offline: u64 = kruskal(n, &all_edges).iter().map(|&i| all_edges[i].2).sum();
+    println!("\nincremental MSF weight: {}", msf.total_weight());
+    println!("offline  MSF weight:    {offline}");
+    assert_eq!(msf.total_weight(), offline, "incremental result must match offline Kruskal");
+    println!("verified: incremental == offline");
+}

@@ -1,0 +1,46 @@
+//! Nearest-service lookup on a dynamic road tree (paper §3.8).
+//!
+//! Vertices are junctions; marked vertices host a service (say, charging
+//! stations). Batch nearest-marked queries return the closest station and
+//! distance for a fleet of vehicles; stations open/close via batch
+//! mark/unmark, and roadworks re-route edges via batch cut/link.
+
+use rcforest::{NearestMarkedAgg, TernaryForest};
+use rc_parlay::rng::SplitMix64;
+
+fn main() {
+    let n = 50_000u32;
+    let mut rng = SplitMix64::new(99);
+    let mut map = TernaryForest::<NearestMarkedAgg>::new_nearest_marked(n as usize);
+
+    // Random road tree with metric edge lengths.
+    let roads: Vec<(u32, u32, u64)> = (1..n)
+        .map(|v| (rng.next_below(v as u64) as u32, v, 1 + rng.next_below(500)))
+        .collect();
+    map.batch_link(&roads).expect("tree");
+
+    // Open 50 stations.
+    let stations: Vec<u32> = (0..50).map(|_| rng.next_below(n as u64) as u32).collect();
+    map.batch_mark(&stations);
+
+    // A fleet of 8 vehicles asks for the nearest station, in one batch.
+    let fleet: Vec<u32> = (0..8).map(|_| rng.next_below(n as u64) as u32).collect();
+    println!("nearest stations:");
+    for (i, ans) in map.batch_nearest_marked(&fleet).iter().enumerate() {
+        match ans {
+            Some((d, s)) => println!("  vehicle at {:>6}: station {s:>6} at distance {d}", fleet[i]),
+            None => println!("  vehicle at {:>6}: no station reachable", fleet[i]),
+        }
+    }
+
+    // Close the two busiest stations, open two new ones.
+    map.batch_unmark(&stations[0..2]);
+    map.batch_mark(&[1234, 4321]);
+    println!("\nafter rebalancing stations:");
+    for (i, ans) in map.batch_nearest_marked(&fleet).iter().enumerate() {
+        match ans {
+            Some((d, s)) => println!("  vehicle at {:>6}: station {s:>6} at distance {d}", fleet[i]),
+            None => println!("  vehicle at {:>6}: no station reachable", fleet[i]),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Bottleneck routing on a dynamic network.
+//!
+//! A service topology (tree) where edge weights are link capacities.
+//! Batch path-minimum queries report each route's bottleneck link; when
+//! links are re-provisioned (cut + link), queries reflect the change
+//! immediately. Uses `MinEdgeAgg`, which also *identifies* the bottleneck
+//! edge — exactly what an operator needs to upgrade.
+
+use rcforest::{MinEdgeAgg, TernaryForest};
+use rc_parlay::rng::SplitMix64;
+
+fn main() {
+    let n = 10_000u32;
+    let mut rng = SplitMix64::new(2026);
+
+    // A random spanning topology with capacities 1..10_000 Mbit.
+    // Chain weight u64::MAX: dummy chain edges never win a minimum.
+    let mut net = TernaryForest::<MinEdgeAgg<u64>>::new(n as usize, u64::MAX);
+    let links: Vec<(u32, u32, u64)> = (1..n)
+        .map(|v| (rng.next_below(v as u64) as u32, v, 1 + rng.next_below(10_000)))
+        .collect();
+    net.batch_link(&links).expect("spanning tree");
+
+    // 5 routes to health-check, in one batch.
+    let routes: Vec<(u32, u32)> = (0..5)
+        .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+        .collect();
+    println!("route bottlenecks:");
+    let answers = net.batch_path_extrema(&routes);
+    for (i, &(s, t)) in routes.iter().enumerate() {
+        match &answers[i] {
+            Some(Some(e)) => println!(
+                "  {s:>5} -> {t:<5}  bottleneck {:>5} Mbit on link ({}, {})",
+                e.w,
+                net.owner_of(e.u),
+                net.owner_of(e.v)
+            ),
+            Some(None) => println!("  {s:>5} -> {t:<5}  trivial route"),
+            None => println!("  {s:>5} -> {t:<5}  no route"),
+        }
+    }
+
+    // Upgrade the worst link of route 0 and re-check.
+    if let Some(Some(e)) = answers[0] {
+        let (u, v) = (net.owner_of(e.u), net.owner_of(e.v));
+        println!("\nupgrading link ({u}, {v}) from {} to 100000 Mbit", e.w);
+        net.update_edge_weights(&[(u, v, 100_000)]).unwrap();
+        let again = net.batch_path_extrema(&routes[0..1]);
+        if let Some(Some(e2)) = &again[0] {
+            println!(
+                "new bottleneck for route {:?}: {} Mbit on ({}, {})",
+                routes[0],
+                e2.w,
+                net.owner_of(e2.u),
+                net.owner_of(e2.v)
+            );
+        }
+    }
+}

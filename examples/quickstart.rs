@@ -1,0 +1,36 @@
+//! Quickstart: build a dynamic forest, run batch updates, and exercise
+//! every query family.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rcforest::{BuildOptions, RcForest, SumAgg, TernaryForest};
+
+fn main() {
+    // --- Degree-<=3 core forest: a weighted path 0-1-2-...-9 ----------
+    let edges: Vec<(u32, u32, i64)> = (0..9).map(|i| (i, i + 1, (i + 1) as i64)).collect();
+    let mut f = RcForest::<SumAgg<i64>>::build_edges(10, &edges, BuildOptions::default())
+        .expect("valid forest");
+
+    println!("path sum 0..9            = {:?}", f.path_aggregate(0, 9));
+    println!("subtree sum of 5 (from 4) = {:?}", f.subtree_aggregate(5, 4));
+    println!("lca(2, 7, root=4)        = {:?}", f.lca(2, 7, 4));
+
+    // Batch updates: O(k log(1 + n/k)) expected work, not a rebuild.
+    f.batch_cut(&[(4, 5)]).expect("edge exists");
+    println!("after cut, connected(0,9) = {}", f.connected(0, 9));
+    f.batch_link(&[(0, 9, 100)]).expect("no cycle");
+    println!("path sum 4..5 (rerouted) = {:?}", f.path_aggregate(4, 5));
+
+    // --- Arbitrary degree via ternarization ---------------------------
+    let mut star = TernaryForest::<SumAgg<i64>>::new(8, 0);
+    star.batch_link(&(1..8u32).map(|v| (0, v, v as i64)).collect::<Vec<_>>())
+        .expect("stars are fine here");
+    println!("degree of hub            = {}", star.degree(0));
+    println!("path 3..7 through hub    = {:?}", star.path_aggregate(3, 7));
+
+    // Batch queries amortize shared ancestors across the whole batch.
+    let answers = star.batch_path_aggregate(&[(1, 2), (3, 4), (5, 6)]);
+    println!("batch path sums          = {answers:?}");
+}

@@ -1,0 +1,12 @@
+//! `rcforest` — batch-parallel dynamic trees (facade crate).
+//!
+//! Re-exports the full public API of the workspace: the RC-tree core
+//! (`rc-core`), arbitrary-degree ternarization (`rc-ternary`), the forest
+//! generator (`rc-gen`) and incremental MSF (`rc-msf`). See the README for
+//! a tour and the `examples/` directory for runnable scenarios.
+
+pub use rc_core::*;
+pub use rc_gen::{paper_configs, ChainDist, ForestGenConfig, GeneratedForest};
+pub use rc_msf::{kruskal, BatchStats, IncrementalMsf, UnionFind};
+pub use rc_parlay as parlay;
+pub use rc_ternary::TernaryForest;

@@ -1,0 +1,110 @@
+//! Integration stress: the full stack (gen → ternary → core queries)
+//! against the naive oracle under interleaved updates and queries.
+
+use rcforest::naive::NaiveForest;
+use rcforest::parlay::rng::SplitMix64;
+use rcforest::{GeneratedForest, SumAgg, TernaryForest};
+
+#[test]
+fn generated_forest_full_query_suite_vs_naive() {
+    let n = 800usize;
+    let cfg = rcforest::ForestGenConfig {
+        n,
+        mean_chain: 7.0,
+        dist: rcforest::ChainDist::Geometric,
+        ln_prob: 0.4,
+        max_weight: 100,
+        seed: 31,
+        ..Default::default()
+    };
+    let mut g = GeneratedForest::generate(cfg);
+    let edges = g.edges();
+
+    let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    let mut naive = NaiveForest::<i64>::new(n);
+    let e64: Vec<(u32, u32, i64)> = edges.iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    f.batch_link(&e64).unwrap();
+    for &(u, v, w) in &e64 {
+        naive.link(u, v, w).unwrap();
+    }
+
+    let mut rng = SplitMix64::new(5);
+    for round in 0..6 {
+        // Batch update via the generator's connector stream.
+        let dels = g.delete_batch(20);
+        let ins: Vec<(u32, u32, i64)> =
+            g.insert_batch(20).iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+        f.batch_cut(&dels).unwrap();
+        f.batch_link(&ins).unwrap();
+        for &(u, v) in &dels {
+            naive.cut(u, v).unwrap();
+        }
+        for &(u, v, w) in &ins {
+            naive.link(u, v, w).unwrap();
+        }
+        f.validate().unwrap();
+
+        // Batch connectivity + path sums.
+        let pairs: Vec<(u32, u32)> = (0..60)
+            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .collect();
+        let conn = f.batch_connected(&pairs);
+        let sums = f.batch_path_aggregate(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(conn[i], naive.connected(u, v), "round {round} conn ({u},{v})");
+            let expect = naive.path_edges(u, v).map(|es| es.iter().sum::<i64>());
+            assert_eq!(sums[i], expect, "round {round} path ({u},{v})");
+        }
+
+        // Batch LCA.
+        let triples: Vec<(u32, u32, u32)> = (0..40)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        let lcas = f.batch_lca(&triples);
+        for (i, &(u, v, r)) in triples.iter().enumerate() {
+            assert_eq!(lcas[i], naive.lca(u, v, r), "round {round} lca ({u},{v},{r})");
+        }
+
+        // Batched subtree queries on real edges.
+        let subs: Vec<(u32, u32)> = g.query_subtrees(40);
+        let got = f.batch_subtree_aggregate(&subs);
+        for (i, &(u, p)) in subs.iter().enumerate() {
+            let (vs, es) = naive.subtree(u, p);
+            let expect: i64 = es.iter().sum::<i64>() + 0 * vs.len() as i64;
+            assert_eq!(got[i], Some(expect), "round {round} subtree ({u},{p})");
+        }
+    }
+}
+
+#[test]
+fn bottleneck_queries_on_generated_forest() {
+    let n = 500usize;
+    let cfg = rcforest::ForestGenConfig { n, seed: 77, ..Default::default() };
+    let mut g = GeneratedForest::generate(cfg);
+    let edges = g.edges();
+    let mut f = TernaryForest::<rcforest::MaxEdgeAgg<u64>>::new(n, 0);
+    f.batch_link(&edges).unwrap();
+    let mut naive = NaiveForest::<u64>::new(n);
+    for &(u, v, w) in &edges {
+        naive.link(u, v, w).unwrap();
+    }
+    let pairs = g.query_pairs(150);
+    let got = f.batch_path_extrema(&pairs);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let expect = naive.path_edges(u, v);
+        match (&got[i], expect) {
+            (None, None) => {}
+            (Some(opt), Some(es)) => {
+                let want = es.iter().copied().max();
+                assert_eq!(opt.map(|e| e.w), want, "({u},{v})");
+            }
+            (a, b) => panic!("({u},{v}): {a:?} vs {b:?}"),
+        }
+    }
+}

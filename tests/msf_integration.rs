@@ -1,0 +1,44 @@
+//! End-to-end incremental MSF vs offline Kruskal on generated streams.
+
+use rcforest::parlay::rng::SplitMix64;
+use rcforest::{kruskal, IncrementalMsf};
+
+#[test]
+fn incremental_equals_offline_on_dense_stream() {
+    let n = 300usize;
+    let mut rng = SplitMix64::new(11);
+    let mut msf = IncrementalMsf::new(n);
+    let mut all: Vec<(u32, u32, u64)> = Vec::new();
+    for _ in 0..12 {
+        let batch: Vec<(u32, u32, u64)> = (0..80)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                    1 + rng.next_below(1_000),
+                )
+            })
+            .filter(|&(u, v, _)| u != v)
+            .collect();
+        all.extend(batch.iter().copied());
+        msf.insert_batch(&batch);
+        let offline: u64 = kruskal(n, &all).iter().map(|&i| all[i].2).sum();
+        assert_eq!(msf.total_weight(), offline);
+    }
+    msf.forest().validate().unwrap();
+    // The MSF edge set itself must be a spanning forest of minimum weight:
+    // weight equality plus forest validity pins it down.
+    assert!(msf.num_edges() < n);
+}
+
+#[test]
+fn msf_stats_accounting() {
+    let mut msf = IncrementalMsf::new(5);
+    let s1 = msf.insert_batch(&[(0, 1, 10), (1, 2, 10), (3, 4, 10)]);
+    assert_eq!(s1.inserted, 3);
+    assert_eq!(s1.evicted, 0);
+    let s2 = msf.insert_batch(&[(0, 2, 1)]); // evicts one of the 10s
+    assert_eq!(s2.inserted, 1);
+    assert_eq!(s2.evicted, 1);
+    assert_eq!(msf.total_weight(), 21);
+}

@@ -1,0 +1,77 @@
+//! Property-style integration tests: canonical change propagation and
+//! cross-aggregate consistency on randomized workloads.
+
+use rcforest::naive::NaiveForest;
+use rcforest::parlay::rng::SplitMix64;
+use rcforest::{BuildOptions, CountAgg, RcForest, SumAgg};
+
+/// Random degree-<=3 forest edits; every round must equal a fresh rebuild.
+#[test]
+fn propagation_is_canonical_under_long_edit_sequences() {
+    let n = 150usize;
+    let mut f = RcForest::<SumAgg<i64>>::new(n);
+    let mut naive = NaiveForest::<i64>::new(n);
+    let mut rng = SplitMix64::new(404);
+    for _round in 0..25 {
+        let mut links = Vec::new();
+        let mut cuts = Vec::new();
+        for _ in 0..8 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            if naive.edge_weight(u, v).is_some() {
+                if !cuts.contains(&(u, v)) && !cuts.contains(&(v, u)) {
+                    cuts.push((u, v));
+                }
+            }
+        }
+        for &(u, v) in &cuts {
+            naive.cut(u, v).unwrap();
+        }
+        for _ in 0..8 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            let w = rng.next_below(100) as i64;
+            if u != v
+                && naive.degree(u) < 3
+                && naive.degree(v) < 3
+                && naive.link(u, v, w).is_ok()
+            {
+                links.push((u, v, w));
+            }
+        }
+        f.batch_cut(&cuts).unwrap();
+        f.batch_link(&links).unwrap();
+        f.validate().unwrap();
+        f.assert_matches_fresh_rebuild();
+    }
+}
+
+/// CountAgg hop counts agree with SumAgg over unit weights — two
+/// aggregates over the same structure must tell one story.
+#[test]
+fn aggregates_are_mutually_consistent() {
+    let n = 200usize;
+    let mut rng = SplitMix64::new(3);
+    let mut unit_edges: Vec<(u32, u32, ())> = Vec::new();
+    let mut sum_edges: Vec<(u32, u32, i64)> = Vec::new();
+    let mut naive = NaiveForest::<i64>::new(n);
+    for v in 1..n as u32 {
+        let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+        if naive.degree(u) < 3 && naive.link(u, v, 1).is_ok() {
+            unit_edges.push((u, v, ()));
+            sum_edges.push((u, v, 1));
+        }
+    }
+    let fc = RcForest::<CountAgg>::build_edges(n, &unit_edges, BuildOptions::default()).unwrap();
+    let fs = RcForest::<SumAgg<i64>>::build_edges(n, &sum_edges, BuildOptions::default()).unwrap();
+    for _ in 0..200 {
+        let u = rng.next_below(n as u64) as u32;
+        let v = rng.next_below(n as u64) as u32;
+        let hops = fc.path_aggregate(u, v);
+        let sum = fs.path_aggregate(u, v);
+        assert_eq!(hops.map(|h| h as i64), sum, "({u},{v})");
+    }
+}

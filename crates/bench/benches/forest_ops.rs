@@ -9,8 +9,10 @@ fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
     for n in [10_000usize, 100_000] {
         // Degree-<=2 chain forest: direct core build.
-        let edges: Vec<(u32, u32, i64)> =
-            (0..n as u32 - 1).filter(|i| i % 97 != 0).map(|i| (i, i + 1, 1)).collect();
+        let edges: Vec<(u32, u32, i64)> = (0..n as u32 - 1)
+            .filter(|i| i % 97 != 0)
+            .map(|i| (i, i + 1, 1))
+            .collect();
         g.bench_with_input(BenchmarkId::new("core_paths", n), &n, |b, &n| {
             b.iter(|| {
                 RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap()
@@ -40,18 +42,25 @@ fn bench_updates(c: &mut Criterion) {
         grp.bench_with_input(BenchmarkId::new("cut_link_roundtrip", k), &k, |b, &k| {
             let cfg = paper_configs(n, 5).remove(0).1;
             let mut g = GeneratedForest::generate(cfg);
-            let edges: Vec<(u32, u32, i64)> =
-                g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            let edges: Vec<(u32, u32, i64)> = g
+                .edges()
+                .iter()
+                .map(|&(u, v, w)| (u, v, w as i64))
+                .collect();
             let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
             f.batch_link(&edges).unwrap();
             let dels = g.delete_batch(k);
-            let ins: Vec<(u32, u32, i64)> =
-                g.insert_batch(k).iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            let ins: Vec<(u32, u32, i64)> = g
+                .insert_batch(k)
+                .iter()
+                .map(|&(u, v, w)| (u, v, w as i64))
+                .collect();
             // Pre-detach so each iteration cuts freshly-present edges.
             f.batch_cut(&dels).unwrap();
             f.batch_link(&ins).unwrap();
             b.iter(|| {
-                f.batch_cut(&ins.iter().map(|&(u, v, _)| (u, v)).collect::<Vec<_>>()).unwrap();
+                f.batch_cut(&ins.iter().map(|&(u, v, _)| (u, v)).collect::<Vec<_>>())
+                    .unwrap();
                 f.batch_link(&ins).unwrap();
             });
         });

@@ -1,0 +1,77 @@
+//! Mixed batch-query workload: interleaved subtree / path-sum / LCA /
+//! connectivity batches against one live forest.
+//!
+//! This is the steady-state serving shape the marked-subtree engine's
+//! pooled scratch arenas target: every batch checks the same arenas out of
+//! the forest's pool instead of re-allocating and re-hashing its marked
+//! subtree, so the win shows up here rather than in single-family
+//! microbenches. Sizes follow `RC_BENCH_SCALE` (`tiny` keeps CI fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::SumAgg;
+use rc_gen::{paper_configs, GeneratedForest};
+use rc_ternary::TernaryForest;
+
+struct Workload {
+    forest: TernaryForest<SumAgg<i64>>,
+    subtrees: Vec<(u32, u32)>,
+    pairs: Vec<(u32, u32)>,
+    triples: Vec<(u32, u32, u32)>,
+}
+
+fn setup(n: usize, k: usize) -> Workload {
+    let cfg = paper_configs(n, 9).remove(0).1;
+    let mut g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (u, v, w as i64))
+        .collect();
+    let mut forest = TernaryForest::<SumAgg<i64>>::new(n, 0);
+    forest.batch_link(&edges).unwrap();
+    Workload {
+        forest,
+        subtrees: g.query_subtrees(k),
+        pairs: g.query_pairs(k),
+        triples: g.query_triples(k),
+    }
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let n = match rc_bench::scale() {
+        "large" => 1_000_000,
+        "tiny" => 10_000,
+        _ => 100_000,
+    };
+    let ks: &[usize] = match rc_bench::scale() {
+        "tiny" => &[256],
+        _ => &[256, 4096],
+    };
+    let mut grp = c.benchmark_group("mixed_queries");
+    for &k in ks {
+        let w = setup(n, k);
+        // One iteration = four different batch families back to back, the
+        // pattern that exercises scratch-pool reuse across query kinds.
+        grp.bench_with_input(BenchmarkId::new("interleaved_4x", k), &k, |b, _| {
+            b.iter(|| {
+                let s = w.forest.batch_subtree_aggregate(&w.subtrees);
+                let p = w.forest.batch_path_aggregate(&w.pairs);
+                let l = w.forest.batch_lca(&w.triples);
+                let c = w.forest.batch_connected(&w.pairs);
+                (s.len(), p.len(), l.len(), c.len())
+            });
+        });
+        // Single-family baseline on the same forest, for ratio tracking.
+        grp.bench_with_input(BenchmarkId::new("path_only", k), &k, |b, _| {
+            b.iter(|| w.forest.batch_path_aggregate(&w.pairs));
+        });
+    }
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mixed
+}
+criterion_main!(benches);

@@ -25,7 +25,9 @@ fn bench_pack(c: &mut Criterion) {
 
 fn bench_semisort(c: &mut Criterion) {
     let mut rng = SplitMix64::new(1);
-    let pairs: Vec<(u64, u32)> = (0..200_000u32).map(|i| (rng.next_below(5_000), i)).collect();
+    let pairs: Vec<(u64, u32)> = (0..200_000u32)
+        .map(|i| (rng.next_below(5_000), i))
+        .collect();
     c.bench_function("group_by_200k", |b| {
         b.iter(|| rc_parlay::semisort::group_by_key(&pairs, 7));
     });

@@ -7,9 +7,12 @@ use rc_ternary::TernaryForest;
 
 fn setup(n: usize) -> (TernaryForest<SumAgg<i64>>, GeneratedForest) {
     let cfg = paper_configs(n, 9).remove(0).1;
-    let mut g = GeneratedForest::generate(cfg);
-    let edges: Vec<(u32, u32, i64)> =
-        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (u, v, w as i64))
+        .collect();
     let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
     f.batch_link(&edges).unwrap();
     (f, g)

@@ -12,14 +12,28 @@ fn main() {
     let n = fixed_n();
     let t = Table::new(
         "Incremental MSF batch times (ms)",
-        &["k", "total", "cpt gen", "kruskal", "forest update", "inserted", "evicted"],
+        &[
+            "k",
+            "total",
+            "cpt gen",
+            "kruskal",
+            "forest update",
+            "inserted",
+            "evicted",
+        ],
     );
     for k in batch_sizes() {
         let mut rng = SplitMix64::new(77);
         let mut msf = IncrementalMsf::new(n);
         // Warm up with a random spanning structure.
         let warm: Vec<(u32, u32, u64)> = (1..n as u32)
-            .map(|v| (rng.next_below(v as u64) as u32, v, 1 + rng.next_below(1_000_000)))
+            .map(|v| {
+                (
+                    rng.next_below(v as u64) as u32,
+                    v,
+                    1 + rng.next_below(1_000_000),
+                )
+            })
             .collect();
         msf.insert_batch(&warm);
         // The measured batch.

@@ -16,8 +16,11 @@ fn main() {
     };
     let cfg = paper_configs(n, 5).remove(0).1;
     let mut g = GeneratedForest::generate(cfg);
-    let edges: Vec<(u32, u32, i64)> =
-        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let edges: Vec<(u32, u32, i64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (u, v, w as i64))
+        .collect();
     let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
     f.batch_link(&edges).unwrap();
 
@@ -30,7 +33,9 @@ fn main() {
     for k in ks {
         let subs = g.query_subtrees(k);
         let (_a, d_ind) = time_once(|| {
-            subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+            subs.par_iter()
+                .map(|&(u, p)| f.subtree_aggregate(u, p))
+                .collect::<Vec<_>>()
         });
         let (_b, d_bat) = time_once(|| f.batch_subtree_aggregate(&subs));
         t.row(&[

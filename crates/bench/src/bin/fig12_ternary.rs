@@ -11,19 +11,31 @@ fn main() {
     let n = fixed_n();
     let t = Table::new(
         "Inner-forest growth per real operation",
-        &["k", "inner edges before", "after k links", "after k cuts", "inner/real ratio"],
+        &[
+            "k",
+            "inner edges before",
+            "after k links",
+            "after k cuts",
+            "inner/real ratio",
+        ],
     );
     for k in batch_sizes() {
         let cfg = paper_configs(n, 11).remove(0).1;
         let mut g = GeneratedForest::generate(cfg);
-        let edges: Vec<(u32, u32, i64)> =
-            g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+        let edges: Vec<(u32, u32, i64)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v, w)| (u, v, w as i64))
+            .collect();
         let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
         f.batch_link(&edges).unwrap();
         let before = f.inner().num_edges();
         let dels = g.delete_batch(k);
-        let ins: Vec<(u32, u32, i64)> =
-            g.insert_batch(k).iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+        let ins: Vec<(u32, u32, i64)> = g
+            .insert_batch(k)
+            .iter()
+            .map(|&(u, v, w)| (u, v, w as i64))
+            .collect();
         f.batch_cut(&dels).unwrap();
         let after_cuts = f.inner().num_edges();
         f.batch_link(&ins).unwrap();
@@ -33,7 +45,10 @@ fn main() {
             before.to_string(),
             after_links.to_string(),
             after_cuts.to_string(),
-            format!("{:.2}", f.inner().num_edges() as f64 / f.num_edges().max(1) as f64),
+            format!(
+                "{:.2}",
+                f.inner().num_edges() as f64 / f.num_edges().max(1) as f64
+            ),
         ]);
     }
     println!("\nTheorem 4.2: each real add contributes exactly 3 inner edges;");

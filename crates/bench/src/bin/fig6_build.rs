@@ -52,29 +52,59 @@ fn main() {
     );
     // Pure chains are degree <= 2: buildable without ternarization in both modes.
     let edges: Vec<(u32, u32, i64)> = (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
-    for (label, mode) in
-        [("randomized", ContractionMode::Randomized), ("deterministic MIS", ContractionMode::Deterministic)]
-    {
+    for (label, mode) in [
+        ("randomized", ContractionMode::Randomized),
+        ("deterministic MIS", ContractionMode::Deterministic),
+    ] {
         let (f, d) = time_once(|| {
-            RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions { mode, ..Default::default() })
-                .unwrap()
+            RcForest::<SumAgg<i64>>::build_edges(
+                n,
+                &edges,
+                BuildOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
-        t2.row(&[label.into(), n.to_string(), ms(d), f.num_levels().to_string()]);
+        t2.row(&[
+            label.into(),
+            n.to_string(),
+            ms(d),
+            f.num_levels().to_string(),
+        ]);
     }
 
-    let t3 = Table::new("Thread-count speedup (config C1)", &["threads", "build ms", "speedup"]);
+    let t3 = Table::new(
+        "Thread-count speedup (config C1)",
+        &["threads", "build ms", "speedup"],
+    );
     let cfg = paper_configs(n, 2).remove(0).1;
     let edges = GeneratedForest::generate(cfg).edges();
     let mut base = None;
     for threads in thread_counts() {
-        let d = with_threads(threads, || build_once(n, &edges, ContractionMode::Randomized));
+        let d = with_threads(threads, || {
+            build_once(n, &edges, ContractionMode::Randomized)
+        });
         let b = *base.get_or_insert(d.as_secs_f64());
-        t3.row(&[threads.to_string(), ms(d), format!("{:.2}x", b / d.as_secs_f64())]);
+        t3.row(&[
+            threads.to_string(),
+            ms(d),
+            format!("{:.2}x", b / d.as_secs_f64()),
+        ]);
     }
 
-    let t4 = Table::new("Depth insensitivity (ln sweep, n fixed)", &["ln", "build ms"]);
+    let t4 = Table::new(
+        "Depth insensitivity (ln sweep, n fixed)",
+        &["ln", "build ms"],
+    );
     for lnp in [0.05, 0.5, 0.95] {
-        let cfg = rc_gen::ForestGenConfig { n, ln_prob: lnp, seed: 3, ..Default::default() };
+        let cfg = rc_gen::ForestGenConfig {
+            n,
+            ln_prob: lnp,
+            seed: 3,
+            ..Default::default()
+        };
         let edges = GeneratedForest::generate(cfg).edges();
         let d = build_once(n, &edges, ContractionMode::Randomized);
         t4.row(&[format!("{lnp}"), ms(d)]);

@@ -16,7 +16,14 @@ fn main() {
     let n = fixed_n();
     let t = Table::new(
         "Update time vs batch size k (delete k + insert k connectors)",
-        &["config", "k", "cut ms", "link ms", "total ms", "us per edge"],
+        &[
+            "config",
+            "k",
+            "cut ms",
+            "link ms",
+            "total ms",
+            "us per edge",
+        ],
     );
     for (name, cfg) in paper_configs(n, 7) {
         if !(name.starts_with("C1") || name.starts_with("C4")) {
@@ -24,13 +31,19 @@ fn main() {
         }
         for k in batch_sizes() {
             let mut g = GeneratedForest::generate(cfg);
-            let edges: Vec<(u32, u32, i64)> =
-                g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            let edges: Vec<(u32, u32, i64)> = g
+                .edges()
+                .iter()
+                .map(|&(u, v, w)| (u, v, w as i64))
+                .collect();
             let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
             f.batch_link(&edges).unwrap();
             let dels = g.delete_batch(k);
-            let ins: Vec<(u32, u32, i64)> =
-                g.insert_batch(k).iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+            let ins: Vec<(u32, u32, i64)> = g
+                .insert_batch(k)
+                .iter()
+                .map(|&(u, v, w)| (u, v, w as i64))
+                .collect();
             if dels.is_empty() {
                 continue;
             }
@@ -43,7 +56,10 @@ fn main() {
                 ms(d_cut),
                 ms(d_link),
                 ms(total),
-                format!("{:.2}", total.as_secs_f64() * 1e6 / (dels.len() + ins.len()) as f64),
+                format!(
+                    "{:.2}",
+                    total.as_secs_f64() * 1e6 / (dels.len() + ins.len()) as f64
+                ),
             ]);
         }
     }

@@ -12,12 +12,14 @@ use rc_ternary::TernaryForest;
 
 pub fn setup(n: usize) -> (TernaryForest<SumAgg<i64>>, GeneratedForest) {
     let cfg = paper_configs(n, 21).remove(0).1;
-    let mut g = GeneratedForest::generate(cfg);
-    let edges: Vec<(u32, u32, i64)> =
-        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let g = GeneratedForest::generate(cfg);
+    let edges: Vec<(u32, u32, i64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (u, v, w as i64))
+        .collect();
     let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
     f.batch_link(&edges).unwrap();
-    let _ = &mut g;
     (f, g)
 }
 
@@ -27,7 +29,13 @@ fn main() {
     let (f, mut g) = setup(n);
     let t = Table::new(
         "Query batch times (ms)",
-        &["k", "path (batch)", "subtree (indep-parallel)", "subtree (batched)", "LCA (batch)"],
+        &[
+            "k",
+            "path (batch)",
+            "subtree (indep-parallel)",
+            "subtree (batched)",
+            "LCA (batch)",
+        ],
     );
     for k in batch_sizes() {
         let pairs = g.query_pairs(k);
@@ -36,7 +44,9 @@ fn main() {
 
         let (_r1, d_path) = time_once(|| f.batch_path_aggregate(&pairs));
         let (_r2, d_sub_ind) = time_once(|| {
-            subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+            subs.par_iter()
+                .map(|&(u, p)| f.subtree_aggregate(u, p))
+                .collect::<Vec<_>>()
         });
         let (_r3, d_sub_batch) = time_once(|| f.batch_subtree_aggregate(&subs));
         let (_r4, d_lca) = time_once(|| f.batch_lca(&triples));

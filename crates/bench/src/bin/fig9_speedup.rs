@@ -15,8 +15,11 @@ fn main() {
     let k = *batch_sizes().last().unwrap();
     let cfg = paper_configs(n, 33).remove(0).1;
     let mut g = GeneratedForest::generate(cfg);
-    let edges: Vec<(u32, u32, i64)> =
-        g.edges().iter().map(|&(u, v, w)| (u, v, w as i64)).collect();
+    let edges: Vec<(u32, u32, i64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (u, v, w as i64))
+        .collect();
     let mut f = TernaryForest::<SumAgg<i64>>::new(n, 0);
     f.batch_link(&edges).unwrap();
     let pairs = g.query_pairs(k);
@@ -25,7 +28,13 @@ fn main() {
 
     let t = Table::new(
         &format!("Speedup at k = {k}"),
-        &["threads", "path ms", "subtree-batched ms", "LCA ms", "subtree-indep ms"],
+        &[
+            "threads",
+            "path ms",
+            "subtree-batched ms",
+            "LCA ms",
+            "subtree-indep ms",
+        ],
     );
     for threads in thread_counts() {
         let (d1, d2, d3, d4) = with_threads(threads, || {
@@ -33,7 +42,9 @@ fn main() {
             let (_x, d2) = time_once(|| f.batch_subtree_aggregate(&subs));
             let (_x, d3) = time_once(|| f.batch_lca(&triples));
             let (_x, d4) = time_once(|| {
-                subs.par_iter().map(|&(u, p)| f.subtree_aggregate(u, p)).collect::<Vec<_>>()
+                subs.par_iter()
+                    .map(|&(u, p)| f.subtree_aggregate(u, p))
+                    .collect::<Vec<_>>()
             });
             (d1, d2, d3, d4)
         });

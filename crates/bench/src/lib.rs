@@ -101,8 +101,13 @@ impl Table {
     pub fn new(title: &str, cols: &[&str]) -> Self {
         println!("\n### {title}\n");
         println!("| {} |", cols.join(" | "));
-        println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
-        Table { cols: cols.iter().map(|s| s.to_string()).collect() }
+        println!(
+            "|{}|",
+            cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        Table {
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Print one row.

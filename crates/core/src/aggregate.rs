@@ -22,9 +22,7 @@ use crate::types::Vertex;
 /// Cluster *contents* are: all edges inside the cluster, plus every vertex
 /// strictly inside it (the representative is inside; boundary vertices are
 /// *not*). A base edge cluster contains just its edge.
-pub trait ClusterAggregate:
-    Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static
-{
+pub trait ClusterAggregate: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// Weight attached to each vertex (use `()` when unused).
     type VertexWeight: Clone + Default + Send + Sync + std::fmt::Debug + 'static;
     /// Weight attached to each edge.
@@ -115,9 +113,7 @@ pub fn subtree_sum<A: SubtreeAggregate>(
 
 /// Numeric weights closed under addition — the commutative groups used by
 /// the built-in sum aggregates.
-pub trait AddWeight:
-    Copy + PartialEq + Default + Send + Sync + std::fmt::Debug + 'static
-{
+pub trait AddWeight: Copy + PartialEq + Default + Send + Sync + std::fmt::Debug + 'static {
     /// Additive identity.
     fn zero() -> Self;
     /// Addition.

@@ -20,7 +20,11 @@ impl ClusterAggregate for CountAgg {
     type EdgeWeight = ();
 
     fn base_edge(_u: Vertex, _v: Vertex, _w: &()) -> Self {
-        CountAgg { path_edges: 1, edges: 1, vertices: 0 }
+        CountAgg {
+            path_edges: 1,
+            edges: 1,
+            vertices: 0,
+        }
     }
 
     fn compress(
@@ -38,7 +42,11 @@ impl ClusterAggregate for CountAgg {
             edges += r.edges;
             vertices += r.vertices;
         }
-        CountAgg { path_edges: left.path_edges + right.path_edges, edges, vertices }
+        CountAgg {
+            path_edges: left.path_edges + right.path_edges,
+            edges,
+            vertices,
+        }
     }
 
     fn rake(_v: Vertex, _vw: &(), _u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
@@ -48,7 +56,11 @@ impl ClusterAggregate for CountAgg {
             edges += r.edges;
             vertices += r.vertices;
         }
-        CountAgg { path_edges: 0, edges, vertices }
+        CountAgg {
+            path_edges: 0,
+            edges,
+            vertices,
+        }
     }
 
     fn finalize(_v: Vertex, _vw: &(), rakes: &[&Self]) -> Self {
@@ -58,7 +70,11 @@ impl ClusterAggregate for CountAgg {
             edges += r.edges;
             vertices += r.vertices;
         }
-        CountAgg { path_edges: 0, edges, vertices }
+        CountAgg {
+            path_edges: 0,
+            edges,
+            vertices,
+        }
     }
 }
 

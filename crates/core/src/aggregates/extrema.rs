@@ -90,7 +90,10 @@ impl<T: OrdWeight, const IS_MAX: bool> ClusterAggregate for ExtremaAgg<T, IS_MAX
         for r in rakes {
             total = pick::<T, IS_MAX>(total, r.total);
         }
-        ExtremaAgg { path: pick::<T, IS_MAX>(left.path, right.path), total }
+        ExtremaAgg {
+            path: pick::<T, IS_MAX>(left.path, right.path),
+            total,
+        }
     }
 
     fn rake(_v: Vertex, _vw: &(), _u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {

@@ -56,7 +56,11 @@ impl ClusterAggregate for NearestMarkedAgg {
 
     fn base_edge(_u: Vertex, _v: Vertex, w: &u64) -> Self {
         // A base edge has no interior vertices, hence no marked ones.
-        NearestMarkedAgg { path_len: *w, near_rep: None, near_b: [None, None] }
+        NearestMarkedAgg {
+            path_len: *w,
+            near_rep: None,
+            near_b: [None, None],
+        }
     }
 
     fn compress(
@@ -92,7 +96,11 @@ impl ClusterAggregate for NearestMarkedAgg {
             near_rep = best(near_rep, r.near_b[0]);
         }
         let near_u = best(edge.side(u, v), shift(near_rep, edge.path_len));
-        NearestMarkedAgg { path_len: 0, near_rep, near_b: [near_u, None] }
+        NearestMarkedAgg {
+            path_len: 0,
+            near_rep,
+            near_b: [near_u, None],
+        }
     }
 
     fn finalize(v: Vertex, vw: &bool, rakes: &[&Self]) -> Self {
@@ -100,7 +108,11 @@ impl ClusterAggregate for NearestMarkedAgg {
         for r in rakes {
             near_rep = best(near_rep, r.near_b[0]);
         }
-        NearestMarkedAgg { path_len: 0, near_rep, near_b: [None, None] }
+        NearestMarkedAgg {
+            path_len: 0,
+            near_rep,
+            near_b: [None, None],
+        }
     }
 }
 
@@ -143,8 +155,11 @@ mod tests {
         // marked unary at vertex 1.
         let l = NearestMarkedAgg::base_edge(0, 1, &2);
         let r = NearestMarkedAgg::base_edge(1, 2, &6);
-        let hang =
-            NearestMarkedAgg { path_len: 0, near_rep: Some((0, 9)), near_b: [Some((3, 9)), None] };
+        let hang = NearestMarkedAgg {
+            path_len: 0,
+            near_rep: Some((0, 9)),
+            near_b: [Some((3, 9)), None],
+        };
         let c = NearestMarkedAgg::compress(1, &false, 0, &l, 2, &r, &[&hang]);
         assert_eq!(c.near_rep, Some((3, 9)));
         assert_eq!(c.near_b[0], Some((5, 9)));

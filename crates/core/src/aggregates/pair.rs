@@ -6,9 +6,7 @@
 //! subtree sums from one forest. Both components must agree on the weight
 //! types.
 
-use crate::aggregate::{
-    ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate,
-};
+use crate::aggregate::{ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate};
 use crate::types::Vertex;
 
 impl<A, B> ClusterAggregate for (A, B)
@@ -40,16 +38,13 @@ where
         )
     }
 
-    fn rake(
-        v: Vertex,
-        vw: &Self::VertexWeight,
-        u: Vertex,
-        edge: &Self,
-        rakes: &[&Self],
-    ) -> Self {
+    fn rake(v: Vertex, vw: &Self::VertexWeight, u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
         let ra: Vec<&A> = rakes.iter().map(|r| &r.0).collect();
         let rb: Vec<&B> = rakes.iter().map(|r| &r.1).collect();
-        (A::rake(v, vw, u, &edge.0, &ra), B::rake(v, vw, u, &edge.1, &rb))
+        (
+            A::rake(v, vw, u, &edge.0, &ra),
+            B::rake(v, vw, u, &edge.1, &rb),
+        )
     }
 
     fn finalize(v: Vertex, vw: &Self::VertexWeight, rakes: &[&Self]) -> Self {

@@ -22,7 +22,10 @@ impl<T: AddWeight> ClusterAggregate for SumAgg<T> {
     type EdgeWeight = T;
 
     fn base_edge(_u: Vertex, _v: Vertex, w: &T) -> Self {
-        SumAgg { path: *w, total: *w }
+        SumAgg {
+            path: *w,
+            total: *w,
+        }
     }
 
     fn compress(
@@ -38,7 +41,10 @@ impl<T: AddWeight> ClusterAggregate for SumAgg<T> {
         for r in rakes {
             total = T::add(total, r.total);
         }
-        SumAgg { path: T::add(left.path, right.path), total }
+        SumAgg {
+            path: T::add(left.path, right.path),
+            total,
+        }
     }
 
     fn rake(_v: Vertex, vw: &T, _u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
@@ -46,7 +52,10 @@ impl<T: AddWeight> ClusterAggregate for SumAgg<T> {
         for r in rakes {
             total = T::add(total, r.total);
         }
-        SumAgg { path: T::zero(), total }
+        SumAgg {
+            path: T::zero(),
+            total,
+        }
     }
 
     fn finalize(_v: Vertex, vw: &T, rakes: &[&Self]) -> Self {
@@ -54,7 +63,10 @@ impl<T: AddWeight> ClusterAggregate for SumAgg<T> {
         for r in rakes {
             total = T::add(total, r.total);
         }
-        SumAgg { path: T::zero(), total }
+        SumAgg {
+            path: T::zero(),
+            total,
+        }
     }
 }
 

@@ -20,7 +20,9 @@ pub(crate) struct UnionFind {
 
 impl UnionFind {
     pub(crate) fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     pub(crate) fn find(&mut self, x: u32) -> u32 {
@@ -51,8 +53,13 @@ impl UnionFind {
 impl<A: ClusterAggregate> RcForest<A> {
     /// An empty forest of `n` isolated vertices with default weights.
     pub fn new(n: usize) -> Self {
-        Self::build(n, vec![A::VertexWeight::default(); n], &[], BuildOptions::default())
-            .expect("empty build cannot fail")
+        Self::build(
+            n,
+            vec![A::VertexWeight::default(); n],
+            &[],
+            BuildOptions::default(),
+        )
+        .expect("empty build cannot fail")
     }
 
     /// Build from an edge list with default vertex weights.
@@ -109,9 +116,14 @@ impl<A: ClusterAggregate> RcForest<A> {
             edges: EdgeArena::new(),
             levels: 0,
             marks: MarkSpace::new(n),
+            scratch: Default::default(),
         };
         // Cluster slots start invalid; a throwaway aggregate fills them.
-        let dummy = A::finalize(0, &forest.vertex_weights.first().cloned().unwrap_or_default(), &[]);
+        let dummy = A::finalize(
+            0,
+            &forest.vertex_weights.first().cloned().unwrap_or_default(),
+            &[],
+        );
         forest.clusters = vec![VertexCluster::invalid(dummy); n];
 
         let mut seen = std::collections::HashSet::with_capacity(edges.len() * 2);
@@ -195,7 +207,7 @@ impl<A: ClusterAggregate> RcForest<A> {
                 });
                 // Commit clusters and parent pointers (sequentialized per
                 // cluster; each child has a unique consumer).
-                drop(pn);
+                let _ = pn; // end the ParSlice borrow before committing
                 for (v, cluster) in built {
                     self.clusters[v as usize] = cluster;
                     self.assign_parents_seq(v);
@@ -270,14 +282,18 @@ mod tests {
 
     #[test]
     fn build_path_structure() {
-        let f = RcForest::<SumAgg<i64>>::build_edges(100, &path_edges(100), BuildOptions::default())
-            .unwrap();
+        let f =
+            RcForest::<SumAgg<i64>>::build_edges(100, &path_edges(100), BuildOptions::default())
+                .unwrap();
         // Exactly one nullary cluster (one component).
-        let roots =
-            (0..100u32).filter(|&v| f.cluster(v).kind == ClusterKind::Nullary).count();
+        let roots = (0..100u32)
+            .filter(|&v| f.cluster(v).kind == ClusterKind::Nullary)
+            .count();
         assert_eq!(roots, 1);
         // Root aggregate covers all 99 edges.
-        let root = (0..100u32).find(|&v| f.cluster(v).kind == ClusterKind::Nullary).unwrap();
+        let root = (0..100u32)
+            .find(|&v| f.cluster(v).kind == ClusterKind::Nullary)
+            .unwrap();
         assert_eq!(f.cluster(root).agg.total, 99);
     }
 
@@ -286,7 +302,9 @@ mod tests {
         // Degree-3 star: 0 connected to 1,2,3.
         let edges = vec![(0u32, 1u32, 1i64), (0, 2, 1), (0, 3, 1)];
         let f = RcForest::<SumAgg<i64>>::build_edges(4, &edges, BuildOptions::default()).unwrap();
-        let roots = (0..4u32).filter(|&v| f.cluster(v).kind == ClusterKind::Nullary).count();
+        let roots = (0..4u32)
+            .filter(|&v| f.cluster(v).kind == ClusterKind::Nullary)
+            .count();
         assert_eq!(roots, 1);
     }
 
@@ -294,7 +312,9 @@ mod tests {
     fn build_forest_components() {
         let edges = vec![(0u32, 1u32, 1i64), (2, 3, 1), (4, 5, 1)];
         let f = RcForest::<SumAgg<i64>>::build_edges(7, &edges, BuildOptions::default()).unwrap();
-        let roots = (0..7u32).filter(|&v| f.cluster(v).kind == ClusterKind::Nullary).count();
+        let roots = (0..7u32)
+            .filter(|&v| f.cluster(v).kind == ClusterKind::Nullary)
+            .count();
         assert_eq!(roots, 4, "three pairs + one isolated vertex");
     }
 
@@ -302,7 +322,10 @@ mod tests {
     fn build_rejects_cycle() {
         let edges = vec![(0u32, 1u32, 1i64), (1, 2, 1), (2, 0, 1)];
         let err = RcForest::<SumAgg<i64>>::build_edges(3, &edges, BuildOptions::default());
-        assert_eq!(err.unwrap_err(), ForestError::WouldCreateCycle { u: 2, v: 0 });
+        assert_eq!(
+            err.unwrap_err(),
+            ForestError::WouldCreateCycle { u: 2, v: 0 }
+        );
     }
 
     #[test]
@@ -319,7 +342,11 @@ mod tests {
             Err(ForestError::SelfLoop { .. })
         ));
         assert!(matches!(
-            RcForest::<SumAgg<i64>>::build_edges(3, &[(0, 1, 1), (1, 0, 2)], BuildOptions::default()),
+            RcForest::<SumAgg<i64>>::build_edges(
+                3,
+                &[(0, 1, 1), (1, 0, 2)],
+                BuildOptions::default()
+            ),
             Err(ForestError::WouldCreateCycle { .. }) | Err(ForestError::DuplicateEdge { .. })
         ));
     }
@@ -327,9 +354,14 @@ mod tests {
     #[test]
     fn logarithmic_levels_on_long_path() {
         let n = 10_000;
-        let f =
-            RcForest::<CountAgg>::build_edges(n, &(0..n - 1).map(|i| (i as u32, i as u32 + 1, ())).collect::<Vec<_>>(), BuildOptions::default())
-                .unwrap();
+        let f = RcForest::<CountAgg>::build_edges(
+            n,
+            &(0..n - 1)
+                .map(|i| (i as u32, i as u32 + 1, ()))
+                .collect::<Vec<_>>(),
+            BuildOptions::default(),
+        )
+        .unwrap();
         assert!(
             f.num_levels() < 120,
             "path of {n} contracted in {} levels — expected O(log n)",
@@ -339,9 +371,14 @@ mod tests {
 
     #[test]
     fn deterministic_mode_builds_paths() {
-        let opts = BuildOptions { mode: ContractionMode::Deterministic, ..Default::default() };
+        let opts = BuildOptions {
+            mode: ContractionMode::Deterministic,
+            ..Default::default()
+        };
         let f = RcForest::<SumAgg<i64>>::build_edges(1000, &path_edges(1000), opts).unwrap();
-        let roots = (0..1000u32).filter(|&v| f.cluster(v).kind == ClusterKind::Nullary).count();
+        let roots = (0..1000u32)
+            .filter(|&v| f.cluster(v).kind == ClusterKind::Nullary)
+            .count();
         assert_eq!(roots, 1);
         assert!(f.num_levels() < 200, "levels = {}", f.num_levels());
     }

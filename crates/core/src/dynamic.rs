@@ -165,8 +165,10 @@ impl<A: ClusterAggregate> RcForest<A> {
         links: &[(Vertex, Vertex, A::EdgeWeight)],
         cuts: &[(Vertex, Vertex)],
     ) -> Result<(), ForestError> {
-        let cut_keys: std::collections::HashSet<u64> =
-            cuts.iter().map(|&(u, v)| rc_parlay::hashtable::edge_key(u, v)).collect();
+        let cut_keys: std::collections::HashSet<u64> = cuts
+            .iter()
+            .map(|&(u, v)| rc_parlay::hashtable::edge_key(u, v))
+            .collect();
         let mut delta: HashMap<Vertex, i32> = HashMap::new();
         for &(u, v) in cuts {
             *delta.entry(u).or_insert(0) -= 1;
@@ -243,8 +245,12 @@ impl<A: ClusterAggregate> RcForest<A> {
         // Apply cuts then links to the level-0 records.
         for &(u, v) in cuts {
             let e = self.find_base_edge(u, v).expect("validated cut");
-            self.histories[u as usize][0].adj.remove_first(|x| x.nbr == v && !x.raked);
-            self.histories[v as usize][0].adj.remove_first(|x| x.nbr == u && !x.raked);
+            self.histories[u as usize][0]
+                .adj
+                .remove_first(|x| x.nbr == v && !x.raked);
+            self.histories[v as usize][0]
+                .adj
+                .remove_first(|x| x.nbr == u && !x.raked);
             self.edges.release(e);
         }
         let mut new_edge_parents_pending: Vec<u32> = Vec::new();
@@ -267,7 +273,7 @@ impl<A: ClusterAggregate> RcForest<A> {
         for fe in frontier.iter_mut() {
             let rec = &mut self.histories[fe.v as usize][0];
             rec.adj.as_mut_slice().sort_unstable_by_key(|e| e.nbr);
-            fe.rec_changed = fe.old_rec.map_or(true, |o| !o.same_adj(rec));
+            fe.rec_changed = fe.old_rec.is_none_or(|o| !o.same_adj(rec));
         }
 
         // ---- repair levels ----
@@ -282,7 +288,11 @@ impl<A: ClusterAggregate> RcForest<A> {
             // the surgery above.
             if level > 0 {
                 let me: &RcForest<A> = self;
-                let rebuilt: Vec<(usize, Option<(LevelRecord, Option<LevelRecord>)>)> = frontier
+                #[allow(clippy::type_complexity)]
+                let rebuilt: Vec<(
+                    usize,
+                    Option<(LevelRecord, Option<LevelRecord>)>,
+                )> = frontier
                     .par_iter()
                     .enumerate()
                     .map(|(i, fe)| {
@@ -294,8 +304,11 @@ impl<A: ClusterAggregate> RcForest<A> {
                         if !live_new {
                             return (i, None);
                         }
-                        let old_rec =
-                            if h.len() > level as usize { Some(h[level as usize]) } else { None };
+                        let old_rec = if h.len() > level as usize {
+                            Some(h[level as usize])
+                        } else {
+                            None
+                        };
                         let new_rec = me.successor_record(v, level - 1, &|u| {
                             me.histories[u as usize][(level - 1) as usize].event
                         });
@@ -309,8 +322,7 @@ impl<A: ClusterAggregate> RcForest<A> {
                         let fe = &frontier[i];
                         let v = fe.v;
                         let h = &mut self.histories[v as usize];
-                        let rec_changed =
-                            old_rec.map_or(true, |o| !o.same_adj(&new_rec));
+                        let rec_changed = old_rec.is_none_or(|o| !o.same_adj(&new_rec));
                         let mut stored = new_rec;
                         // Preserve the stored event until re-decided (the
                         // decide phase reads retained events of others).
@@ -404,8 +416,7 @@ impl<A: ClusterAggregate> RcForest<A> {
                     .par_iter()
                     .map(|fe| {
                         let old_event = fe.old_rec.map_or(Event::Live, |o| o.event);
-                        let event_changed =
-                            fe.old_rec.is_none() || old_event != fe.new_event;
+                        let event_changed = fe.old_rec.is_none() || old_event != fe.new_event;
                         if fe.new_event.contracts() && (fe.rec_changed || event_changed) {
                             Some(me.make_cluster(fe.v, level, fe.new_event))
                         } else {
@@ -414,13 +425,12 @@ impl<A: ClusterAggregate> RcForest<A> {
                     })
                     .collect();
 
-                let mark_next = |marks: &crate::forest::MarkSpace,
-                                     out: &mut Vec<Vertex>,
-                                     u: Vertex| {
-                    if marks.claim(u, epoch_next) {
-                        out.push(u);
-                    }
-                };
+                let mark_next =
+                    |marks: &crate::forest::MarkSpace, out: &mut Vec<Vertex>, u: Vertex| {
+                        if marks.claim(u, epoch_next) {
+                            out.push(u);
+                        }
+                    };
 
                 for (i, fe) in frontier.iter().enumerate() {
                     let v = fe.v;
@@ -625,7 +635,8 @@ mod tests {
     fn mixed_update_unchecked() {
         let mut f = F::build_edges(32, &path_edges(32), BuildOptions::default()).unwrap();
         // Reroute in one propagation: cut (15,16), reconnect via (0,31).
-        f.batch_update_unchecked(&[(0, 31, 7)], &[(15, 16)]).unwrap();
+        f.batch_update_unchecked(&[(0, 31, 7)], &[(15, 16)])
+            .unwrap();
         f.validate().unwrap();
         f.assert_matches_fresh_rebuild();
         assert_eq!(f.find_representative(0), f.find_representative(31));
@@ -649,7 +660,10 @@ mod tests {
     #[test]
     fn rejects_missing_cut_and_degree_overflow() {
         let mut f = F::build_edges(8, &path_edges(8), BuildOptions::default()).unwrap();
-        assert!(matches!(f.batch_cut(&[(0, 5)]), Err(ForestError::MissingEdge { .. })));
+        assert!(matches!(
+            f.batch_cut(&[(0, 5)]),
+            Err(ForestError::MissingEdge { .. })
+        ));
         assert!(matches!(
             f.batch_link(&[(1, 5, 1), (1, 6, 1)]),
             Err(ForestError::DegreeOverflow { v: 1 })
@@ -698,7 +712,9 @@ mod tests {
                 } else if naive.degree(u) < 3
                     && naive.degree(v) < 3
                     && !naive.connected(u, v)
-                    && !links.iter().any(|&(a, b, _)| (a, b) == (u, v) || (b, a) == (u, v))
+                    && !links
+                        .iter()
+                        .any(|&(a, b, _)| (a, b) == (u, v) || (b, a) == (u, v))
                 {
                     let w = rng.next_below(100) as i64;
                     links.push((u, v, w));
@@ -723,7 +739,8 @@ mod tests {
             }
             f.batch_cut(&cuts).unwrap();
             f.batch_link(&ok_links).unwrap();
-            f.validate().unwrap_or_else(|e| panic!("round {_round}: {e}"));
+            f.validate()
+                .unwrap_or_else(|e| panic!("round {_round}: {e}"));
             f.assert_matches_fresh_rebuild();
             // Connectivity cross-check on a few pairs.
             for _ in 0..10 {

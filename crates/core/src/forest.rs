@@ -38,7 +38,10 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { seed: 0x5EED_C0DE, mode: ContractionMode::Randomized }
+        BuildOptions {
+            seed: 0x5EED_C0DE,
+            mode: ContractionMode::Randomized,
+        }
     }
 }
 
@@ -170,7 +173,10 @@ pub(crate) struct MarkSpace {
 
 impl MarkSpace {
     pub(crate) fn new(n: usize) -> Self {
-        MarkSpace { epoch: AtomicU64::new(0), stamp: (0..n).map(|_| AtomicU64::new(0)).collect() }
+        MarkSpace {
+            epoch: AtomicU64::new(0),
+            stamp: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
     /// Reserve `count` fresh epochs; returns the first.
@@ -237,6 +243,9 @@ pub struct RcForest<A: ClusterAggregate> {
     /// Total number of contraction rounds (max round + 1).
     pub(crate) levels: u32,
     pub(crate) marks: MarkSpace,
+    /// Pooled arenas for the marked-subtree query engine
+    /// (`queries::engine`), so steady-state batch queries reuse buffers.
+    pub(crate) scratch: crate::queries::engine::ScratchPool,
 }
 
 impl<A: ClusterAggregate> RcForest<A> {
@@ -387,9 +396,8 @@ impl<A: ClusterAggregate> RcForest<A> {
             nrakes += 1;
         }
         // SAFETY: the first `nrakes` elements were just initialized.
-        let rakes: &[&A] = unsafe {
-            std::slice::from_raw_parts(rake_refs.as_ptr() as *const &A, nrakes)
-        };
+        let rakes: &[&A] =
+            unsafe { std::slice::from_raw_parts(rake_refs.as_ptr() as *const &A, nrakes) };
 
         match event {
             Event::Rake => {
@@ -462,13 +470,9 @@ impl<A: ClusterAggregate> RcForest<A> {
         let rakes: &[&A] =
             unsafe { std::slice::from_raw_parts(rake_refs.as_ptr() as *const &A, nrakes) };
         match c.kind {
-            ClusterKind::Unary => A::rake(
-                v,
-                vw,
-                c.boundary[0],
-                self.agg_of(c.bin_children[0]),
-                rakes,
-            ),
+            ClusterKind::Unary => {
+                A::rake(v, vw, c.boundary[0], self.agg_of(c.bin_children[0]), rakes)
+            }
             ClusterKind::Binary => A::compress(
                 v,
                 vw,
@@ -563,6 +567,7 @@ impl<A: ClusterAggregate> Clone for RcForest<A> {
             edges: self.edges.clone(),
             levels: self.levels,
             marks: self.marks.clone(),
+            scratch: Default::default(),
         }
     }
 }

@@ -11,6 +11,18 @@
 //! Arbitrary-degree forests are supported through the `rc-ternary` crate;
 //! incremental minimum spanning forests through `rc-msf`.
 //!
+//! # Architecture: the marked-subtree engine
+//!
+//! All batch queries route through one engine ([`MarkedSweep`], obtained
+//! from [`RcForest::marked_sweep`]): start-vertex validation and dedup,
+//! the atomic ancestor-marking pass, and generic `top_down` /
+//! `bottom_up` visitor passes over the marked subtree, backed by pooled
+//! per-forest scratch arenas. Each query family is a visitor plus an
+//! `O(1)`-per-query assembly step; the [`queries`] module documents the
+//! family table and the uniform `None` contract for invalid entries.
+//! Downstream crates can build new batch query kinds on the same engine
+//! via [`RcForest::marked_sweep`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -35,7 +47,7 @@ mod decide;
 mod dynamic;
 mod forest;
 pub mod naive;
-mod queries;
+pub mod queries;
 pub mod types;
 mod validate;
 
@@ -47,4 +59,5 @@ pub use aggregates::{
 };
 pub use forest::{BuildOptions, ContractionMode, RcForest, VertexCluster};
 pub use queries::cpt::CompressedPathTree;
+pub use queries::engine::{MarkedSweep, SweepVals};
 pub use types::{ClusterId, ClusterKind, Event, ForestError, Vertex, MAX_DEGREE, NO_VERTEX};

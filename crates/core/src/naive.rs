@@ -17,7 +17,9 @@ pub struct NaiveForest<W: Clone> {
 impl<W: Clone> NaiveForest<W> {
     /// An edgeless forest on `n` vertices.
     pub fn new(n: usize) -> Self {
-        NaiveForest { adj: vec![Vec::new(); n] }
+        NaiveForest {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -37,7 +39,10 @@ impl<W: Clone> NaiveForest<W> {
 
     /// Weight of edge `{u, v}` if present.
     pub fn edge_weight(&self, u: Vertex, v: Vertex) -> Option<&W> {
-        self.adj[u as usize].iter().find(|&&(x, _)| x == v).map(|(_, w)| w)
+        self.adj[u as usize]
+            .iter()
+            .find(|&&(x, _)| x == v)
+            .map(|(_, w)| w)
     }
 
     /// Insert edge `{u, v}`; checks for duplicates and cycles.
@@ -224,7 +229,10 @@ mod tests {
     #[test]
     fn cycle_rejected() {
         let mut f = path4();
-        assert_eq!(f.link(0, 3, 1), Err(ForestError::WouldCreateCycle { u: 0, v: 3 }));
+        assert_eq!(
+            f.link(0, 3, 1),
+            Err(ForestError::WouldCreateCycle { u: 0, v: 3 })
+        );
     }
 
     #[test]

@@ -21,10 +21,7 @@ impl<P: PathAggregate> RcForest<P> {
     /// batch. With [`crate::MinEdgeAgg`] / [`crate::MaxEdgeAgg`] this is
     /// `BatchPathMin` / `BatchPathMax` — the lightest/heaviest edge with
     /// its endpoints.
-    pub fn batch_path_extrema(
-        &self,
-        pairs: &[(Vertex, Vertex)],
-    ) -> Vec<Option<P::PathVal>> {
+    pub fn batch_path_extrema(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<P::PathVal>> {
         if pairs.is_empty() {
             return Vec::new();
         }
@@ -126,15 +123,21 @@ impl<P: PathAggregate> StaticPathSolver<P> {
         }
         // The root's self-loop aggregates must be identities so lifts past
         // the root are no-ops.
-        for j in 0..levels {
+        for agg_level in agg.iter_mut() {
             for x in 0..n {
                 if up[0][x] == x as u32 {
                     // roots: ensure identity at all levels
-                    agg[j][x] = P::path_identity();
+                    agg_level[x] = P::path_identity();
                 }
             }
         }
-        StaticPathSolver { index, depth, comp, up, agg }
+        StaticPathSolver {
+            index,
+            depth,
+            comp,
+            up,
+            agg,
+        }
     }
 
     pub(crate) fn query(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
@@ -184,8 +187,7 @@ mod tests {
 
     #[test]
     fn batch_extrema_on_path() {
-        let edges: Vec<(u32, u32, u64)> =
-            vec![(0, 1, 5), (1, 2, 9), (2, 3, 2), (3, 4, 7)];
+        let edges: Vec<(u32, u32, u64)> = vec![(0, 1, 5), (1, 2, 9), (2, 3, 2), (3, 4, 7)];
         let f =
             RcForest::<MinEdgeAgg<u64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
         let got = f.batch_path_extrema(&[(0, 4), (0, 1), (1, 3), (2, 2)]);
@@ -205,7 +207,11 @@ mod tests {
             if rng.next_f64() < 0.05 {
                 continue;
             }
-            let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.6 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = 1 + rng.next_below(10_000);
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));
@@ -214,7 +220,12 @@ mod tests {
         let f =
             RcForest::<MaxEdgeAgg<u64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
         let pairs: Vec<(u32, u32)> = (0..300)
-            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
             .collect();
         let got = f.batch_path_extrema(&pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {

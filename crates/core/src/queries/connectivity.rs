@@ -1,44 +1,51 @@
 //! Batch connectivity queries (§3.3).
 //!
-//! Reduces to batch find-representative: mark the ancestor paths of the
-//! query vertices, push the component root's representative down the
-//! marked subtree, and compare per pair. `O(k + k log(1 + n/k))` work,
-//! `O(log n)` span (Theorem 3.5).
+//! Reduces to batch find-representative on the marked-subtree engine: one
+//! [`RcForest::marked_sweep`] over the query vertices, a top-down
+//! `root_labels` pass, and a per-query lookup. `O(k + k log(1 + n/k))`
+//! work, `O(log n)` span (Theorem 3.5).
 
 use crate::aggregate::ClusterAggregate;
 use crate::forest::RcForest;
-use crate::types::Vertex;
-use rc_parlay::slice::ParSlice;
+use crate::types::{Vertex, NO_VERTEX};
 use rc_parlay::parallel_for;
+use rc_parlay::slice::ParSlice;
 
 impl<A: ClusterAggregate> RcForest<A> {
-    /// Are `u` and `v` in the same tree? (`O(log n)`.)
+    /// Are `u` and `v` in the same tree? (`O(log n)`; `false` when either
+    /// vertex is out of range.)
     pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        if !self.in_range(u) || !self.in_range(v) {
+            return false;
+        }
         self.find_representative(u) == self.find_representative(v)
     }
 
     /// Component representatives for a batch of vertices, sharing ancestor
-    /// walks across the batch.
+    /// walks across the batch. Out-of-range vertices map to
+    /// [`NO_VERTEX`].
     pub fn batch_find_representatives(&self, vs: &[Vertex]) -> Vec<Vertex> {
         if vs.is_empty() {
             return Vec::new();
         }
-        let ms = self.mark_ancestors(vs);
-        let labels = self.root_labels(&ms);
-        let mut out = vec![0 as Vertex; vs.len()];
+        let sweep = self.marked_sweep(vs.iter().copied());
+        let labels = sweep.root_labels();
+        let mut out = vec![NO_VERTEX; vs.len()];
         {
             let po = ParSlice::new(&mut out);
             parallel_for(vs.len(), |i| {
-                let slot = ms.slot(vs[i]);
-                // SAFETY: one write per output slot.
-                unsafe { po.write(i, labels[slot as usize]) };
+                if self.in_range(vs[i]) {
+                    // SAFETY: one write per output slot.
+                    unsafe { po.write(i, labels[sweep.slot(vs[i]) as usize]) };
+                }
             });
         }
         out
     }
 
     /// `BatchConnected`: answer `k` connectivity queries in
-    /// `O(k + k log(1 + n/k))` work.
+    /// `O(k + k log(1 + n/k))` work. Pairs naming out-of-range vertices
+    /// answer `false`.
     pub fn batch_connected(&self, pairs: &[(Vertex, Vertex)]) -> Vec<bool> {
         if pairs.is_empty() {
             return Vec::new();
@@ -49,7 +56,9 @@ impl<A: ClusterAggregate> RcForest<A> {
             starts.push(v);
         }
         let reprs = self.batch_find_representatives(&starts);
-        (0..pairs.len()).map(|i| reprs[2 * i] == reprs[2 * i + 1]).collect()
+        (0..pairs.len())
+            .map(|i| reprs[2 * i] != NO_VERTEX && reprs[2 * i] == reprs[2 * i + 1])
+            .collect()
     }
 }
 
@@ -57,6 +66,7 @@ impl<A: ClusterAggregate> RcForest<A> {
 mod tests {
     use crate::aggregates::SumAgg;
     use crate::forest::{BuildOptions, RcForest};
+    use crate::types::NO_VERTEX;
 
     type F = RcForest<SumAgg<i64>>;
 
@@ -94,6 +104,18 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_is_disconnected() {
+        let f = two_paths();
+        assert!(!f.connected(0, 99));
+        assert!(!f.connected(99, 99));
+        let reprs = f.batch_find_representatives(&[0, 99, 3]);
+        assert_eq!(reprs[1], NO_VERTEX);
+        assert_eq!(reprs[0], reprs[2]);
+        let got = f.batch_connected(&[(0, 3), (0, 99), (99, 99)]);
+        assert_eq!(got, vec![true, false, false]);
+    }
+
+    #[test]
     fn batch_on_large_random_forest() {
         use rc_parlay::rng::SplitMix64;
         let n = 3000usize;
@@ -104,7 +126,11 @@ mod tests {
             let base = c * 1000;
             for i in 1..1000u32 {
                 // connect i to a random earlier vertex of same chunk, chain-biased
-                let j = if rng.next_f64() < 0.8 { i - 1 } else { rng.next_below(i as u64) as u32 };
+                let j = if rng.next_f64() < 0.8 {
+                    i - 1
+                } else {
+                    rng.next_below(i as u64) as u32
+                };
                 edges.push((base + i, base + j, 1));
             }
         }
@@ -128,7 +154,12 @@ mod tests {
             nf
         };
         let pairs: Vec<(u32, u32)> = (0..500)
-            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
             .collect();
         let got = f.batch_connected(&pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {

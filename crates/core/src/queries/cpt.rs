@@ -5,14 +5,20 @@
 //! pair of terminals is preserved exactly (Fig. 4: "the max between any
 //! pair of nodes is maintained in the compressed tree").
 //!
-//! Construction is one bottom-up sweep over the marked subtree. Each
-//! marked cluster summarizes its terminals' partial Steiner tree by at
-//! most two *exposures* — the nearest structure node toward each boundary
-//! with the exact path aggregate from that boundary. Junctions materialize
-//! eagerly (possibly as provisional degree-2 nodes); a final compaction
-//! removes non-terminal leaves and splices non-terminal degree-2 nodes,
-//! combining edge aggregates — which keeps every pairwise aggregate exact.
+//! Construction is one [`bottom_up`](crate::MarkedSweep::bottom_up)
+//! visitor over the marked sweep. Each marked cluster summarizes its
+//! terminals' partial Steiner tree by at most two *exposures* — the
+//! nearest structure node toward each boundary with the exact path
+//! aggregate from that boundary. Junctions materialize eagerly (possibly
+//! as provisional degree-2 nodes); a final compaction removes non-terminal
+//! leaves and splices non-terminal degree-2 nodes, combining edge
+//! aggregates — which keeps every pairwise aggregate exact.
 //! `O(k log(1 + n/k))` expected work, `O(k)` output.
+//!
+//! Out-of-range terminals are ignored — the compressed tree is a set
+//! construction, so there is no per-terminal `None` slot to fill; queries
+//! against [`CompressedPathTree::path_value`] answer `None` for vertices
+//! absent from the tree.
 
 use crate::aggregate::PathAggregate;
 use crate::forest::RcForest;
@@ -44,20 +50,23 @@ enum Partial<T> {
 impl<P: PathAggregate> RcForest<P> {
     /// Build the compressed path tree of `terminals` (duplicates allowed).
     pub fn compressed_path_tree(&self, terminals: &[Vertex]) -> CompressedPathTree<P> {
-        let term_set: HashSet<Vertex> =
-            terminals.iter().copied().filter(|&v| (v as usize) < self.n).collect();
+        let term_set: HashSet<Vertex> = terminals
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < self.n)
+            .collect();
         if term_set.is_empty() {
-            return CompressedPathTree { vertices: Vec::new(), edges: Vec::new() };
+            return CompressedPathTree {
+                vertices: Vec::new(),
+                edges: Vec::new(),
+            };
         }
-        let starts: Vec<Vertex> = term_set.iter().copied().collect();
-        let ms = self.mark_ancestors(&starts);
-
-        let mut partial: Vec<Partial<P::PathVal>> = vec![Partial::Empty; ms.len()];
+        let sweep = self.marked_sweep(term_set.iter().copied());
         let mut emitted: Vec<(Vertex, Vertex, P::PathVal)> = Vec::new();
 
         // Exposure of a *child* cluster of `v`'s contraction toward a
         // given vertex (v or the far boundary).
-        let expose_of = |partial: &Vec<Partial<P::PathVal>>,
+        let expose_of = |partial: &[Partial<P::PathVal>],
                          child: ClusterId,
                          toward: Vertex|
          -> Expose<P::PathVal> {
@@ -65,10 +74,7 @@ impl<P: PathAggregate> RcForest<P> {
                 return None; // base edges hold no terminals
             }
             let w = child.as_vertex();
-            let slot = match ms.index.get(&w) {
-                Some(&s) => s,
-                None => return None, // unmarked: no terminals inside
-            };
+            let slot = sweep.try_slot(w)?;
             match &partial[slot as usize] {
                 Partial::Empty => None,
                 Partial::Has(exp) => {
@@ -84,15 +90,16 @@ impl<P: PathAggregate> RcForest<P> {
             }
         };
 
-        // Bottom-up by round.
-        for bucket in ms.by_round.iter() {
-            for &s in bucket {
-                let v = ms.nodes[s as usize];
+        // Bottom-up visitor over the marked sweep; emits junction edges as
+        // a side effect and summarizes each cluster by its exposures.
+        sweep.bottom_up(Partial::Empty, |s, partial| {
+            {
+                let v = sweep.rep(s);
                 let c = self.cluster(v);
                 // Parts attached directly at v: rake children + v itself.
                 let mut parts: Vec<(Vertex, P::PathVal)> = Vec::new();
                 for rk in c.rake_children.iter() {
-                    if let Some(p) = expose_of(&partial, rk, v) {
+                    if let Some(p) = expose_of(partial, rk, v) {
                         parts.push(p);
                     }
                 }
@@ -104,8 +111,8 @@ impl<P: PathAggregate> RcForest<P> {
                     ClusterKind::Unary => {
                         let e = c.bin_children[0];
                         let path_e = self.agg_of(e).cluster_path();
-                        let e_near = expose_of(&partial, e, v);
-                        let e_far = expose_of(&partial, e, c.boundary[0]);
+                        let e_near = expose_of(partial, e, v);
+                        let e_far = expose_of(partial, e, c.boundary[0]);
                         let dirs = parts.len() + usize::from(e_near.is_some());
                         match dirs {
                             0 => Partial::Empty,
@@ -114,10 +121,7 @@ impl<P: PathAggregate> RcForest<P> {
                                     Partial::Has([e_far, None])
                                 } else {
                                     let (t, d) = parts.pop().unwrap();
-                                    Partial::Has([
-                                        Some((t, P::path_combine(&path_e, &d))),
-                                        None,
-                                    ])
+                                    Partial::Has([Some((t, P::path_combine(&path_e, &d))), None])
                                 }
                             }
                             _ => {
@@ -139,10 +143,10 @@ impl<P: PathAggregate> RcForest<P> {
                         let (l, r) = (c.bin_children[0], c.bin_children[1]);
                         let path_l = self.agg_of(l).cluster_path();
                         let path_r = self.agg_of(r).cluster_path();
-                        let l_near = expose_of(&partial, l, v);
-                        let l_far = expose_of(&partial, l, c.boundary[0]);
-                        let r_near = expose_of(&partial, r, v);
-                        let r_far = expose_of(&partial, r, c.boundary[1]);
+                        let l_near = expose_of(partial, l, v);
+                        let l_far = expose_of(partial, l, c.boundary[0]);
+                        let r_near = expose_of(partial, r, v);
+                        let r_far = expose_of(partial, r, c.boundary[1]);
                         let dirs = parts.len()
                             + usize::from(l_near.is_some())
                             + usize::from(r_near.is_some());
@@ -150,15 +154,9 @@ impl<P: PathAggregate> RcForest<P> {
                             0 => Partial::Empty,
                             1 => {
                                 if let Some((tl, dl)) = l_near {
-                                    Partial::Has([
-                                        l_far,
-                                        Some((tl, P::path_combine(&path_r, &dl))),
-                                    ])
+                                    Partial::Has([l_far, Some((tl, P::path_combine(&path_r, &dl)))])
                                 } else if let Some((tr, dr)) = r_near {
-                                    Partial::Has([
-                                        Some((tr, P::path_combine(&path_l, &dr))),
-                                        r_far,
-                                    ])
+                                    Partial::Has([Some((tr, P::path_combine(&path_l, &dr))), r_far])
                                 } else {
                                     let (t, d) = parts.pop().unwrap();
                                     if t != v {
@@ -205,9 +203,9 @@ impl<P: PathAggregate> RcForest<P> {
                     }
                     ClusterKind::Invalid => unreachable!(),
                 };
-                partial[s as usize] = result;
+                result
             }
-        }
+        });
 
         compact::<P>(emitted, &term_set)
     }
@@ -226,8 +224,15 @@ fn compact<P: PathAggregate>(
         w: T,
         alive: bool,
     }
-    let mut edges: Vec<E<P::PathVal>> =
-        emitted.into_iter().map(|(a, b, w)| E { a, b, w, alive: true }).collect();
+    let mut edges: Vec<E<P::PathVal>> = emitted
+        .into_iter()
+        .map(|(a, b, w)| E {
+            a,
+            b,
+            w,
+            alive: true,
+        })
+        .collect();
     let mut adj: HashMap<Vertex, Vec<usize>> = HashMap::new();
     for (i, e) in edges.iter().enumerate() {
         adj.entry(e.a).or_default().push(i);
@@ -237,10 +242,14 @@ fn compact<P: PathAggregate>(
         adj.entry(t).or_default();
     }
     let live_deg = |adj: &HashMap<Vertex, Vec<usize>>, edges: &Vec<E<P::PathVal>>, v: Vertex| {
-        adj.get(&v).map_or(0, |es| es.iter().filter(|&&i| edges[i].alive).count())
+        adj.get(&v)
+            .map_or(0, |es| es.iter().filter(|&&i| edges[i].alive).count())
     };
-    let mut queue: VecDeque<Vertex> =
-        adj.keys().copied().filter(|v| !terminals.contains(v)).collect();
+    let mut queue: VecDeque<Vertex> = adj
+        .keys()
+        .copied()
+        .filter(|v| !terminals.contains(v))
+        .collect();
     let mut removed: HashSet<Vertex> = HashSet::new();
     while let Some(x) = queue.pop_front() {
         if terminals.contains(&x) || removed.contains(&x) {
@@ -258,19 +267,36 @@ fn compact<P: PathAggregate>(
                 let i = live[0];
                 edges[i].alive = false;
                 removed.insert(x);
-                let other = if edges[i].a == x { edges[i].b } else { edges[i].a };
+                let other = if edges[i].a == x {
+                    edges[i].b
+                } else {
+                    edges[i].a
+                };
                 queue.push_back(other);
             }
             2 => {
                 let (i, j) = (live[0], live[1]);
-                let a = if edges[i].a == x { edges[i].b } else { edges[i].a };
-                let b = if edges[j].a == x { edges[j].b } else { edges[j].a };
+                let a = if edges[i].a == x {
+                    edges[i].b
+                } else {
+                    edges[i].a
+                };
+                let b = if edges[j].a == x {
+                    edges[j].b
+                } else {
+                    edges[j].a
+                };
                 let w = P::path_combine(&edges[i].w, &edges[j].w);
                 edges[i].alive = false;
                 edges[j].alive = false;
                 removed.insert(x);
                 let k = edges.len();
-                edges.push(E { a, b, w, alive: true });
+                edges.push(E {
+                    a,
+                    b,
+                    w,
+                    alive: true,
+                });
                 adj.entry(a).or_default().push(k);
                 adj.entry(b).or_default().push(k);
             }
@@ -290,7 +316,10 @@ fn compact<P: PathAggregate>(
     let mut vertices: Vec<Vertex> = verts.into_iter().collect();
     vertices.sort_unstable();
     let _ = live_deg;
-    CompressedPathTree { vertices, edges: out_edges }
+    CompressedPathTree {
+        vertices,
+        edges: out_edges,
+    }
 }
 
 impl<P: PathAggregate> CompressedPathTree<P> {
@@ -337,7 +366,11 @@ mod tests {
         let edges: Vec<(u32, u32, i64)> = (0..9).map(|i| (i, i + 1, (i + 1) as i64)).collect();
         let f = RcForest::<SumAgg<i64>>::build_edges(10, &edges, BuildOptions::default()).unwrap();
         let cpt = f.compressed_path_tree(&[0, 9]);
-        assert_eq!(cpt.edges.len(), 1, "two terminals on a path compress to one edge");
+        assert_eq!(
+            cpt.edges.len(),
+            1,
+            "two terminals on a path compress to one edge"
+        );
         assert_eq!(cpt.path_value(0, 9), Some(45));
     }
 
@@ -385,8 +418,11 @@ mod tests {
             let mut naive = crate::naive::NaiveForest::<i64>::new(n);
             let mut edges: Vec<(u32, u32, i64)> = Vec::new();
             for v in 1..n as u32 {
-                let u =
-                    if rng.next_f64() < 0.5 { v - 1 } else { rng.next_below(v as u64) as u32 };
+                let u = if rng.next_f64() < 0.5 {
+                    v - 1
+                } else {
+                    rng.next_below(v as u64) as u32
+                };
                 let w = 1 + rng.next_below(40) as i64;
                 if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                     edges.push((u, v, w));
@@ -394,8 +430,7 @@ mod tests {
             }
             let f =
                 RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
-            let terms: Vec<u32> =
-                (0..12).map(|_| rng.next_below(n as u64) as u32).collect();
+            let terms: Vec<u32> = (0..12).map(|_| rng.next_below(n as u64) as u32).collect();
             let cpt = f.compressed_path_tree(&terms);
             assert!(
                 cpt.vertices.len() <= 2 * terms.len(),
@@ -406,7 +441,11 @@ mod tests {
             for &a in &terms {
                 for &b in &terms {
                     let expect = naive.path_edges(a, b).map(|es| es.iter().sum::<i64>());
-                    assert_eq!(cpt.path_value(a, b), expect, "trial {trial}: pair ({a},{b})");
+                    assert_eq!(
+                        cpt.path_value(a, b),
+                        expect,
+                        "trial {trial}: pair ({a},{b})"
+                    );
                 }
             }
         }
@@ -419,7 +458,11 @@ mod tests {
         let mut naive = crate::naive::NaiveForest::<u64>::new(n);
         let mut edges: Vec<(u32, u32, u64)> = Vec::new();
         for v in 1..n as u32 {
-            let u = if rng.next_f64() < 0.5 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.5 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = 1 + rng.next_below(1000);
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));
@@ -434,10 +477,15 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let expect = naive.path_edges(a, b).map(|es| es.iter().copied().max().unwrap());
+                let expect = naive
+                    .path_edges(a, b)
+                    .map(|es| es.iter().copied().max().unwrap());
                 let got = cpt.path_value(a, b).map(|o| o.map(|e| e.w));
-                assert_eq!(got.map(|x| x.unwrap_or(0)), expect.or(Some(0)).filter(|_| got.is_some()).or(expect),
-                    "pair ({a},{b})");
+                assert_eq!(
+                    got.map(|x| x.unwrap_or(0)),
+                    expect.or(Some(0)).filter(|_| got.is_some()).or(expect),
+                    "pair ({a},{b})"
+                );
                 match (cpt.path_value(a, b), naive.path_edges(a, b)) {
                     (Some(Some(e)), Some(es)) => {
                         assert_eq!(e.w, es.iter().copied().max().unwrap(), "max ({a},{b})")

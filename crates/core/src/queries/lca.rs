@@ -19,7 +19,7 @@
 
 use crate::aggregate::ClusterAggregate;
 use crate::forest::RcForest;
-use crate::queries::mark_util::MarkedSubtree;
+use crate::queries::engine::MarkedSweep;
 use crate::types::{ClusterId, ClusterKind, Vertex, NO_VERTEX};
 use rayon::prelude::*;
 use rc_parlay::NONE_U32;
@@ -113,7 +113,11 @@ impl<A: ClusterAggregate> RcForest<A> {
         if xc.kind != ClusterKind::Binary {
             return c;
         }
-        let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+        let far = if xc.boundary[0] == c {
+            xc.boundary[1]
+        } else {
+            xc.boundary[0]
+        };
         if far != rb_m {
             c
         } else {
@@ -132,7 +136,11 @@ impl<A: ClusterAggregate> RcForest<A> {
         let c_parent = xc.parent;
         debug_assert!(c_parent.is_vertex());
         let c = c_parent.as_vertex();
-        let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+        let far = if xc.boundary[0] == c {
+            xc.boundary[1]
+        } else {
+            xc.boundary[0]
+        };
         far != rb_m
     }
 
@@ -219,34 +227,27 @@ impl<A: ClusterAggregate> RcForest<A> {
 
     /// `BatchLCA`: answer `k` arbitrary-root LCA queries `(u, v, r)`,
     /// sharing the marked subtree, its static-LCA tables and the
-    /// orientation pass across the whole batch (§3.5).
+    /// orientation pass across the whole batch (§3.5). Queries naming an
+    /// out-of-range vertex answer `None`.
     pub fn batch_lca(&self, queries: &[(Vertex, Vertex, Vertex)]) -> Vec<Option<Vertex>> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let mut starts = Vec::with_capacity(queries.len() * 3);
-        for &(u, v, r) in queries {
-            for x in [u, v, r] {
-                if (x as usize) < self.n {
-                    starts.push(x);
-                }
-            }
-        }
-        if starts.is_empty() {
+        let sweep = self.marked_sweep(queries.iter().flat_map(|&(u, v, r)| [u, v, r]));
+        if sweep.is_empty() {
             return vec![None; queries.len()];
         }
-        let ms = self.mark_ancestors(&starts);
-        let tables = LcaTables::build(self, &ms);
+        let tables = LcaTables::build(self, &sweep);
 
         queries
             .par_iter()
             .map(|&(u, v, r)| {
-                if [u, v, r].iter().any(|&x| x as usize >= self.n) {
+                if [u, v, r].iter().any(|&x| !self.in_range(x)) {
                     return None;
                 }
-                let su = ms.slot(u);
-                let sv = ms.slot(v);
-                let sr = ms.slot(r);
+                let su = sweep.slot(u);
+                let sv = sweep.slot(v);
+                let sr = sweep.slot(r);
                 let root_u = tables.root_label[su as usize];
                 if tables.root_label[sv as usize] != root_u
                     || tables.root_label[sr as usize] != root_u
@@ -259,9 +260,9 @@ impl<A: ClusterAggregate> RcForest<A> {
                 if v == r {
                     return Some(v);
                 }
-                let l1 = tables.fixed(self, &ms, u, v, root_u);
-                let l2 = tables.fixed(self, &ms, u, r, root_u);
-                let l3 = tables.fixed(self, &ms, v, r, root_u);
+                let l1 = tables.fixed(self, &sweep, u, v, root_u);
+                let l2 = tables.fixed(self, &sweep, u, r, root_u);
+                let l3 = tables.fixed(self, &sweep, v, r, root_u);
                 Some(l1 ^ l2 ^ l3)
             })
             .collect()
@@ -286,29 +287,26 @@ struct LcaTables {
 }
 
 impl LcaTables {
-    fn build<A: ClusterAggregate>(f: &RcForest<A>, ms: &MarkedSubtree) -> Self {
-        let m = ms.len();
-        // Depth + root labels via top-down bucket sweep.
-        let mut depth = vec![0u32; m];
-        let root_label = f.root_labels(ms);
-        let root_boundary = f.root_boundary(ms);
-        for bucket in ms.depth_order_topdown() {
-            for &s in bucket {
-                let p = ms.parent[s as usize];
-                depth[s as usize] = if p == NONE_U32 { 0 } else { depth[p as usize] + 1 };
-            }
-        }
+    fn build<A: ClusterAggregate>(f: &RcForest<A>, sweep: &MarkedSweep<'_, A>) -> Self {
+        let m = sweep.len();
+        // Depth + root labels + orientation via engine top-down passes.
+        let root_label = sweep.root_labels();
+        let root_boundary = sweep.root_boundary();
+        let depth = sweep.top_down(0u32, |s, vals| match sweep.parent(s) {
+            None => 0,
+            Some(p) => *vals.get(p) + 1,
+        });
         // Euler tour (iterative DFS per root).
         let mut euler: Vec<u32> = Vec::with_capacity(2 * m);
         let mut first = vec![NONE_U32; m];
-        for &root in &ms.roots {
+        for &root in sweep.roots() {
             let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
             while let Some(&mut (s, ref mut ci)) = stack.last_mut() {
                 if *ci == 0 {
                     first[s as usize] = euler.len() as u32;
                     euler.push(s);
                 }
-                let kids = &ms.children[s as usize];
+                let kids = sweep.children(s);
                 if *ci < kids.len() {
                     let k = kids[*ci];
                     *ci += 1;
@@ -341,12 +339,16 @@ impl LcaTables {
         let levels = (usize::BITS - maxd.max(1).leading_zeros()) as usize + 1;
         let mut up: Vec<Vec<u32>> = Vec::with_capacity(levels);
         let mut hu: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        up.push(ms.parent.clone());
+        up.push(
+            (0..m as u32)
+                .map(|s| sweep.parent(s).unwrap_or(NONE_U32))
+                .collect(),
+        );
         hu.push(
-            (0..m)
+            (0..m as u32)
                 .map(|s| {
-                    if f.cluster(ms.nodes[s]).kind == ClusterKind::Unary {
-                        s as u32
+                    if f.cluster(sweep.rep(s)).kind == ClusterKind::Unary {
+                        s
                     } else {
                         NONE_U32
                     }
@@ -361,7 +363,11 @@ impl LcaTables {
                         (NONE_U32, hu[j - 1][s])
                     } else {
                         let second = hu[j - 1][half as usize];
-                        let combined = if second != NONE_U32 { second } else { hu[j - 1][s] };
+                        let combined = if second != NONE_U32 {
+                            second
+                        } else {
+                            hu[j - 1][s]
+                        };
                         (up[j - 1][half as usize], combined)
                     }
                 })
@@ -369,7 +375,15 @@ impl LcaTables {
             up.push(upj);
             hu.push(huj);
         }
-        LcaTables { depth, root_label, root_boundary, first, sparse, up, hu }
+        LcaTables {
+            depth,
+            root_label,
+            root_boundary,
+            first,
+            sparse,
+            up,
+            hu,
+        }
     }
 
     /// RC-LCA of two marked slots via the sparse table.
@@ -424,7 +438,7 @@ impl LcaTables {
     fn fixed<A: ClusterAggregate>(
         &self,
         f: &RcForest<A>,
-        ms: &MarkedSubtree,
+        sweep: &MarkedSweep<'_, A>,
         u: Vertex,
         v: Vertex,
         root: Vertex,
@@ -435,25 +449,31 @@ impl LcaTables {
         if u == root || v == root {
             return root;
         }
-        let su = ms.slot(u);
-        let sv = ms.slot(v);
+        let su = sweep.slot(u);
+        let sv = sweep.slot(v);
         let sm = self.rc_lca(su, sv);
-        let m = ms.nodes[sm as usize];
+        let m = sweep.rep(sm);
         let dm = self.depth[sm as usize];
-        let arr_u =
-            if su == sm { None } else { Some(ms.nodes[self.level_anc(su, dm + 1) as usize]) };
-        let arr_v =
-            if sv == sm { None } else { Some(ms.nodes[self.level_anc(sv, dm + 1) as usize]) };
+        let arr_u = if su == sm {
+            None
+        } else {
+            Some(sweep.rep(self.level_anc(su, dm + 1)))
+        };
+        let arr_v = if sv == sm {
+            None
+        } else {
+            Some(sweep.rep(self.level_anc(sv, dm + 1)))
+        };
         let rb_m = self.root_boundary[sm as usize];
 
         let closest = |x: Vertex, w: Vertex| -> Vertex {
-            let sx = ms.slot(x);
-            let sw = ms.slot(w);
+            let sx = sweep.slot(x);
+            let sw = sweep.slot(w);
             let hu = self.highest_unary(sw, sx);
             if hu == NONE_U32 {
                 w
             } else {
-                f.cluster(ms.nodes[hu as usize]).boundary[0]
+                f.cluster(sweep.rep(hu)).boundary[0]
             }
         };
         let c = m;
@@ -462,7 +482,11 @@ impl LcaTables {
             if xc.kind != ClusterKind::Binary {
                 return c;
             }
-            let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+            let far = if xc.boundary[0] == c {
+                xc.boundary[1]
+            } else {
+                xc.boundary[0]
+            };
             if far != rb_m {
                 c
             } else {
@@ -479,7 +503,11 @@ impl LcaTables {
                     if xc.kind != ClusterKind::Binary {
                         return true;
                     }
-                    let far = if xc.boundary[0] == c { xc.boundary[1] } else { xc.boundary[0] };
+                    let far = if xc.boundary[0] == c {
+                        xc.boundary[1]
+                    } else {
+                        xc.boundary[0]
+                    };
                     far != rb_m
                 };
                 let bx = between(x);
@@ -524,7 +552,10 @@ mod tests {
     #[test]
     fn lca_on_path_all_triples() {
         let n = 10u32;
-        let f = build(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let f = build(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         // On a path, LCA(u,v,r) is the median of the three positions.
         for u in 0..n {
             for v in 0..n {
@@ -588,7 +619,11 @@ mod tests {
             if rng.next_f64() < 0.05 {
                 continue; // some disconnection
             }
-            let u = if rng.next_f64() < 0.7 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.7 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             if naive.degree(u) < 3 && naive.link(u, v, 1).is_ok() {
                 edges.push((u, v));
             }

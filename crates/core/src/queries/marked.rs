@@ -4,10 +4,11 @@
 //! cluster, the *locally* nearest marked vertices (to the representative
 //! and to each boundary). `BatchMark`/`BatchUnmark` are vertex-weight
 //! updates propagating in `O(k log(1 + n/k))` work. A query batch runs one
-//! top-down sweep computing the *globally* nearest marked vertex per
-//! marked cluster representative: either the local value, or through a
-//! boundary vertex — whose global value is already available because
-//! boundaries represent ancestors.
+//! [`top_down`](crate::MarkedSweep::top_down) visitor over the marked
+//! sweep computing the *globally* nearest marked vertex per marked cluster
+//! representative: either the local value, or through a boundary vertex —
+//! whose global value is already available because boundaries represent
+//! ancestors.
 
 use crate::aggregates::marked::{Near, NearestMarkedAgg};
 use crate::forest::RcForest;
@@ -41,62 +42,51 @@ impl RcForest<NearestMarkedAgg> {
 
     /// `BatchNearestMarked`: for each query vertex, the nearest marked
     /// vertex in its tree as `(distance, vertex)`; `None` when its
-    /// component has no marks. Ties break toward the smaller vertex id.
+    /// component has no marks or the query vertex is out of range. Ties
+    /// break toward the smaller vertex id.
     pub fn batch_nearest_marked(&self, queries: &[Vertex]) -> Vec<Option<(u64, Vertex)>> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let starts: Vec<Vertex> =
-            queries.iter().copied().filter(|&v| (v as usize) < self.n).collect();
-        if starts.is_empty() {
+        let sweep = self.marked_sweep(queries.iter().copied());
+        if sweep.is_empty() {
             return vec![None; queries.len()];
         }
-        let ms = self.mark_ancestors(&starts);
 
         // Top-down: global[slot] = nearest marked vertex anywhere in the
         // tree to this cluster's representative.
-        let mut global: Vec<Near> = vec![None; ms.len()];
-        for bucket in ms.by_round.iter().rev() {
-            let computed: Vec<(u32, Near)> = bucket
-                .iter()
-                .map(|&s| {
-                    let v = ms.nodes[s as usize];
-                    let c = self.cluster(v);
-                    let mut cand = c.agg.near_rep; // nearest inside
-                    match c.kind {
-                        ClusterKind::Nullary => {}
-                        ClusterKind::Unary => {
-                            let b = c.boundary[0];
-                            let d = self.agg_of(c.bin_children[0]).path_len;
-                            let gb = global[ms.slot(b) as usize];
-                            cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
-                        }
-                        ClusterKind::Binary => {
-                            for i in 0..2 {
-                                let b = c.boundary[i];
-                                debug_assert_ne!(b, NO_VERTEX);
-                                let d = self.agg_of(c.bin_children[i]).path_len;
-                                let gb = global[ms.slot(b) as usize];
-                                cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
-                            }
-                        }
-                        ClusterKind::Invalid => unreachable!(),
+        let global = sweep.top_down(None as Near, |s, vals| {
+            let c = self.cluster(sweep.rep(s));
+            let mut cand = c.agg.near_rep; // nearest inside
+            match c.kind {
+                ClusterKind::Nullary => {}
+                ClusterKind::Unary => {
+                    let b = c.boundary[0];
+                    let d = self.agg_of(c.bin_children[0]).path_len;
+                    let gb = *vals.get(sweep.slot(b));
+                    cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
+                }
+                ClusterKind::Binary => {
+                    for i in 0..2 {
+                        let b = c.boundary[i];
+                        debug_assert_ne!(b, NO_VERTEX);
+                        let d = self.agg_of(c.bin_children[i]).path_len;
+                        let gb = *vals.get(sweep.slot(b));
+                        cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
                     }
-                    (s, cand)
-                })
-                .collect();
-            for (s, val) in computed {
-                global[s as usize] = val;
+                }
+                ClusterKind::Invalid => unreachable!(),
             }
-        }
+            cand
+        });
 
         queries
             .par_iter()
             .map(|&v| {
-                if v as usize >= self.n {
+                if !self.in_range(v) {
                     return None;
                 }
-                global[ms.slot(v) as usize]
+                global[sweep.slot(v) as usize]
             })
             .collect()
     }
@@ -129,8 +119,8 @@ mod tests {
     fn nearest_respects_weights() {
         // 0 -10- 1 -1- 2: vertex 0 and 2 marked; from 1 nearest is 2.
         let edges = vec![(0u32, 1u32, 10u64), (1, 2, 1)];
-        let mut f = RcForest::<NearestMarkedAgg>::build_edges(3, &edges, BuildOptions::default())
-            .unwrap();
+        let mut f =
+            RcForest::<NearestMarkedAgg>::build_edges(3, &edges, BuildOptions::default()).unwrap();
         f.batch_mark(&[0, 2]);
         assert_eq!(f.batch_nearest_marked(&[1]), vec![Some((1, 2))]);
     }
@@ -145,7 +135,11 @@ mod tests {
             if rng.next_f64() < 0.07 {
                 continue;
             }
-            let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.6 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = rng.next_below(20);
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));
@@ -161,8 +155,7 @@ mod tests {
         f.batch_mark(&marks);
         f.validate().unwrap();
 
-        let queries: Vec<u32> =
-            (0..300).map(|_| rng.next_below(n as u64) as u32).collect();
+        let queries: Vec<u32> = (0..300).map(|_| rng.next_below(n as u64) as u32).collect();
         let got = f.batch_nearest_marked(&queries);
         for (i, &q) in queries.iter().enumerate() {
             let expect = naive.nearest_marked(q, &marked);

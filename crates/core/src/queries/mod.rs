@@ -1,24 +1,55 @@
 //! Query algorithms on RC forests (§3, §5.4–5.8).
 //!
-//! | module | queries | work (batch of k) |
-//! |---|---|---|
-//! | [`connectivity`] | `connected`, `batch_connected`, representatives | `O(k log(1+n/k))` |
-//! | [`path`] | single path aggregates (any commutative monoid) | `O(log n)` each |
-//! | [`subtree`] | single subtree aggregates (semigroup) | `O(log n)` each |
-//! | [`subtree_batch`] | batch subtree aggregates | `O(k log(1+n/k))` |
-//! | [`lca`] | single + batch LCA (arbitrary roots) | `O(k log n)` (paper's table concession) |
-//! | [`path_batch`] | batch path sums (commutative group) | `O(k log(1+n/k))` |
-//! | [`cpt`] | compressed path trees | `O(k log(1+n/k))` |
-//! | [`bottleneck`] | batch path minima/maxima | `O(k log(1+n/k))` |
-//! | [`marked`] | batch nearest-marked-vertex | `O(k log(1+n/k))` |
+//! # The marked-subtree engine
+//!
+//! Every *batch* query family routes through one shared engine
+//! ([`engine::MarkedSweep`], obtained from
+//! [`RcForest::marked_sweep`](crate::RcForest::marked_sweep)): collect and
+//! validate the batch's start vertices, atomically mark their RC-tree
+//! ancestors (`O(k log(1 + n/k))` marked clusters, Theorem A.2), then run
+//! top-down / bottom-up visitor passes over the marked subtree. A query
+//! family contributes only its visitor and an `O(1)`-per-query assembly
+//! step:
+//!
+//! | module | queries | engine passes | work (batch of k) |
+//! |---|---|---|---|
+//! | [`connectivity`] | `connected`, `batch_connected`, representatives | `root_labels` | `O(k log(1+n/k))` |
+//! | [`subtree_batch`] | batch subtree aggregates | OUT-values top-down | `O(k log(1+n/k))` |
+//! | [`lca`] | single + batch LCA (arbitrary roots) | `root_labels`, `root_boundary`, depth + static tables | `O(k log n)` (paper's table concession) |
+//! | [`path_batch`] | batch path sums (commutative group) | `root_boundary`, root-path-W top-down | `O(k log(1+n/k))` |
+//! | [`cpt`] | compressed path trees | exposure bottom-up | `O(k log(1+n/k))` |
+//! | [`bottleneck`] | batch path minima/maxima | via [`cpt`] | `O(k log(1+n/k))` |
+//! | [`marked`] | batch nearest-marked-vertex | nearest-global top-down | `O(k log(1+n/k))` |
+//!
+//! Single-vertex-pair variants ([`path`], [`subtree`]) walk one ancestor
+//! chain in `O(log n)` and skip the engine.
+//!
+//! # Uniform `None` contract
+//!
+//! Batch entry points accept arbitrary vertex ids and never panic on bad
+//! input; per-entry results are uniform across families:
+//!
+//! * **out-of-range vertex** anywhere in an entry → that entry answers
+//!   `None` (`false` for `batch_connected`, [`crate::types::NO_VERTEX`]
+//!   for `batch_find_representatives`);
+//! * **self-pairs** are well-defined: a path query `(u, u)` answers the
+//!   identity (empty path), `batch_lca (u, u, r)` answers `u` when
+//!   connected to `r`, a subtree query `(u, u)` answers `None` (`u` is
+//!   not its own neighbor);
+//! * **duplicate entries** are answered independently (marking dedups
+//!   internally; results are per-entry);
+//! * **disconnected pairs** answer `None`.
+//!
+//! `compressed_path_tree` is a set construction: out-of-range terminals
+//! are ignored rather than reported per-entry.
 
+pub mod bottleneck;
 pub mod connectivity;
 pub mod cpt;
+pub mod engine;
 pub mod lca;
 pub mod marked;
-pub mod mark_util;
 pub mod path;
 pub mod path_batch;
-pub mod bottleneck;
 pub mod subtree;
 pub mod subtree_batch;

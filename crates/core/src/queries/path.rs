@@ -35,7 +35,11 @@ impl<P: PathAggregate> Walk<P> {
                 Some(f.agg_of(c.bin_children[i]).cluster_path())
             }
         };
-        Walk { rep: u, rep_val: P::path_identity(), bvals: [bval(0), bval(1)] }
+        Walk {
+            rep: u,
+            rep_val: P::path_identity(),
+            bvals: [bval(0), bval(1)],
+        }
     }
 
     /// Path value from the query vertex to boundary vertex `b` of the
@@ -61,7 +65,7 @@ impl<P: PathAggregate> Walk<P> {
         let pv = self.val_for(f, p);
         let pc = f.cluster(p);
         let mut bvals: [Option<P::PathVal>; 2] = [None, None];
-        for i in 0..2 {
+        for (i, bval) in bvals.iter_mut().enumerate() {
             let b = pc.boundary[i];
             if b == NO_VERTEX {
                 continue;
@@ -72,12 +76,9 @@ impl<P: PathAggregate> Walk<P> {
             let carried = (0..2)
                 .find(|&j| c.boundary[j] == b)
                 .and_then(|j| self.bvals[j].clone());
-            bvals[i] = Some(match carried {
+            *bval = Some(match carried {
                 Some(x) => x,
-                None => P::path_combine(
-                    &pv,
-                    &f.agg_of(pc.bin_children[i]).cluster_path(),
-                ),
+                None => P::path_combine(&pv, &f.agg_of(pc.bin_children[i]).cluster_path()),
             });
         }
         self.rep = p;
@@ -89,10 +90,14 @@ impl<P: PathAggregate> Walk<P> {
 
 impl<P: PathAggregate> RcForest<P> {
     /// Aggregate of the edge weights on the path from `u` to `v`
-    /// (`None` when disconnected; the identity when `u == v`).
+    /// (`None` when disconnected or out of range; the identity when
+    /// `u == v`).
     ///
     /// Works for any commutative monoid ([`PathAggregate`]); `O(log n)`.
     pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
+        if !self.in_range(u) || !self.in_range(v) {
+            return None;
+        }
         if u == v {
             return Some(P::path_identity());
         }
@@ -177,7 +182,11 @@ mod tests {
         let mut naive = crate::naive::NaiveForest::<i64>::new(n);
         let mut edges: Vec<(u32, u32, i64)> = Vec::new();
         for v in 1..n as u32 {
-            let u = if rng.next_f64() < 0.7 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.7 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = rng.next_below(1000) as i64;
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));

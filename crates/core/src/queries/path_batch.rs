@@ -4,22 +4,20 @@
 //! MST-verification argument), but with inverses the classic root-path
 //! trick applies: `path(u,v) = W(u) + W(v) − 2·W(lca(u,v))` where `W(x)`
 //! is the weight of the path from the component root to `x`. The `W`
-//! values are a top-down computation over the marked subtree, oriented by
-//! `root_boundary`. `O(k + k log(1 + n/k))` work plus the batch-LCA cost.
+//! values are one [`top_down`](crate::MarkedSweep::top_down) visitor over
+//! the marked sweep, oriented by its `root_boundary` pass.
+//! `O(k + k log(1 + n/k))` work plus the batch-LCA cost.
 
 use crate::aggregate::GroupPathAggregate;
 use crate::forest::RcForest;
 use crate::types::{ClusterKind, Vertex, NO_VERTEX};
 use rayon::prelude::*;
-use rc_parlay::NONE_U32;
 
 impl<P: GroupPathAggregate> RcForest<P> {
     /// Batch path sums: for each pair `(u, v)`, the group aggregate of the
-    /// edge weights on the `u..v` path (`None` when disconnected).
-    pub fn batch_path_aggregate(
-        &self,
-        pairs: &[(Vertex, Vertex)],
-    ) -> Vec<Option<P::PathVal>> {
+    /// edge weights on the `u..v` path (`None` when disconnected or out of
+    /// range).
+    pub fn batch_path_aggregate(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<P::PathVal>> {
         if pairs.is_empty() {
             return Vec::new();
         }
@@ -27,61 +25,40 @@ impl<P: GroupPathAggregate> RcForest<P> {
         let lcas = self.batch_fixed_lca(pairs);
 
         // Mark ancestors of u, v and the LCAs; compute root-path weights.
-        let mut starts = Vec::with_capacity(pairs.len() * 3);
-        for (i, &(u, v)) in pairs.iter().enumerate() {
-            if (u as usize) < self.n && (v as usize) < self.n {
-                starts.push(u);
-                starts.push(v);
-                if let Some(l) = lcas[i] {
-                    starts.push(l);
-                }
-            }
-        }
-        if starts.is_empty() {
+        let sweep = self.marked_sweep(
+            pairs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &(u, v))| [Some(u), Some(v), lcas[i]].into_iter().flatten()),
+        );
+        if sweep.is_empty() {
             return vec![None; pairs.len()];
         }
-        let ms = self.mark_ancestors(&starts);
-        let rb = self.root_boundary(&ms);
+        let rb = sweep.root_boundary();
 
         // Top-down: W[slot] = aggregate from the component root's
         // representative down to this cluster's representative.
-        let mut w: Vec<Option<P::PathVal>> = vec![None; ms.len()];
-        for bucket in ms.by_round.iter().rev() {
-            let computed: Vec<(u32, P::PathVal)> = bucket
-                .iter()
-                .map(|&s| {
-                    let v = ms.nodes[s as usize];
-                    let c = self.cluster(v);
-                    let val = match c.kind {
-                        ClusterKind::Nullary => P::path_identity(),
-                        ClusterKind::Unary => {
-                            let b = c.boundary[0];
-                            let wb = w[ms.slot(b) as usize].clone().expect("ancestor W ready");
-                            P::path_combine(
-                                &wb,
-                                &self.agg_of(c.bin_children[0]).cluster_path(),
-                            )
-                        }
-                        ClusterKind::Binary => {
-                            // Enter from the boundary on the root side.
-                            let q = rb[s as usize];
-                            debug_assert_ne!(q, NO_VERTEX);
-                            let i = if c.boundary[0] == q { 0 } else { 1 };
-                            let wq = w[ms.slot(q) as usize].clone().expect("ancestor W ready");
-                            P::path_combine(
-                                &wq,
-                                &self.agg_of(c.bin_children[i]).cluster_path(),
-                            )
-                        }
-                        ClusterKind::Invalid => unreachable!(),
-                    };
-                    (s, val)
-                })
-                .collect();
-            for (s, val) in computed {
-                w[s as usize] = Some(val);
-            }
-        }
+        let w = sweep.top_down(None as Option<P::PathVal>, |s, vals| {
+            let c = self.cluster(sweep.rep(s));
+            let val = match c.kind {
+                ClusterKind::Nullary => P::path_identity(),
+                ClusterKind::Unary => {
+                    let b = c.boundary[0];
+                    let wb = vals.get(sweep.slot(b)).clone().expect("ancestor W ready");
+                    P::path_combine(&wb, &self.agg_of(c.bin_children[0]).cluster_path())
+                }
+                ClusterKind::Binary => {
+                    // Enter from the boundary on the root side.
+                    let q = rb[s as usize];
+                    debug_assert_ne!(q, NO_VERTEX);
+                    let i = if c.boundary[0] == q { 0 } else { 1 };
+                    let wq = vals.get(sweep.slot(q)).clone().expect("ancestor W ready");
+                    P::path_combine(&wq, &self.agg_of(c.bin_children[i]).cluster_path())
+                }
+                ClusterKind::Invalid => unreachable!(),
+            };
+            Some(val)
+        });
 
         pairs
             .par_iter()
@@ -91,9 +68,9 @@ impl<P: GroupPathAggregate> RcForest<P> {
                 if u == v {
                     return Some(P::path_identity());
                 }
-                let wu = w[ms.slot(u) as usize].clone().unwrap();
-                let wv = w[ms.slot(v) as usize].clone().unwrap();
-                let wl = w[ms.slot(l) as usize].clone().unwrap();
+                let wu = w[sweep.slot(u) as usize].clone().unwrap();
+                let wv = w[sweep.slot(v) as usize].clone().unwrap();
+                let wl = w[sweep.slot(l) as usize].clone().unwrap();
                 let inv = P::path_inverse(&wl);
                 Some(P::path_combine(
                     &P::path_combine(&wu, &wv),
@@ -112,40 +89,19 @@ impl<A: crate::aggregate::ClusterAggregate> RcForest<A> {
         if pairs.is_empty() {
             return Vec::new();
         }
-        let triples: Vec<(Vertex, Vertex, Vertex)> =
-            pairs.iter().map(|&(u, v)| (u, v, u)).collect();
-        // LCA(u, v, u) = u's projection... careful: with root = u the LCA
-        // of (u, v) is u itself, which is NOT the fixed-root LCA. We want
-        // the component-root-fixed LCA, so pass the root explicitly.
-        let _ = triples;
-        let mut starts = Vec::with_capacity(pairs.len() * 2);
-        for &(u, v) in pairs {
-            if (u as usize) < self.n {
-                starts.push(u);
-            }
-            if (v as usize) < self.n {
-                starts.push(v);
-            }
-        }
-        if starts.is_empty() {
-            return vec![None; pairs.len()];
-        }
+        let starts: Vec<Vertex> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+        // Out-of-range vertices get the NO_VERTEX representative, which
+        // never equals a real one — the uniform `None` path.
         let reprs = self.batch_find_representatives(&starts);
-        let mut repr_iter = reprs.iter();
         let with_roots: Vec<Option<(Vertex, Vertex, Vertex)>> = pairs
             .iter()
-            .map(|&(u, v)| {
-                let ru = if (u as usize) < self.n { *repr_iter.next().unwrap() } else { NONE_U32 };
-                let rv = if (v as usize) < self.n { *repr_iter.next().unwrap() } else { NONE_U32 };
-                if ru == NONE_U32 || rv == NONE_U32 || ru != rv {
-                    None
-                } else {
-                    Some((u, v, ru))
-                }
+            .enumerate()
+            .map(|(i, &(u, v))| {
+                let (ru, rv) = (reprs[2 * i], reprs[2 * i + 1]);
+                (ru != NO_VERTEX && ru == rv).then_some((u, v, ru))
             })
             .collect();
-        let queries: Vec<(Vertex, Vertex, Vertex)> =
-            with_roots.iter().flatten().copied().collect();
+        let queries: Vec<(Vertex, Vertex, Vertex)> = with_roots.iter().flatten().copied().collect();
         let answers = self.batch_lca(&queries);
         let mut ai = answers.into_iter();
         with_roots
@@ -174,6 +130,14 @@ mod tests {
     }
 
     #[test]
+    fn batch_path_out_of_range_is_none() {
+        let edges: Vec<(u32, u32, i64)> = (0..4).map(|i| (i, i + 1, 1)).collect();
+        let f = RcForest::<SumAgg<i64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
+        let got = f.batch_path_aggregate(&[(0, 4), (0, 5), (9, 9), (u32::MAX, 0)]);
+        assert_eq!(got, vec![Some(4), None, None, None]);
+    }
+
+    #[test]
     fn batch_path_matches_single_on_random_forest() {
         let n = 400usize;
         let mut rng = SplitMix64::new(314);
@@ -183,7 +147,11 @@ mod tests {
             if rng.next_f64() < 0.06 {
                 continue;
             }
-            let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.6 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = rng.next_below(100) as i64;
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));
@@ -191,7 +159,12 @@ mod tests {
         }
         let f = RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
         let pairs: Vec<(u32, u32)> = (0..400)
-            .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
             .collect();
         let got = f.batch_path_aggregate(&pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {

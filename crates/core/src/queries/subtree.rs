@@ -50,9 +50,11 @@ impl<S: SubtreeAggregate> RcForest<S> {
         let shared = {
             let xc = self.cluster(x.as_vertex());
             match xc.kind {
-                ClusterKind::Binary => {
-                    Some(if xc.boundary[0] == u { xc.boundary[1] } else { xc.boundary[0] })
-                }
+                ClusterKind::Binary => Some(if xc.boundary[0] == u {
+                    xc.boundary[1]
+                } else {
+                    xc.boundary[0]
+                }),
                 _ => None,
             }
         };
@@ -151,17 +153,29 @@ mod tests {
         // Subtree of 2 away from 1: vertices {2,3,4} + edges (2,3),(3,4).
         assert_eq!(f.subtree_aggregate(2, 1), Some(20 + 30 + 40 + 2));
         // Subtree of 2 away from 3: vertices {0,1,2} + edges (0,1),(1,2).
-        assert_eq!(f.subtree_aggregate(2, 3), Some(0 + 10 + 20 + 2));
-        assert_eq!(f.subtree_aggregate(0, 1), Some(0), "leaf away from neighbor");
+        assert_eq!(f.subtree_aggregate(2, 3), Some(10 + 20 + 2));
+        assert_eq!(
+            f.subtree_aggregate(0, 1),
+            Some(0),
+            "leaf away from neighbor"
+        );
         assert_eq!(f.subtree_aggregate(4, 3), Some(40));
-        assert_eq!(f.subtree_aggregate(0, 4), None, "non-neighbor direction giver");
+        assert_eq!(
+            f.subtree_aggregate(0, 4),
+            None,
+            "non-neighbor direction giver"
+        );
     }
 
     #[test]
     fn subtree_sizes_on_star() {
         let edges = vec![(0u32, 1u32, ()), (0, 2, ()), (0, 3, ())];
         let f = RcForest::<CountAgg>::build_edges(4, &edges, BuildOptions::default()).unwrap();
-        assert_eq!(f.subtree_aggregate(0, 1), Some((3, 2)), "center minus leaf 1");
+        assert_eq!(
+            f.subtree_aggregate(0, 1),
+            Some((3, 2)),
+            "center minus leaf 1"
+        );
         assert_eq!(f.subtree_aggregate(1, 0), Some((1, 0)));
     }
 
@@ -176,8 +190,11 @@ mod tests {
                 if rng.next_f64() < 0.1 {
                     continue; // leave some isolated parts
                 }
-                let u =
-                    if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+                let u = if rng.next_f64() < 0.6 {
+                    v - 1
+                } else {
+                    rng.next_below(v as u64) as u32
+                };
                 let w = rng.next_below(50) as i64;
                 if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                     edges.push((u, v, w));
@@ -185,8 +202,9 @@ mod tests {
             }
             let mut f =
                 RcForest::<SumAgg<i64>>::build_edges(n, &edges, BuildOptions::default()).unwrap();
-            let vws: Vec<(u32, i64)> =
-                (0..n as u32).map(|v| (v, rng.next_below(30) as i64)).collect();
+            let vws: Vec<(u32, i64)> = (0..n as u32)
+                .map(|v| (v, rng.next_below(30) as i64))
+                .collect();
             f.update_vertex_weights(&vws);
             let vw_of = |v: u32| vws[v as usize].1;
 
@@ -220,6 +238,6 @@ mod tests {
         f.batch_cut(&[(7, 8)]).unwrap();
         f.batch_link(&[(7, 15, 5)]).unwrap();
         // Tree now: 0..7 path, then 7-15, then 15-14-...-8.
-        assert_eq!(f.subtree_aggregate(7, 6), Some(5 + 7 * 1));
+        assert_eq!(f.subtree_aggregate(7, 6), Some(5 + 7));
     }
 }

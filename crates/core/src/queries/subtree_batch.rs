@@ -1,24 +1,24 @@
 //! Batched subtree queries (§3.4, §5.6, supplementary A.5).
 //!
 //! Naively running `k` subtree queries repeats work on shared ancestor
-//! paths. The batch algorithm marks the ancestors of every query vertex
-//! once, then computes — top-down over the marked subtree — the
-//! contribution of the *subtree growing out of* each boundary vertex of
-//! each marked cluster. Each query is then assembled in `O(1)` lookups
-//! (plus the `O(log n)` direction-giver resolution the paper's
-//! implementation also performs). Total: `O(k log(1 + n/k))` work,
+//! paths. The batch algorithm runs one [`RcForest::marked_sweep`] over all
+//! query endpoints, then a [`top_down`](crate::MarkedSweep::top_down)
+//! visitor computing the contribution of the *subtree growing out of* each
+//! boundary vertex of each marked cluster. Each query is then assembled in
+//! `O(1)` lookups (plus the `O(log n)` direction-giver resolution the
+//! paper's implementation also performs). Total: `O(k log(1 + n/k))` work,
 //! `O(log n)` span.
 
 use crate::aggregate::SubtreeAggregate;
 use crate::forest::RcForest;
 use crate::types::{ClusterId, Vertex, NO_VERTEX};
 use rayon::prelude::*;
-use rc_parlay::NONE_U32;
 
 impl<S: SubtreeAggregate> RcForest<S> {
     /// Answer a batch of subtree queries `(u_i, p_i)` — the aggregate of
     /// the subtree rooted at `u_i` with neighbor `p_i` as its parent.
-    /// Entries with a non-adjacent `(u, p)` yield `None`.
+    /// Entries with an out-of-range vertex or a non-adjacent `(u, p)`
+    /// yield `None`.
     pub fn batch_subtree_aggregate(
         &self,
         queries: &[(Vertex, Vertex)],
@@ -28,96 +28,71 @@ impl<S: SubtreeAggregate> RcForest<S> {
         }
         // Mark ancestors of both endpoints (the p-side walk also feeds the
         // direction-giver climb).
-        let mut starts = Vec::with_capacity(queries.len() * 2);
-        for &(u, p) in queries {
-            if (u as usize) < self.n {
-                starts.push(u);
-            }
-            if (p as usize) < self.n {
-                starts.push(p);
-            }
-        }
-        let ms = self.mark_ancestors(&starts);
+        let sweep = self.marked_sweep(queries.iter().flat_map(|&(u, p)| [u, p]));
 
         // Top-down: OUT values per marked cluster per boundary slot.
         // out[slot][i] = aggregate of the subtree growing out of
         // boundary[i] of that cluster (including the boundary vertex).
-        let mut out: Vec<[Option<S::SubtreeVal>; 2]> = vec![[None, None]; ms.len()];
-        for bucket in ms.by_round.iter().rev() {
-            // Clusters within a round are independent; their parents are
-            // in strictly higher rounds (already done). Sequential within
-            // the bucket keeps the borrow simple; buckets are small.
-            let computed: Vec<(u32, [Option<S::SubtreeVal>; 2])> = bucket
-                .iter()
-                .map(|&s| {
-                    let v = ms.nodes[s as usize];
-                    let c = self.cluster(v);
-                    let ps = ms.parent[s as usize];
-                    let mut vals: [Option<S::SubtreeVal>; 2] = [None, None];
-                    if ps == NONE_U32 {
-                        return (s, vals); // root cluster: no boundaries
+        let out = sweep.top_down([None, None] as [Option<S::SubtreeVal>; 2], |s, vals| {
+            let ps = match sweep.parent(s) {
+                None => return [None, None], // root cluster: no boundaries
+                Some(ps) => ps,
+            };
+            let c = self.cluster(sweep.rep(s));
+            let p_rep = sweep.rep(ps);
+            let pc = self.cluster(p_rep);
+            let parent_out = vals.get(ps);
+            let mut vals_here: [Option<S::SubtreeVal>; 2] = [None, None];
+            for (i, val_here) in vals_here.iter_mut().enumerate() {
+                let b = c.boundary[i];
+                if b == NO_VERTEX {
+                    continue;
+                }
+                if b == p_rep {
+                    // Everything beyond p from this cluster's side.
+                    let mut acc = S::vertex_value(p_rep, self.vertex_weight(p_rep));
+                    let child_id = ClusterId::vertex(sweep.rep(s));
+                    for k in pc.children() {
+                        if k != child_id {
+                            acc = S::subtree_combine(&acc, &self.agg_of(k).cluster_total());
+                        }
                     }
-                    let p_rep = ms.nodes[ps as usize];
-                    let pc = self.cluster(p_rep);
-                    for i in 0..2 {
-                        let b = c.boundary[i];
-                        if b == NO_VERTEX {
+                    for (j, &pb) in pc.boundary.iter().enumerate() {
+                        if pb == NO_VERTEX {
                             continue;
                         }
-                        if b == p_rep {
-                            // Everything beyond p from this cluster's side.
-                            let mut acc = S::vertex_value(p_rep, self.vertex_weight(p_rep));
-                            let child_id = ClusterId::vertex(v);
-                            for k in pc.children() {
-                                if k != child_id {
-                                    acc = S::subtree_combine(
-                                        &acc,
-                                        &self.agg_of(k).cluster_total(),
-                                    );
-                                }
-                            }
-                            for (j, &pb) in pc.boundary.iter().enumerate() {
-                                if pb == NO_VERTEX {
-                                    continue;
-                                }
-                                // P's boundaries shared with C are on C's side.
-                                if pb != c.boundary[0] && pb != c.boundary[1] {
-                                    acc = S::subtree_combine(
-                                        &acc,
-                                        out[ps as usize][j].as_ref().expect("parent OUT ready"),
-                                    );
-                                }
-                            }
-                            vals[i] = Some(acc);
-                        } else {
-                            // Shared with the parent: same OUT value.
-                            let j = pc
-                                .boundary
-                                .iter()
-                                .position(|&pb| pb == b)
-                                .expect("boundary shared with parent");
-                            vals[i] =
-                                Some(out[ps as usize][j].clone().expect("parent OUT ready"));
+                        // P's boundaries shared with C are on C's side.
+                        if pb != c.boundary[0] && pb != c.boundary[1] {
+                            acc = S::subtree_combine(
+                                &acc,
+                                parent_out[j].as_ref().expect("parent OUT ready"),
+                            );
                         }
                     }
-                    (s, vals)
-                })
-                .collect();
-            for (s, vals) in computed {
-                out[s as usize] = vals;
+                    *val_here = Some(acc);
+                } else {
+                    // Shared with the parent: same OUT value.
+                    let j = pc
+                        .boundary
+                        .iter()
+                        .position(|&pb| pb == b)
+                        .expect("boundary shared with parent");
+                    *val_here = Some(parent_out[j].clone().expect("parent OUT ready"));
+                }
             }
-        }
+            vals_here
+        });
 
         // Assemble answers in parallel.
         queries
             .par_iter()
             .map(|&(u, p)| {
-                if u as usize >= self.n || p as usize >= self.n || !self.has_edge(u, p) {
+                if !self.in_range(u) || !self.in_range(p) || !self.has_edge(u, p) {
                     return None;
                 }
                 let (toward, excluded_boundary) = self.child_toward(u, p);
                 let uc = self.cluster(u);
-                let slot = ms.slot(u) as usize;
+                let slot = sweep.slot(u) as usize;
                 let mut acc = S::vertex_value(u, self.vertex_weight(u));
                 for k in uc.children() {
                     if k != toward {
@@ -145,10 +120,11 @@ mod tests {
     #[test]
     fn batch_matches_single_on_path() {
         let edges: Vec<(u32, u32, i64)> = (0..19).map(|i| (i, i + 1, (i % 5) as i64)).collect();
-        let f =
-            RcForest::<SumAgg<i64>>::build_edges(20, &edges, BuildOptions::default()).unwrap();
-        let queries: Vec<(u32, u32)> =
-            (0..19).map(|i| (i, i + 1)).chain((0..19).map(|i| (i + 1, i))).collect();
+        let f = RcForest::<SumAgg<i64>>::build_edges(20, &edges, BuildOptions::default()).unwrap();
+        let queries: Vec<(u32, u32)> = (0..19)
+            .map(|i| (i, i + 1))
+            .chain((0..19).map(|i| (i + 1, i)))
+            .collect();
         let batch = f.batch_subtree_aggregate(&queries);
         for (i, &(u, p)) in queries.iter().enumerate() {
             assert_eq!(batch[i], f.subtree_aggregate(u, p), "query ({u},{p})");
@@ -162,7 +138,11 @@ mod tests {
         let mut naive = crate::naive::NaiveForest::<i64>::new(n);
         let mut edges: Vec<(u32, u32, i64)> = Vec::new();
         for v in 1..n as u32 {
-            let u = if rng.next_f64() < 0.5 { v - 1 } else { rng.next_below(v as u64) as u32 };
+            let u = if rng.next_f64() < 0.5 {
+                v - 1
+            } else {
+                rng.next_below(v as u64) as u32
+            };
             let w = rng.next_below(20) as i64;
             if naive.degree(u) < 3 && naive.link(u, v, w).is_ok() {
                 edges.push((u, v, w));
@@ -187,12 +167,13 @@ mod tests {
     #[test]
     fn batch_handles_invalid_pairs() {
         let f =
-            RcForest::<SumAgg<i64>>::build_edges(4, &[(0, 1, 1)], BuildOptions::default())
-                .unwrap();
-        let res = f.batch_subtree_aggregate(&[(0, 1), (0, 2), (2, 3)]);
+            RcForest::<SumAgg<i64>>::build_edges(4, &[(0, 1, 1)], BuildOptions::default()).unwrap();
+        let res = f.batch_subtree_aggregate(&[(0, 1), (0, 2), (2, 3), (0, 77), (77, 0)]);
         assert!(res[0].is_some());
         assert_eq!(res[1], None);
         assert_eq!(res[2], None);
+        assert_eq!(res[3], None, "out-of-range direction giver");
+        assert_eq!(res[4], None, "out-of-range root");
     }
 
     #[test]

@@ -266,9 +266,21 @@ mod tests {
     #[test]
     fn record_degree_and_views() {
         let mut r = LevelRecord::default();
-        r.insert_sorted(AdjEntry { nbr: 5, cluster: ClusterId::edge(0), raked: false });
-        r.insert_sorted(AdjEntry { nbr: 2, cluster: ClusterId::edge(1), raked: false });
-        r.insert_sorted(AdjEntry { nbr: 9, cluster: ClusterId::vertex(9), raked: true });
+        r.insert_sorted(AdjEntry {
+            nbr: 5,
+            cluster: ClusterId::edge(0),
+            raked: false,
+        });
+        r.insert_sorted(AdjEntry {
+            nbr: 2,
+            cluster: ClusterId::edge(1),
+            raked: false,
+        });
+        r.insert_sorted(AdjEntry {
+            nbr: 9,
+            cluster: ClusterId::vertex(9),
+            raked: true,
+        });
         assert_eq!(r.degree(), 2);
         let nbrs: Vec<u32> = r.adj.iter().map(|e| e.nbr).collect();
         assert_eq!(nbrs, vec![2, 5, 9], "sorted by neighbor id");
@@ -278,8 +290,16 @@ mod tests {
     #[test]
     fn sole_neighbor() {
         let mut r = LevelRecord::default();
-        r.insert_sorted(AdjEntry { nbr: 7, cluster: ClusterId::edge(3), raked: false });
-        r.insert_sorted(AdjEntry { nbr: 1, cluster: ClusterId::vertex(1), raked: true });
+        r.insert_sorted(AdjEntry {
+            nbr: 7,
+            cluster: ClusterId::edge(3),
+            raked: false,
+        });
+        r.insert_sorted(AdjEntry {
+            nbr: 1,
+            cluster: ClusterId::vertex(1),
+            raked: true,
+        });
         assert_eq!(r.sole_neighbor().nbr, 7);
     }
 

@@ -21,11 +21,14 @@ pub enum CanonId {
     None,
 }
 
+/// One canonical level record: `(level, [(nbr, handle, raked)], event)`.
+pub type CanonRecord = (u32, Vec<(Vertex, CanonId, bool)>, Event);
+
 /// Canonical view of one vertex's full state (history + cluster).
 #[derive(Clone, PartialEq, Debug)]
 pub struct CanonVertex {
     /// `(level, [(nbr, handle, raked)], event)` per live level.
-    pub records: Vec<(u32, Vec<(Vertex, CanonId, bool)>, Event)>,
+    pub records: Vec<CanonRecord>,
     /// How the vertex contracted.
     pub kind: ClusterKind,
     /// When it contracted.
@@ -105,14 +108,26 @@ impl<A: ClusterAggregate> RcForest<A> {
             for (lvl, rec) in h.iter().enumerate() {
                 // Event placement.
                 if lvl < last {
-                    ensure!(rec.event == Event::Live, "v{v} level {lvl}: early non-live event");
+                    ensure!(
+                        rec.event == Event::Live,
+                        "v{v} level {lvl}: early non-live event"
+                    );
                 } else {
-                    ensure!(rec.event.contracts(), "v{v} final level {lvl} did not contract");
+                    ensure!(
+                        rec.event.contracts(),
+                        "v{v} final level {lvl} did not contract"
+                    );
                 }
                 // Degree bound + sortedness.
-                ensure!(rec.adj.len() <= MAX_DEGREE, "v{v} level {lvl}: too many slots");
+                ensure!(
+                    rec.adj.len() <= MAX_DEGREE,
+                    "v{v} level {lvl}: too many slots"
+                );
                 for w in rec.adj.as_slice().windows(2) {
-                    ensure!(w[0].nbr < w[1].nbr, "v{v} level {lvl}: adjacency unsorted/dup");
+                    ensure!(
+                        w[0].nbr < w[1].nbr,
+                        "v{v} level {lvl}: adjacency unsorted/dup"
+                    );
                 }
                 // Entry invariants.
                 for e in rec.adj.iter() {
@@ -125,7 +140,10 @@ impl<A: ClusterAggregate> RcForest<A> {
                             e.cluster
                         );
                         let uc = self.cluster(u);
-                        ensure!(uc.kind == ClusterKind::Unary, "v{v}: raked nbr {u} not unary");
+                        ensure!(
+                            uc.kind == ClusterKind::Unary,
+                            "v{v}: raked nbr {u} not unary"
+                        );
                         ensure!((uc.round as usize) < lvl, "v{v}: rake round not earlier");
                         ensure!(
                             uc.boundary[0] == v,
@@ -155,7 +173,10 @@ impl<A: ClusterAggregate> RcForest<A> {
                         } else {
                             let w = e.cluster.as_vertex();
                             let wc = self.cluster(w);
-                            ensure!(wc.kind == ClusterKind::Binary, "v{v}: handle {w} not binary");
+                            ensure!(
+                                wc.kind == ClusterKind::Binary,
+                                "v{v}: handle {w} not binary"
+                            );
                             ensure!((wc.round as usize) < lvl, "v{v}: handle round too late");
                             let (x, y) = if v < u { (v, u) } else { (u, v) };
                             ensure!(
@@ -205,9 +226,16 @@ impl<A: ClusterAggregate> RcForest<A> {
                 }
                 ensure!(self.parent_of(bc) == me, "v{v}: bin child parent broken");
                 let bb = self.boundaries_of(bc);
-                let (x, y) =
-                    if c.boundary[i] < v { (c.boundary[i], v) } else { (v, c.boundary[i]) };
-                ensure!(bb == [x, y], "v{v}: bin child {i} boundary {:?} != ({x},{y})", bb);
+                let (x, y) = if c.boundary[i] < v {
+                    (c.boundary[i], v)
+                } else {
+                    (v, c.boundary[i])
+                };
+                ensure!(
+                    bb == [x, y],
+                    "v{v}: bin child {i} boundary {:?} != ({x},{y})",
+                    bb
+                );
             }
             for rk in c.rake_children.iter() {
                 ensure!(self.parent_of(rk) == me, "v{v}: rake child parent broken");
@@ -217,7 +245,12 @@ impl<A: ClusterAggregate> RcForest<A> {
             }
             // Aggregate fixpoint.
             let recomputed = self.recompute_agg(v);
-            ensure!(recomputed == c.agg, "v{v}: stale aggregate {:?} != {:?}", c.agg, recomputed);
+            ensure!(
+                recomputed == c.agg,
+                "v{v}: stale aggregate {:?} != {:?}",
+                c.agg,
+                recomputed
+            );
 
             ensure!((last as u32) < self.levels, "v{v}: round beyond levels");
         }
@@ -231,7 +264,8 @@ impl<A: ClusterAggregate> RcForest<A> {
             let (u, v) = self.edges.ep[i];
             let hu = &self.histories[u as usize][0];
             ensure!(
-                hu.live().any(|e| e.nbr == v && e.cluster == ClusterId::edge(i as u32)),
+                hu.live()
+                    .any(|e| e.nbr == v && e.cluster == ClusterId::edge(i as u32)),
                 "edge {i} ({u},{v}) missing from level-0 record"
             );
             ensure!(!self.edges.parent[i].is_none(), "edge {i}: no parent");
@@ -251,13 +285,15 @@ impl<A: ClusterAggregate> RcForest<A> {
             "canonical equality holds for the randomized rule only"
         );
         let edges = self.edge_list();
-        let fresh =
-            RcForest::<A>::build(self.n, self.vertex_weights.clone(), &edges, self.opts)
-                .expect("edge list of a valid forest must rebuild");
+        let fresh = RcForest::<A>::build(self.n, self.vertex_weights.clone(), &edges, self.opts)
+            .expect("edge list of a valid forest must rebuild");
         let a = self.canonical_structure();
         let b = fresh.canonical_structure();
         for v in 0..self.n {
-            assert_eq!(a[v], b[v], "structure diverges from fresh rebuild at vertex {v}");
+            assert_eq!(
+                a[v], b[v],
+                "structure diverges from fresh rebuild at vertex {v}"
+            );
         }
         for v in 0..self.n as u32 {
             assert_eq!(
@@ -281,8 +317,9 @@ mod tests {
     #[test]
     fn fresh_builds_validate() {
         for n in [1usize, 2, 3, 10, 257] {
-            let edges: Vec<(u32, u32, i64)> =
-                (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1, i as i64)).collect();
+            let edges: Vec<(u32, u32, i64)> = (0..n.saturating_sub(1))
+                .map(|i| (i as u32, i as u32 + 1, i as i64))
+                .collect();
             let f = RcForest::<SumAgg<i64>>::build_edges(n, &edges, opts()).unwrap();
             f.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
@@ -294,7 +331,10 @@ mod tests {
         let f = RcForest::<SumAgg<i64>>::build_edges(
             100,
             &edges,
-            BuildOptions { mode: ContractionMode::Deterministic, ..opts() },
+            BuildOptions {
+                mode: ContractionMode::Deterministic,
+                ..opts()
+            },
         )
         .unwrap();
         f.validate().unwrap();

@@ -63,19 +63,47 @@ pub fn paper_configs(n: usize, seed: u64) -> Vec<(&'static str, ForestGenConfig)
     vec![
         (
             "C1 shallow-short",
-            ForestGenConfig { n, mean_chain: 10.0, dist: ChainDist::Geometric, ln_prob: 0.05, seed, ..Default::default() },
+            ForestGenConfig {
+                n,
+                mean_chain: 10.0,
+                dist: ChainDist::Geometric,
+                ln_prob: 0.05,
+                seed,
+                ..Default::default()
+            },
         ),
         (
             "C2 deep-short",
-            ForestGenConfig { n, mean_chain: 10.0, dist: ChainDist::Geometric, ln_prob: 0.95, seed, ..Default::default() },
+            ForestGenConfig {
+                n,
+                mean_chain: 10.0,
+                dist: ChainDist::Geometric,
+                ln_prob: 0.95,
+                seed,
+                ..Default::default()
+            },
         ),
         (
             "C3 long-chains",
-            ForestGenConfig { n, mean_chain: 1000.0, dist: ChainDist::Uniform, ln_prob: 0.5, seed, ..Default::default() },
+            ForestGenConfig {
+                n,
+                mean_chain: 1000.0,
+                dist: ChainDist::Uniform,
+                ln_prob: 0.5,
+                seed,
+                ..Default::default()
+            },
         ),
         (
             "C4 tiny-trees",
-            ForestGenConfig { n, mean_chain: 1.1, dist: ChainDist::Geometric, ln_prob: 0.5, seed, ..Default::default() },
+            ForestGenConfig {
+                n,
+                mean_chain: 1.1,
+                dist: ChainDist::Geometric,
+                ln_prob: 0.5,
+                seed,
+                ..Default::default()
+            },
         ),
     ]
 }
@@ -166,8 +194,9 @@ impl GeneratedForest {
     /// Detach `k` random currently-attached connectors, returning the
     /// batch of delete edges.
     pub fn delete_batch(&mut self, k: usize) -> Vec<(u32, u32)> {
-        let attached: Vec<usize> =
-            (0..self.connectors.len()).filter(|&c| self.connectors[c].is_some()).collect();
+        let attached: Vec<usize> = (0..self.connectors.len())
+            .filter(|&c| self.connectors[c].is_some())
+            .collect();
         let mut out = Vec::new();
         let mut pool = attached;
         for _ in 0..k.min(pool.len()) {
@@ -182,8 +211,9 @@ impl GeneratedForest {
     /// Re-attach `k` random detached chains with freshly drawn connectors,
     /// returning the batch of weighted insert edges.
     pub fn insert_batch(&mut self, k: usize) -> Vec<(u32, u32, u64)> {
-        let detached: Vec<usize> =
-            (1..self.connectors.len()).filter(|&c| self.connectors[c].is_none()).collect();
+        let detached: Vec<usize> = (1..self.connectors.len())
+            .filter(|&c| self.connectors[c].is_none())
+            .collect();
         let mut out = Vec::new();
         let mut pool = detached;
         for _ in 0..k.min(pool.len()) {
@@ -277,7 +307,7 @@ mod tests {
 
     fn acyclic_and_valid(edges: &[(u32, u32, u64)], n: usize) {
         let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+        fn find(p: &mut [u32], x: u32) -> u32 {
             let mut r = x;
             while p[r as usize] != r {
                 r = p[r as usize];
@@ -311,7 +341,11 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let cfg = ForestGenConfig { n: 2000, seed: 99, ..Default::default() };
+        let cfg = ForestGenConfig {
+            n: 2000,
+            seed: 99,
+            ..Default::default()
+        };
         let a = GeneratedForest::generate(cfg).edges();
         let b = GeneratedForest::generate(cfg).edges();
         assert_eq!(a, b);
@@ -321,7 +355,12 @@ mod tests {
 
     #[test]
     fn chain_lengths_hit_the_mean() {
-        for dist in [ChainDist::Constant, ChainDist::Uniform, ChainDist::Geometric, ChainDist::Exponential] {
+        for dist in [
+            ChainDist::Constant,
+            ChainDist::Uniform,
+            ChainDist::Geometric,
+            ChainDist::Exponential,
+        ] {
             let cfg = ForestGenConfig {
                 n: 100_000,
                 mean_chain: 10.0,
@@ -339,15 +378,26 @@ mod tests {
 
     #[test]
     fn tiny_mean_gives_many_components_when_detached() {
-        let cfg = ForestGenConfig { n: 10_000, mean_chain: 1.1, ..Default::default() };
+        let cfg = ForestGenConfig {
+            n: 10_000,
+            mean_chain: 1.1,
+            ..Default::default()
+        };
         let mut g = GeneratedForest::generate(cfg);
         let dels = g.delete_batch(g.num_chains());
-        assert!(dels.len() > 5_000, "mean-1.1 forests are connector-dominated");
+        assert!(
+            dels.len() > 5_000,
+            "mean-1.1 forests are connector-dominated"
+        );
     }
 
     #[test]
     fn delete_insert_roundtrip_preserves_validity() {
-        let cfg = ForestGenConfig { n: 20_000, mean_chain: 10.0, ..Default::default() };
+        let cfg = ForestGenConfig {
+            n: 20_000,
+            mean_chain: 10.0,
+            ..Default::default()
+        };
         let mut g = GeneratedForest::generate(cfg);
         let e0 = g.edges().len();
         let dels = g.delete_batch(500);
@@ -392,15 +442,24 @@ mod tests {
 
     #[test]
     fn query_generators_in_range() {
-        let cfg = ForestGenConfig { n: 1000, ..Default::default() };
+        let cfg = ForestGenConfig {
+            n: 1000,
+            ..Default::default()
+        };
         let mut g = GeneratedForest::generate(cfg);
         for (u, v) in g.query_pairs(100) {
             assert!((u as usize) < 1000 && (v as usize) < 1000);
         }
-        let edges: HashSet<(u32, u32)> =
-            g.edges().iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+        let edges: HashSet<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
         for (u, p) in g.query_subtrees(100) {
-            assert!(edges.contains(&(u.min(p), u.max(p))), "subtree query not an edge");
+            assert!(
+                edges.contains(&(u.min(p), u.max(p))),
+                "subtree query not an edge"
+            );
         }
         assert_eq!(g.query_triples(5).len(), 5);
     }

@@ -22,7 +22,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Disjoint singletons `0..n`.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// Representative of `x`.
@@ -180,16 +183,14 @@ impl IncrementalMsf {
                 *e = w;
             }
         }
-        let batch: Vec<(u32, u32, u64)> =
-            best.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        let batch: Vec<(u32, u32, u64)> = best.into_iter().map(|((u, v), w)| (u, v, w)).collect();
         if batch.is_empty() {
             return stats;
         }
 
         // 1. Compressed path tree over the endpoints.
         let t0 = std::time::Instant::now();
-        let endpoints: Vec<Vertex> =
-            batch.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+        let endpoints: Vec<Vertex> = batch.iter().flat_map(|&(u, v, _)| [u, v]).collect();
         let cpt = self.forest.compressed_path_tree(&endpoints);
         stats.cpt_vertices = cpt.vertices.len();
         timings.cpt = t0.elapsed();
@@ -264,8 +265,12 @@ impl IncrementalMsf {
             let w = self.weights.remove(&k).expect("evicted edge tracked");
             self.total -= w;
         }
-        self.forest.batch_cut(&cuts).expect("evicted edges exist in the forest");
-        self.forest.batch_link(&links).expect("accepted edges are acyclic");
+        self.forest
+            .batch_cut(&cuts)
+            .expect("evicted edges exist in the forest");
+        self.forest
+            .batch_link(&links)
+            .expect("accepted edges are acyclic");
         for &(u, v, w) in &links {
             self.weights.insert((u.min(v), u.max(v)), w);
             self.total += w;

@@ -37,7 +37,13 @@ impl Clone for AtomicSlots3 {
 impl AtomicSlots3 {
     /// An empty set.
     pub fn new() -> Self {
-        Self { slots: [AtomicU32::new(NONE_U32), AtomicU32::new(NONE_U32), AtomicU32::new(NONE_U32)] }
+        Self {
+            slots: [
+                AtomicU32::new(NONE_U32),
+                AtomicU32::new(NONE_U32),
+                AtomicU32::new(NONE_U32),
+            ],
+        }
     }
 
     /// Insert `x` (must not be `NONE_U32`, must not already be present).
@@ -46,7 +52,9 @@ impl AtomicSlots3 {
     pub fn insert(&self, x: u32) {
         debug_assert_ne!(x, NONE_U32);
         for s in &self.slots {
-            if s.compare_exchange(NONE_U32, x, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            if s.compare_exchange(NONE_U32, x, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
                 return;
             }
         }
@@ -57,7 +65,9 @@ impl AtomicSlots3 {
     pub fn remove(&self, x: u32) -> bool {
         debug_assert_ne!(x, NONE_U32);
         for s in &self.slots {
-            if s.compare_exchange(x, NONE_U32, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            if s.compare_exchange(x, NONE_U32, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
                 return true;
             }
         }
@@ -78,7 +88,9 @@ impl AtomicSlots3 {
 
     /// True when no slot is occupied (quiescent reads).
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.load(Ordering::Acquire) == NONE_U32)
+        self.slots
+            .iter()
+            .all(|s| s.load(Ordering::Acquire) == NONE_U32)
     }
 
     /// Remove every occupant.

@@ -32,7 +32,11 @@ impl ConcurrentMap {
         let slots = (capacity.max(4) * 2).next_power_of_two();
         let keys = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
         let vals = (0..slots).map(|_| AtomicU64::new(VAL_UNSET)).collect();
-        Self { keys, vals, mask: slots - 1 }
+        Self {
+            keys,
+            vals,
+            mask: slots - 1,
+        }
     }
 
     /// Number of slots (2× requested capacity, rounded up to a power of two).
@@ -83,12 +87,8 @@ impl ConcurrentMap {
             if cur != EMPTY && cur != TOMBSTONE {
                 continue 'retry; // slot raced away; rescan the chain
             }
-            match self.keys[target].compare_exchange(
-                cur,
-                key,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.keys[target].compare_exchange(cur, key, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => {
                     let old = self.vals[target].swap(value, Ordering::AcqRel);
                     return if old == VAL_UNSET { None } else { Some(old) };

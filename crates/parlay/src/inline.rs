@@ -15,7 +15,10 @@ pub struct InlineVec<T: Copy + Default, const N: usize> {
 
 impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
     fn default() -> Self {
-        Self { items: [T::default(); N], len: 0 }
+        Self {
+            items: [T::default(); N],
+            len: 0,
+        }
     }
 }
 
@@ -92,7 +95,9 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     /// Remove the first occurrence of an element matching `pred`;
     /// returns it if found (order not preserved).
     pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
-        (0..self.len()).find(|&i| pred(&self.items[i])).map(|i| self.swap_remove(i))
+        (0..self.len())
+            .find(|&i| pred(&self.items[i]))
+            .map(|i| self.swap_remove(i))
     }
 
     /// Clear all elements.

@@ -51,14 +51,16 @@ pub fn splice_out(next: &mut [u32], prev: &mut [u32], marked: &[u32], seed: u64)
                     let v = live[i];
                     let p = priority(seed, v, round);
                     let beats = |u: u32| {
-                        u == NONE_U32
-                            || !mark_flag[u as usize]
-                            || priority(seed, u, round) < p
+                        u == NONE_U32 || !mark_flag[u as usize] || priority(seed, u, round) < p
                     };
                     beats(next_ro[v as usize]) && beats(prev_ro[v as usize])
                 })
                 .collect();
-            live.iter().zip(&sel).filter(|(_, &s)| s).map(|(&v, _)| v).collect()
+            live.iter()
+                .zip(&sel)
+                .filter(|(_, &s)| s)
+                .map(|(&v, _)| v)
+                .collect()
         };
         debug_assert!(!selected.is_empty(), "IS selection must make progress");
         // Splice the independent set: neighbors of distinct selected nodes
@@ -166,10 +168,9 @@ mod tests {
         use crate::rng::SplitMix64;
         let n = 50_000u32;
         let chain: Vec<u32> = (0..n).collect();
-        let (mut next, mut prev) = build_lists(n as usize, &[chain.clone()]);
+        let (mut next, mut prev) = build_lists(n as usize, std::slice::from_ref(&chain));
         let mut rng = SplitMix64::new(1234);
-        let marked: Vec<u32> =
-            (0..n).filter(|_| rng.next_f64() < 0.4).collect();
+        let marked: Vec<u32> = (0..n).filter(|_| rng.next_f64() < 0.4).collect();
         splice_out(&mut next, &mut prev, &marked, 99);
 
         let marked_set: Vec<bool> = {
@@ -179,7 +180,11 @@ mod tests {
             }
             s
         };
-        let expect: Vec<u32> = chain.iter().copied().filter(|&v| !marked_set[v as usize]).collect();
+        let expect: Vec<u32> = chain
+            .iter()
+            .copied()
+            .filter(|&v| !marked_set[v as usize])
+            .collect();
         if expect.is_empty() {
             assert!(next.iter().all(|&x| x == NONE_U32));
         } else {

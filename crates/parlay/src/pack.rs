@@ -95,7 +95,9 @@ where
     if xs.len() <= SEQ_THRESHOLD {
         return xs.iter().filter(|x| pred(x)).count();
     }
-    xs.par_chunks(SEQ_THRESHOLD).map(|c| c.iter().filter(|x| pred(x)).count()).sum()
+    xs.par_chunks(SEQ_THRESHOLD)
+        .map(|c| c.iter().filter(|x| pred(x)).count())
+        .sum()
 }
 
 #[cfg(test)]
@@ -121,8 +123,9 @@ mod tests {
 
     #[test]
     fn flatten_matches_concat() {
-        let nested: Vec<Vec<u32>> =
-            (0..1000).map(|i| (0..(i % 7)).map(|j| (i * 10 + j) as u32).collect()).collect();
+        let nested: Vec<Vec<u32>> = (0..1000)
+            .map(|i| (0..(i % 7)).map(|j| (i * 10 + j) as u32).collect())
+            .collect();
         let got = flatten(&nested);
         let expect: Vec<u32> = nested.iter().flatten().copied().collect();
         assert_eq!(got, expect);

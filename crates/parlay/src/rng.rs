@@ -47,7 +47,9 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { state: mix64(seed ^ 0xA076_1D64_78BD_642F) }
+        Self {
+            state: mix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
     }
 
     /// Next raw 64-bit output.
@@ -76,7 +78,9 @@ impl SplitMix64 {
     /// Fork an independent stream (splittable).
     #[inline]
     pub fn split(&mut self) -> Self {
-        Self { state: mix64(self.next_u64()) }
+        Self {
+            state: mix64(self.next_u64()),
+        }
     }
 }
 

@@ -12,12 +12,16 @@ use crate::sort::sort_by_u64_key;
 use crate::SEQ_THRESHOLD;
 use rayon::prelude::*;
 
+/// Result of [`group_by_key`]: the permuted pairs plus the `(lo, hi)`
+/// range of each key's run.
+pub type Grouped<V> = (Vec<(u64, V)>, Vec<(u32, u32)>);
+
 /// Group a sequence of `(key, value)` pairs by key.
 ///
 /// Returns `(pairs, group_ranges)`: `pairs` is a permutation of the input
 /// with equal keys adjacent; each `(lo, hi)` in `group_ranges` delimits one
 /// key's run `pairs[lo..hi]`. Group order is pseudo-random (by key hash).
-pub fn group_by_key<V>(pairs: &[(u64, V)], seed: u64) -> (Vec<(u64, V)>, Vec<(u32, u32)>)
+pub fn group_by_key<V>(pairs: &[(u64, V)], seed: u64) -> Grouped<V>
 where
     V: Copy + Send + Sync,
 {
@@ -39,7 +43,11 @@ where
     };
     let mut ranges = Vec::with_capacity(starts.len());
     for (j, &s) in starts.iter().enumerate() {
-        let e = if j + 1 < starts.len() { starts[j + 1] } else { n as u32 };
+        let e = if j + 1 < starts.len() {
+            starts[j + 1]
+        } else {
+            n as u32
+        };
         ranges.push((s, e));
     }
     (items, ranges)
@@ -58,8 +66,10 @@ pub fn group_u32_by_u32(pairs: &[(u32, u32)], seed: u64) -> Vec<(u32, Vec<u32>)>
         .into_iter()
         .map(|(lo, hi)| {
             let key = sorted[lo as usize].0 as u32;
-            let vals: Vec<u32> =
-                sorted[lo as usize..hi as usize].iter().map(|&(_, v)| v).collect();
+            let vals: Vec<u32> = sorted[lo as usize..hi as usize]
+                .iter()
+                .map(|&(_, v)| v)
+                .collect();
             (key, vals)
         })
         .collect()
@@ -74,8 +84,7 @@ mod tests {
     #[test]
     fn groups_are_complete_and_disjoint() {
         let mut rng = SplitMix64::new(11);
-        let pairs: Vec<(u64, u32)> =
-            (0..100_000u32).map(|i| (rng.next_below(500), i)).collect();
+        let pairs: Vec<(u64, u32)> = (0..100_000u32).map(|i| (rng.next_below(500), i)).collect();
         let (sorted, ranges) = group_by_key(&pairs, 42);
 
         // Every range has a single key; ranges tile [0, n).
@@ -87,7 +96,9 @@ mod tests {
             covered = hi as usize;
             let k = sorted[lo as usize].0;
             assert!(seen_keys.insert(k), "key {k} split across groups");
-            assert!(sorted[lo as usize..hi as usize].iter().all(|&(kk, _)| kk == k));
+            assert!(sorted[lo as usize..hi as usize]
+                .iter()
+                .all(|&(kk, _)| kk == k));
         }
         assert_eq!(covered, sorted.len());
 
@@ -98,8 +109,10 @@ mod tests {
         }
         for &(lo, hi) in &ranges {
             let k = sorted[lo as usize].0;
-            let mut got: Vec<u32> =
-                sorted[lo as usize..hi as usize].iter().map(|&(_, v)| v).collect();
+            let mut got: Vec<u32> = sorted[lo as usize..hi as usize]
+                .iter()
+                .map(|&(_, v)| v)
+                .collect();
             got.sort_unstable();
             let mut want = reference.remove(&k).unwrap();
             want.sort_unstable();

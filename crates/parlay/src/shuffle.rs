@@ -63,7 +63,11 @@ mod tests {
     #[test]
     fn looks_shuffled() {
         let p = random_permutation(10_000, 4);
-        let fixed = p.iter().enumerate().filter(|&(i, &x)| i as u32 == x).count();
+        let fixed = p
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| i as u32 == x)
+            .count();
         // Expected number of fixed points of a random permutation is 1.
         assert!(fixed < 20, "too many fixed points: {fixed}");
     }

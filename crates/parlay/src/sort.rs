@@ -60,8 +60,7 @@ where
         (0..nblocks).into_par_iter().for_each(|blk| {
             let lo = blk * block;
             let hi = (lo + block).min(n);
-            let mut cursors: Vec<u32> =
-                (0..num_buckets).map(|b| hist[b * nblocks + blk]).collect();
+            let mut cursors: Vec<u32> = (0..num_buckets).map(|b| hist[b * nblocks + blk]).collect();
             for x in &xs[lo..hi] {
                 let b = key(x);
                 let dst = cursors[b] as usize;
@@ -141,8 +140,8 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(sorted, expect);
         for b in 0..64 {
-            for i in offs[b] as usize..offs[b + 1] as usize {
-                assert_eq!(sorted[i] as usize, b);
+            for &x in &sorted[offs[b] as usize..offs[b + 1] as usize] {
+                assert_eq!(x as usize, b);
             }
         }
     }
@@ -151,8 +150,9 @@ mod tests {
     fn counting_sort_is_stable() {
         // items = (key, original index); stability keeps indices increasing per key.
         let mut rng = SplitMix64::new(3);
-        let xs: Vec<(u32, u32)> =
-            (0..100_000).map(|i| (rng.next_below(8) as u32, i)).collect();
+        let xs: Vec<(u32, u32)> = (0..100_000)
+            .map(|i| (rng.next_below(8) as u32, i))
+            .collect();
         let (sorted, _) = counting_sort_by(&xs, 8, |&(k, _)| k as usize);
         for w in sorted.windows(2) {
             if w[0].0 == w[1].0 {

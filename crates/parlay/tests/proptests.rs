@@ -1,9 +1,13 @@
 //! Property-based tests for the parallel substrate.
+//!
+//! Seeded randomized trials (the workspace has no registry access, so no
+//! `proptest`; `SplitMix64`-driven generation is the repo-wide idiom). Each
+//! property runs many trials over randomized sizes and contents.
 
-use proptest::prelude::*;
 use rc_parlay::hashtable::ConcurrentMap;
 use rc_parlay::list::{build_lists, splice_out};
 use rc_parlay::pack::{filter, flatten, pack_index};
+use rc_parlay::rng::SplitMix64;
 use rc_parlay::scan::{reduce, scan_exclusive, scan_exclusive_u64};
 use rc_parlay::semisort::group_by_key;
 use rc_parlay::shuffle::random_permutation;
@@ -11,9 +15,18 @@ use rc_parlay::sort::counting_sort_by;
 use rc_parlay::NONE_U32;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    #[test]
-    fn scan_matches_sequential(xs in prop::collection::vec(0u64..1_000, 0..5_000)) {
+const TRIALS: usize = 24;
+
+fn vec_u64(rng: &mut SplitMix64, max_len: u64, below: u64) -> Vec<u64> {
+    let len = rng.next_below(max_len) as usize;
+    (0..len).map(|_| rng.next_below(below)).collect()
+}
+
+#[test]
+fn scan_matches_sequential() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..TRIALS {
+        let xs = vec_u64(&mut rng, 5_000, 1_000);
         let mut par = xs.clone();
         let total = scan_exclusive_u64(&mut par);
         let mut acc = 0u64;
@@ -22,62 +35,109 @@ proptest! {
             seq.push(acc);
             acc += x;
         }
-        prop_assert_eq!(total, acc);
-        prop_assert_eq!(par, seq);
+        assert_eq!(total, acc);
+        assert_eq!(par, seq);
     }
+}
 
-    #[test]
-    fn scan_max_is_running_max(xs in prop::collection::vec(-1000i64..1000, 1..2_000)) {
+#[test]
+fn scan_max_is_running_max() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..TRIALS {
+        let len = 1 + rng.next_below(2_000) as usize;
+        let xs: Vec<i64> = (0..len)
+            .map(|_| rng.next_below(2_000) as i64 - 1_000)
+            .collect();
         let mut par = xs.clone();
         let total = scan_exclusive(&mut par, i64::MIN, |a, b| a.max(b));
-        prop_assert_eq!(total, xs.iter().copied().max().unwrap());
+        assert_eq!(total, xs.iter().copied().max().unwrap());
         let mut m = i64::MIN;
         for (i, &x) in xs.iter().enumerate() {
-            prop_assert_eq!(par[i], m);
+            assert_eq!(par[i], m);
             m = m.max(x);
         }
     }
+}
 
-    #[test]
-    fn reduce_equals_fold(xs in prop::collection::vec(0u64..100, 0..3_000)) {
-        prop_assert_eq!(reduce(&xs, 0, |a, b| a + b), xs.iter().sum::<u64>());
+#[test]
+fn reduce_equals_fold() {
+    let mut rng = SplitMix64::new(0xC0DE);
+    for _ in 0..TRIALS {
+        let xs = vec_u64(&mut rng, 3_000, 100);
+        assert_eq!(reduce(&xs, 0, |a, b| a + b), xs.iter().sum::<u64>());
     }
+}
 
-    #[test]
-    fn pack_and_filter_agree(xs in prop::collection::vec(0u32..50, 0..3_000)) {
-        let idx = pack_index(xs.len(), |i| xs[i] % 2 == 0);
-        let manual: Vec<u32> = (0..xs.len() as u32).filter(|&i| xs[i as usize] % 2 == 0).collect();
-        prop_assert_eq!(idx, manual);
+#[test]
+fn pack_and_filter_agree() {
+    let mut rng = SplitMix64::new(0xD1CE);
+    for _ in 0..TRIALS {
+        let len = rng.next_below(3_000) as usize;
+        let xs: Vec<u32> = (0..len).map(|_| rng.next_below(50) as u32).collect();
+        let idx = pack_index(xs.len(), |i| xs[i].is_multiple_of(2));
+        let manual: Vec<u32> = (0..xs.len() as u32)
+            .filter(|&i| xs[i as usize].is_multiple_of(2))
+            .collect();
+        assert_eq!(idx, manual);
         let f = filter(&xs, |&x| x > 25);
         let manual2: Vec<u32> = xs.iter().copied().filter(|&x| x > 25).collect();
-        prop_assert_eq!(f, manual2);
+        assert_eq!(f, manual2);
     }
+}
 
-    #[test]
-    fn flatten_is_concat(nested in prop::collection::vec(prop::collection::vec(0u32..100, 0..10), 0..200)) {
+#[test]
+fn flatten_is_concat() {
+    let mut rng = SplitMix64::new(0xF1A7);
+    for _ in 0..TRIALS {
+        let outer = rng.next_below(200) as usize;
+        let nested: Vec<Vec<u32>> = (0..outer)
+            .map(|_| {
+                let inner = rng.next_below(10) as usize;
+                (0..inner).map(|_| rng.next_below(100) as u32).collect()
+            })
+            .collect();
         let got = flatten(&nested);
         let expect: Vec<u32> = nested.iter().flatten().copied().collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    #[test]
-    fn counting_sort_sorts_stably(xs in prop::collection::vec(0u32..16, 0..3_000)) {
-        let tagged: Vec<(u32, u32)> = xs.iter().enumerate().map(|(i, &x)| (x, i as u32)).collect();
+#[test]
+fn counting_sort_sorts_stably() {
+    let mut rng = SplitMix64::new(0x5027);
+    for _ in 0..TRIALS {
+        let len = rng.next_below(3_000) as usize;
+        let tagged: Vec<(u32, u32)> = (0..len)
+            .map(|i| (rng.next_below(16) as u32, i as u32))
+            .collect();
         let (sorted, offs) = counting_sort_by(&tagged, 16, |&(k, _)| k as usize);
         let mut expect = tagged.clone();
         expect.sort_by_key(|&(k, i)| (k, i));
-        prop_assert_eq!(sorted, expect);
-        prop_assert_eq!(offs[16] as usize, xs.len());
+        assert_eq!(sorted, expect);
+        assert_eq!(offs[16] as usize, len);
     }
+}
 
-    #[test]
-    fn group_by_is_partition(pairs in prop::collection::vec((0u64..64, 0u32..10_000), 0..2_000)) {
-        let (sorted, ranges) = group_by_key(&pairs, 99);
+#[test]
+fn group_by_is_partition() {
+    let mut rng = SplitMix64::new(0x6209);
+    for trial in 0..TRIALS {
+        let len = rng.next_below(2_000) as usize;
+        let pairs: Vec<(u64, u32)> = (0..len)
+            .map(|_| (rng.next_below(64), rng.next_below(10_000) as u32))
+            .collect();
+        let (sorted, ranges) = group_by_key(&pairs, 99 + trial as u64);
         let mut re: HashMap<u64, Vec<u32>> = HashMap::new();
         for &(lo, hi) in &ranges {
             let k = sorted[lo as usize].0;
-            prop_assert!(!re.contains_key(&k));
-            re.insert(k, sorted[lo as usize..hi as usize].iter().map(|&(_, v)| v).collect());
+            assert!(!re.contains_key(&k), "key {k} split across groups");
+            re.insert(
+                k,
+                sorted[lo as usize..hi as usize]
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .collect(),
+            );
         }
         let mut want: HashMap<u64, Vec<u32>> = HashMap::new();
         for &(k, v) in &pairs {
@@ -87,43 +147,56 @@ proptest! {
             let mut got = re.remove(&k).unwrap();
             got.sort_unstable();
             vs.sort_unstable();
-            prop_assert_eq!(got, vs);
+            assert_eq!(got, vs);
         }
-        prop_assert!(re.is_empty());
+        assert!(re.is_empty());
     }
+}
 
-    #[test]
-    fn permutation_is_bijective(n in 0usize..5_000, seed in 0u64..1_000) {
+#[test]
+fn permutation_is_bijective() {
+    let mut rng = SplitMix64::new(0x9e37);
+    for _ in 0..TRIALS {
+        let n = rng.next_below(5_000) as usize;
+        let seed = rng.next_below(1_000);
         let p = random_permutation(n, seed);
         let set: HashSet<u32> = p.iter().copied().collect();
-        prop_assert_eq!(set.len(), n);
-        prop_assert!(p.iter().all(|&x| (x as usize) < n));
+        assert_eq!(set.len(), n);
+        assert!(p.iter().all(|&x| (x as usize) < n));
     }
+}
 
-    #[test]
-    fn hash_map_semantics(ops in prop::collection::vec((0u64..50, 0u64..100), 0..500)) {
+#[test]
+fn hash_map_semantics() {
+    let mut rng = SplitMix64::new(0x11A5);
+    for _ in 0..TRIALS {
+        let nops = rng.next_below(500) as usize;
         let m = ConcurrentMap::with_capacity(256);
         let mut reference: HashMap<u64, u64> = HashMap::new();
-        for &(k, v) in &ops {
-            if v % 5 == 0 {
-                prop_assert_eq!(m.remove(k), reference.remove(&k));
+        for _ in 0..nops {
+            let k = rng.next_below(50);
+            let v = rng.next_below(100);
+            if v.is_multiple_of(5) {
+                assert_eq!(m.remove(k), reference.remove(&k));
             } else {
-                prop_assert_eq!(m.insert(k, v), reference.insert(k, v));
+                assert_eq!(m.insert(k, v), reference.insert(k, v));
             }
         }
         for k in 0..50u64 {
-            prop_assert_eq!(m.get(k), reference.get(&k).copied());
+            assert_eq!(m.get(k), reference.get(&k).copied());
         }
     }
+}
 
-    #[test]
-    fn splice_preserves_survivors(
-        n in 2u32..300,
-        marks in prop::collection::vec(any::<bool>(), 300),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn splice_preserves_survivors() {
+    let mut rng = SplitMix64::new(0x571C);
+    for _ in 0..TRIALS {
+        let n = 2 + rng.next_below(298) as u32;
+        let marks: Vec<bool> = (0..n).map(|_| rng.next_f64() < 0.5).collect();
+        let seed = rng.next_below(100);
         let chain: Vec<u32> = (0..n).collect();
-        let (mut next, mut prev) = build_lists(n as usize, &[chain.clone()]);
+        let (mut next, mut prev) = build_lists(n as usize, std::slice::from_ref(&chain));
         let marked: Vec<u32> = (0..n).filter(|&v| marks[v as usize]).collect();
         splice_out(&mut next, &mut prev, &marked, seed);
         let survivors: Vec<u32> = (0..n).filter(|&v| !marks[v as usize]).collect();
@@ -134,7 +207,7 @@ proptest! {
                 cur = next[cur as usize];
                 walked.push(cur);
             }
-            prop_assert_eq!(walked, survivors);
+            assert_eq!(walked, survivors);
         }
     }
 }

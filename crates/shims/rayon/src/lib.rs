@@ -1,0 +1,651 @@
+//! Workspace-local stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the workspace ships the *subset* of rayon's API that the
+//! rcforest crates actually use, implemented as plain fork-join over
+//! `std::thread::scope`. The surface and semantics match rayon closely
+//! enough that pointing the workspace `rayon` dependency back at crates.io
+//! is a one-line change and requires no source edits.
+//!
+//! What is provided:
+//!
+//! * `prelude::*` with [`ParallelIterator`] driving `map`, `enumerate`,
+//!   `for_each`, `collect` (order-preserving), `sum`, `reduce`, and
+//!   `fold(..).reduce(..)`;
+//! * `par_iter()` on slices, `into_par_iter()` on `Range<usize>`,
+//!   `par_chunks(..)` and `par_sort_unstable_by_key(..)` on slices;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which here scope a
+//!   thread-count override rather than an actual pool.
+//!
+//! Parallelism model: each consuming operation splits its index space into
+//! at most [`current_num_threads`] contiguous chunks and runs them on
+//! scoped threads (the first chunk on the calling thread). Work stealing
+//! is not implemented; callers in `rc-parlay` already block work into
+//! even-sized chunks above a sequential threshold, which is the load
+//! pattern this executor handles well.
+
+use std::cell::Cell;
+use std::mem::MaybeUninit;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations may use on this thread: the
+/// innermost [`ThreadPool::install`] override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        o
+    } else {
+        std::thread::available_parallelism().map_or(1, |x| x.get())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads` +
+/// `build` + `install` pattern.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the number of threads operations inside `install` may use.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (virtual) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A virtual pool: holds only the thread-count cap applied during
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the caller's thread-count override on drop (also on panic).
+struct OverrideGuard {
+    prev: usize,
+}
+
+impl OverrideGuard {
+    fn set(n: usize) -> Self {
+        OverrideGuard {
+            prev: THREAD_OVERRIDE.with(|c| c.replace(n)),
+        }
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the parallelism cap for
+    /// parallel operations started inside it. Worker threads spawned by
+    /// those operations inherit the cap, so nested parallelism stays
+    /// bounded like it would on a real fixed-size pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = OverrideGuard::set(self.current_num_threads());
+        f()
+    }
+
+    /// The pool's thread count. As with real rayon, an unset (zero)
+    /// builder value means the machine's available parallelism.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |x| x.get())
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results. The
+/// caller's thread cap is split between the two branches so nested
+/// parallelism stays within it.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let cap = current_num_threads();
+    if cap <= 1 {
+        return (a(), b());
+    }
+    let half = (cap / 2).max(1);
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let _guard = OverrideGuard::set(half);
+            b()
+        });
+        let ra = {
+            let _guard = OverrideGuard::set((cap - half).max(1));
+            a()
+        };
+        (ra, hb.join().expect("rayon shim: join task panicked"))
+    })
+}
+
+/// Raw-pointer wrapper for disjoint writes into a result buffer from
+/// several scoped threads.
+struct OutPtr<T>(*mut T);
+unsafe impl<T: Send> Send for OutPtr<T> {}
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+impl<T> OutPtr<T> {
+    /// Write `v` into slot `i`.
+    ///
+    /// # Safety
+    /// Slot `i` must be within the allocation and written by exactly one
+    /// thread during the parallel phase.
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { self.0.add(i).write(v) }
+    }
+}
+
+/// Split `0..n` into at most `current_num_threads()` contiguous chunks and
+/// run `body(lo, hi)` for each, first chunk on the calling thread. Each
+/// chunk (including the calling thread's) runs under an even share of the
+/// caller's thread cap, so nested parallel operations keep the total
+/// bounded by the cap — like a real fixed-size pool, minus work stealing.
+fn run_chunked<F: Fn(usize, usize) + Sync>(n: usize, body: F) {
+    if n == 0 {
+        return;
+    }
+    let cap = current_num_threads();
+    let t = cap.min(n);
+    if t <= 1 {
+        body(0, n);
+        return;
+    }
+    let share = (cap / t).max(1);
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        let body = &body;
+        for k in 1..t {
+            let lo = k * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            s.spawn(move || {
+                let _guard = OverrideGuard::set(share);
+                body(lo, hi)
+            });
+        }
+        let _guard = OverrideGuard::set(share);
+        body(0, chunk.min(n));
+    });
+}
+
+/// An indexed parallel source: a length plus random access. All shim
+/// iterators are indexed, which is exactly the shape rayon's
+/// `IndexedParallelIterator` guarantees for the combinators we cover.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type.
+    type Item: Send;
+
+    /// Exact number of elements.
+    fn par_len(&self) -> usize;
+
+    /// The `i`-th element. Must be safe to call concurrently for distinct
+    /// indices.
+    fn at(&self, i: usize) -> Self::Item;
+
+    /// Map each element through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every element, in parallel chunks.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunked(self.par_len(), |lo, hi| {
+            for i in lo..hi {
+                f(self.at(i));
+            }
+        });
+    }
+
+    /// Collect into a container (only `Vec<T>` is supported), preserving
+    /// element order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sum all elements.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let partials = fold_chunks(&self, |lo, hi| (lo..hi).map(|i| self.at(i)).sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Reduce with an associative operator; `identity()` seeds each chunk.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = fold_chunks(&self, |lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = op(acc, self.at(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Fold each parallel chunk into an accumulator seeded by
+    /// `identity()`. The per-chunk accumulators are consumed by
+    /// [`Fold::reduce`], matching rayon's `fold(..).reduce(..)` idiom.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        let partials = fold_chunks(&self, |lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = fold_op(acc, self.at(i));
+            }
+            acc
+        });
+        Fold { partials }
+    }
+}
+
+/// Run `chunk(lo, hi)` over parallel chunks, returning the per-chunk
+/// results in chunk order.
+fn fold_chunks<I, T, F>(it: &I, chunk: F) -> Vec<T>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let n = it.par_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = current_num_threads();
+    let t = cap.min(n);
+    if t <= 1 {
+        return vec![chunk(0, n)];
+    }
+    let share = (cap / t).max(1);
+    let size = n.div_ceil(t);
+    let nchunks = n.div_ceil(size);
+    let mut out: Vec<MaybeUninit<T>> = (0..nchunks).map(|_| MaybeUninit::uninit()).collect();
+    let ptr = OutPtr(out.as_mut_ptr());
+    std::thread::scope(|s| {
+        let chunk = &chunk;
+        let ptr = &ptr;
+        for k in 1..nchunks {
+            s.spawn(move || {
+                let _guard = OverrideGuard::set(share);
+                let lo = k * size;
+                let hi = (lo + size).min(n);
+                // SAFETY: chunk `k` writes only slot `k`.
+                unsafe { ptr.write(k, MaybeUninit::new(chunk(lo, hi))) };
+            });
+        }
+        let _guard = OverrideGuard::set(share);
+        unsafe { ptr.write(0, MaybeUninit::new(chunk(0, size.min(n)))) };
+    });
+    // SAFETY: every slot was written exactly once above.
+    out.into_iter()
+        .map(|s| unsafe { s.assume_init() })
+        .collect()
+}
+
+/// Result of [`ParallelIterator::fold`]: per-chunk accumulators.
+pub struct Fold<T> {
+    partials: Vec<T>,
+}
+
+impl<T: Send> Fold<T> {
+    /// Combine the per-chunk accumulators.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.partials.into_iter().fold(identity(), op)
+    }
+}
+
+/// Order-preserving parallel collection.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container from an indexed parallel iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        let n = it.par_len();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let ptr = OutPtr(out.as_mut_ptr());
+        let ptr = &ptr;
+        run_chunked(n, |lo, hi| {
+            for i in lo..hi {
+                // SAFETY: chunks write disjoint index ranges into reserved
+                // capacity; every index in 0..n is written exactly once.
+                unsafe { ptr.write(i, it.at(i)) };
+            }
+        });
+        // SAFETY: all n slots initialized by the loop above.
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn at(&self, i: usize) -> R {
+        (self.f)(self.base.at(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn at(&self, i: usize) -> (usize, B::Item) {
+        (i, self.base.at(i))
+    }
+}
+
+/// Parallel slice iterator (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn at(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel chunk iterator (`par_chunks`).
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn at(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Parallel range iterator (`(a..b).into_par_iter()`).
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn at(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// `into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// `par_iter()` on shared references (slices, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Slice-specific parallel views (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksIter { slice: self, size }
+    }
+}
+
+/// Mutable-slice parallel operations (`par_sort_unstable_by_key`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Sort by key. The shim sorts sequentially — acceptable for the sort
+    /// sizes this workspace produces; the real rayon parallelizes it.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..100_000).collect();
+        let got: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        let want: Vec<u64> = xs.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_for_each_covers_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..50_000).map(|_| AtomicUsize::new(0)).collect();
+        let href = &hits;
+        (0..hits.len()).into_par_iter().for_each(|i| {
+            href[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_sum_and_reduce() {
+        let xs: Vec<usize> = (0..10_000).collect();
+        let total: usize = xs.par_chunks(128).map(|c| c.iter().sum::<usize>()).sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+        let max = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(max, 9_999);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let odd: Vec<usize> = (0..10_000)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, i| {
+                if i % 2 == 1 {
+                    acc.push(i);
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(odd.len(), 5_000);
+        assert!(odd.windows(2).all(|w| w[0] < w[1]), "chunk order preserved");
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let xs = vec![7u32; 5_000];
+        let got: Vec<(usize, u32)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        for (i, &(j, x)) in got.iter().enumerate() {
+            assert_eq!((i, 7), (j, x));
+        }
+    }
+
+    #[test]
+    fn install_caps_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        assert!(current_num_threads() >= 1, "override restored");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_parallelism_respects_install_cap() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            // Workers of a 4-way split get an even share of the cap, so a
+            // nested parallel op cannot fan out past it.
+            (0..4usize).into_par_iter().for_each(|_| {
+                assert!(current_num_threads() <= 4, "worker share exceeds cap");
+            });
+            // join splits the cap between its branches.
+            let (a, b) = join(current_num_threads, current_num_threads);
+            assert!(a >= 1 && b >= 1 && a + b <= 4, "join caps: {a} + {b}");
+        });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<u32> = Vec::new();
+        let got: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(got.is_empty());
+        let s: usize = (0..0).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -15,7 +15,7 @@
 //! forwards one batch update to the inner [`RcForest`].
 
 use rc_core::aggregate::{ClusterAggregate, PathAggregate, SubtreeAggregate};
-use rc_core::{CompressedPathTree, ForestError, RcForest, Vertex};
+use rc_core::{CompressedPathTree, ForestError, MarkedSweep, RcForest, Vertex};
 use rc_parlay::hashtable::{edge_key, ConcurrentMap};
 
 /// Sentinel for "no vertex".
@@ -176,14 +176,14 @@ impl<A: ClusterAggregate> TernaryForest<A> {
             }
         }
         // Translate: allocate dummies, extend chains, cross-link.
-        let mut inner_links: Vec<(u32, u32, A::EdgeWeight)> =
-            Vec::with_capacity(links.len() * 3);
+        let mut inner_links: Vec<(u32, u32, A::EdgeWeight)> = Vec::with_capacity(links.len() * 3);
         for &(u, v, ref w) in links {
             let du = self.extend_chain(u, &mut inner_links);
             let dv = self.extend_chain(v, &mut inner_links);
             inner_links.push((du, dv, w.clone()));
             let (a, b) = if u <= v { (du, dv) } else { (dv, du) };
-            self.edge_map.insert(edge_key(u, v), ((a as u64) << 32) | b as u64);
+            self.edge_map
+                .insert(edge_key(u, v), ((a as u64) << 32) | b as u64);
         }
         self.inner
             .batch_update_unchecked(&inner_links, &[])
@@ -192,12 +192,11 @@ impl<A: ClusterAggregate> TernaryForest<A> {
         Ok(())
     }
 
-    fn extend_chain(
-        &mut self,
-        u: Vertex,
-        inner_links: &mut Vec<(u32, u32, A::EdgeWeight)>,
-    ) -> u32 {
-        let d = self.free.pop().expect("dummy pool exhausted (impossible for forests)");
+    fn extend_chain(&mut self, u: Vertex, inner_links: &mut Vec<(u32, u32, A::EdgeWeight)>) -> u32 {
+        let d = self
+            .free
+            .pop()
+            .expect("dummy pool exhausted (impossible for forests)");
         let t = self.tail[u as usize];
         self.next[t as usize] = d;
         self.prev[d as usize] = t;
@@ -291,14 +290,62 @@ impl<A: ClusterAggregate> TernaryForest<A> {
         Ok(())
     }
 
-    /// Are `u` and `v` connected? (ternarization preserves connectivity.)
+    /// Are `u` and `v` connected? (ternarization preserves connectivity;
+    /// `false` when either vertex is out of the *real* range, which is
+    /// narrower than the inner forest's.)
     pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
-        self.inner.connected(u, v)
+        (u as usize) < self.n && (v as usize) < self.n && self.inner.connected(u, v)
     }
 
-    /// Batch connectivity over real vertex pairs.
+    /// Batch connectivity over real vertex pairs (out-of-range → `false`).
     pub fn batch_connected(&self, pairs: &[(Vertex, Vertex)]) -> Vec<bool> {
-        self.inner.batch_connected(pairs)
+        self.inner.batch_connected(&self.bound_pairs(pairs))
+    }
+
+    /// Map ids past the real range to an id the inner forest also rejects
+    /// (real ids are inner ids, but the inner forest is 3× larger — a raw
+    /// pass-through would alias dummy vertices).
+    fn bound_real(&self, v: Vertex) -> Vertex {
+        if (v as usize) < self.n {
+            v
+        } else {
+            NONE32
+        }
+    }
+
+    /// [`Self::bound_real`] over a pair batch — every batch entry point
+    /// over pairs must route through this (or its vertex/triple siblings)
+    /// so out-of-range ids can never alias dummies.
+    fn bound_pairs(&self, pairs: &[(Vertex, Vertex)]) -> Vec<(Vertex, Vertex)> {
+        pairs
+            .iter()
+            .map(|&(u, v)| (self.bound_real(u), self.bound_real(v)))
+            .collect()
+    }
+
+    /// [`Self::bound_real`] over a vertex batch.
+    fn bound_vertices(&self, vs: &[Vertex]) -> Vec<Vertex> {
+        vs.iter().map(|&v| self.bound_real(v)).collect()
+    }
+
+    /// Component representatives for a batch of real vertices (real
+    /// vertices are chain heads of the inner forest, so representatives
+    /// are comparable across calls). Out-of-range vertices map to
+    /// `u32::MAX`.
+    pub fn batch_find_representatives(&self, vs: &[Vertex]) -> Vec<Vertex> {
+        self.inner
+            .batch_find_representatives(&self.bound_vertices(vs))
+    }
+
+    /// A marked-subtree engine sweep of the inner forest over real start
+    /// vertices — the extension point for custom batch queries through
+    /// the ternarization layer (real vertex ids are valid inner ids; map
+    /// Steiner/dummy representatives back with
+    /// [`TernaryForest::owner_of`]).
+    pub fn marked_sweep<I: IntoIterator<Item = Vertex>>(&self, starts: I) -> MarkedSweep<'_, A> {
+        let n = self.n;
+        self.inner
+            .marked_sweep(starts.into_iter().filter(move |&v| (v as usize) < n))
     }
 
     /// Set real vertex weights (dummies keep the default weight).
@@ -313,22 +360,33 @@ impl<A: ClusterAggregate> TernaryForest<A> {
     ) -> Result<(), ForestError> {
         let mut inner: Vec<(u32, u32, A::EdgeWeight)> = Vec::with_capacity(updates.len());
         for &(u, v, ref w) in updates {
-            let (du, dv) = self.dummies_of(u, v).ok_or(ForestError::MissingEdge { u, v })?;
+            let (du, dv) = self
+                .dummies_of(u, v)
+                .ok_or(ForestError::MissingEdge { u, v })?;
             inner.push((du, dv, w.clone()));
         }
         self.inner.update_edge_weights(&inner)
     }
 
     /// LCA over real vertices with respect to root `r` (Thm 4.7: the
-    /// owner of the inner LCA equals the real LCA).
+    /// owner of the inner LCA equals the real LCA). `None` when a vertex
+    /// is out of the real range.
     pub fn lca(&self, u: Vertex, v: Vertex, r: Vertex) -> Option<Vertex> {
+        if [u, v, r].iter().any(|&x| x as usize >= self.n) {
+            return None;
+        }
         self.inner.lca(u, v, r).map(|x| self.owner[x as usize])
     }
 
-    /// Batch LCA over real triples.
+    /// Batch LCA over real triples (entries naming out-of-range vertices
+    /// answer `None`).
     pub fn batch_lca(&self, queries: &[(Vertex, Vertex, Vertex)]) -> Vec<Option<Vertex>> {
+        let bounded: Vec<(Vertex, Vertex, Vertex)> = queries
+            .iter()
+            .map(|&(u, v, r)| (self.bound_real(u), self.bound_real(v), self.bound_real(r)))
+            .collect();
         self.inner
-            .batch_lca(queries)
+            .batch_lca(&bounded)
             .into_iter()
             .map(|o| o.map(|x| self.owner[x as usize]))
             .collect()
@@ -364,27 +422,35 @@ impl<A: ClusterAggregate> TernaryForest<A> {
 
 impl<P: PathAggregate> TernaryForest<P> {
     /// Path aggregate between real vertices (Thm 4.3: preserved because
-    /// chain edges carry the identity weight).
+    /// chain edges carry the identity weight). `None` out of real range.
     pub fn path_aggregate(&self, u: Vertex, v: Vertex) -> Option<P::PathVal> {
-        self.inner.path_aggregate(u, v)
+        self.inner
+            .path_aggregate(self.bound_real(u), self.bound_real(v))
     }
 
-    /// Compressed path tree over real terminals. Steiner vertices may be
-    /// dummies; map them with [`TernaryForest::owner_of`] if needed.
+    /// Compressed path tree over real terminals (out-of-range terminals
+    /// ignored, as in the core). Steiner vertices may be dummies; map
+    /// them with [`TernaryForest::owner_of`] if needed.
     pub fn compressed_path_tree(&self, terminals: &[Vertex]) -> CompressedPathTree<P> {
-        self.inner.compressed_path_tree(terminals)
+        let real: Vec<Vertex> = terminals
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < self.n)
+            .collect();
+        self.inner.compressed_path_tree(&real)
     }
 
-    /// Batch path minima/maxima over real pairs.
+    /// Batch path minima/maxima over real pairs (out-of-range → `None`).
     pub fn batch_path_extrema(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<P::PathVal>> {
-        self.inner.batch_path_extrema(pairs)
+        self.inner.batch_path_extrema(&self.bound_pairs(pairs))
     }
 }
 
 impl<P: rc_core::aggregate::GroupPathAggregate> TernaryForest<P> {
-    /// Batch path sums over real pairs (commutative group weights).
+    /// Batch path sums over real pairs (commutative group weights;
+    /// out-of-range → `None`).
     pub fn batch_path_aggregate(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<P::PathVal>> {
-        self.inner.batch_path_aggregate(pairs)
+        self.inner.batch_path_aggregate(&self.bound_pairs(pairs))
     }
 }
 
@@ -405,13 +471,22 @@ impl<S: SubtreeAggregate> TernaryForest<S> {
             .iter()
             .map(|&(u, p)| self.dummies_of(u, p).unwrap_or((NONE32, NONE32)))
             .collect();
-        let valid: Vec<(u32, u32)> =
-            mapped.iter().copied().filter(|&(a, _)| a != NONE32).collect();
+        let valid: Vec<(u32, u32)> = mapped
+            .iter()
+            .copied()
+            .filter(|&(a, _)| a != NONE32)
+            .collect();
         let answers = self.inner.batch_subtree_aggregate(&valid);
         let mut it = answers.into_iter();
         mapped
             .into_iter()
-            .map(|(a, _)| if a == NONE32 { None } else { it.next().unwrap() })
+            .map(|(a, _)| {
+                if a == NONE32 {
+                    None
+                } else {
+                    it.next().unwrap()
+                }
+            })
             .collect()
     }
 }
@@ -424,19 +499,32 @@ impl TernaryForest<rc_core::NearestMarkedAgg> {
         Self::new(n, 0)
     }
 
-    /// Mark real vertices.
+    /// Mark real vertices (out-of-range ids ignored — dummies must never
+    /// carry marks).
     pub fn batch_mark(&mut self, vs: &[Vertex]) {
-        self.inner.batch_mark(vs);
+        let real: Vec<Vertex> = vs
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < self.n)
+            .collect();
+        self.inner.batch_mark(&real);
     }
 
-    /// Unmark real vertices.
+    /// Unmark real vertices (out-of-range ids ignored).
     pub fn batch_unmark(&mut self, vs: &[Vertex]) {
-        self.inner.batch_unmark(vs);
+        let real: Vec<Vertex> = vs
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < self.n)
+            .collect();
+        self.inner.batch_unmark(&real);
     }
 
-    /// Nearest marked vertex for each query (distance, witness).
+    /// Nearest marked vertex for each query (distance, witness);
+    /// out-of-range queries answer `None`.
     pub fn batch_nearest_marked(&self, queries: &[Vertex]) -> Vec<Option<(u64, Vertex)>> {
-        self.inner.batch_nearest_marked(queries)
+        self.inner
+            .batch_nearest_marked(&self.bound_vertices(queries))
     }
 }
 
@@ -483,8 +571,14 @@ mod tests {
         let mut f = TF::new(4, 0);
         f.batch_link(&[(0, 1, 1), (1, 2, 1)]).unwrap();
         assert!(f.batch_link(&[(0, 1, 5)]).is_err());
-        assert!(f.batch_link(&[(0, 2, 5)]).is_err(), "cycle via existing edges");
-        assert!(f.batch_link(&[(2, 3, 1), (3, 0, 1)]).is_err(), "cycle among new");
+        assert!(
+            f.batch_link(&[(0, 2, 5)]).is_err(),
+            "cycle via existing edges"
+        );
+        assert!(
+            f.batch_link(&[(2, 3, 1), (3, 0, 1)]).is_err(),
+            "cycle among new"
+        );
         assert!(f.batch_cut(&[(0, 2)]).is_err());
         f.validate().unwrap();
     }
@@ -493,10 +587,11 @@ mod tests {
     fn subtree_queries_via_dummies() {
         // Star with center 0, leaves 1..=4, edge weight 1; vertex weights 10*id.
         let mut f = TF::new(5, 0);
-        f.batch_link(&(1..5u32).map(|v| (0, v, 1i64)).collect::<Vec<_>>()).unwrap();
+        f.batch_link(&(1..5u32).map(|v| (0, v, 1i64)).collect::<Vec<_>>())
+            .unwrap();
         f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>());
         // Subtree of 0 away from 1: everything except leaf 1 and edge (0,1).
-        assert_eq!(f.subtree_aggregate(0, 1), Some(0 + 20 + 30 + 40 + 3));
+        assert_eq!(f.subtree_aggregate(0, 1), Some(20 + 30 + 40 + 3));
         assert_eq!(f.subtree_aggregate(3, 0), Some(30));
         let batch = f.batch_subtree_aggregate(&[(0, 1), (3, 0), (1, 2)]);
         assert_eq!(batch[0], Some(93));
@@ -507,7 +602,8 @@ mod tests {
     #[test]
     fn lca_maps_owners() {
         let mut f = TF::new(7, 0);
-        f.batch_link(&(1..7u32).map(|v| (0, v, 1i64)).collect::<Vec<_>>()).unwrap();
+        f.batch_link(&(1..7u32).map(|v| (0, v, 1i64)).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(f.lca(1, 2, 3), Some(0));
         assert_eq!(f.lca(1, 0, 3), Some(0));
         assert_eq!(f.lca(4, 4, 5), Some(4));
@@ -535,7 +631,9 @@ mod tests {
                         cuts.push((u, v));
                     }
                 } else if !naive.connected(u, v)
-                    && !links.iter().any(|&(a, b, _)| (a, b) == (u, v) || (b, a) == (u, v))
+                    && !links
+                        .iter()
+                        .any(|&(a, b, _)| (a, b) == (u, v) || (b, a) == (u, v))
                 {
                     links.push((u, v, rng.next_below(50) as i64));
                 }
@@ -558,12 +656,17 @@ mod tests {
             }
             f.batch_cut(&cuts).unwrap();
             f.batch_link(&ok_links).unwrap();
-            f.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            f.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
             for _ in 0..20 {
                 let u = rng.next_below(n as u64) as u32;
                 let v = rng.next_below(n as u64) as u32;
                 let expect = naive.path_edges(u, v).map(|es| es.iter().sum::<i64>());
-                assert_eq!(f.path_aggregate(u, v), expect, "round {round}: path {u}..{v}");
+                assert_eq!(
+                    f.path_aggregate(u, v),
+                    expect,
+                    "round {round}: path {u}..{v}"
+                );
             }
         }
     }
@@ -571,7 +674,8 @@ mod tests {
     #[test]
     fn nearest_marked_through_chains() {
         let mut f = TernaryForest::<rc_core::NearestMarkedAgg>::new_nearest_marked(6);
-        f.batch_link(&[(0, 1, 5), (0, 2, 3), (0, 3, 2), (3, 4, 7), (3, 5, 1)]).unwrap();
+        f.batch_link(&[(0, 1, 5), (0, 2, 3), (0, 3, 2), (3, 4, 7), (3, 5, 1)])
+            .unwrap();
         f.batch_mark(&[1, 5]);
         let got = f.batch_nearest_marked(&[4, 2, 0]);
         assert_eq!(got[0].unwrap(), (8, 5), "4 -> 3 -> 5");

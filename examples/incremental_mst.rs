@@ -4,8 +4,8 @@
 //! compressed-path-tree + Kruskal batches and verified against offline
 //! Kruskal at the end.
 
-use rcforest::{kruskal, IncrementalMsf};
 use rc_parlay::rng::SplitMix64;
+use rcforest::{kruskal, IncrementalMsf};
 
 fn main() {
     let n = 20_000usize;
@@ -44,6 +44,10 @@ fn main() {
     let offline: u64 = kruskal(n, &all_edges).iter().map(|&i| all_edges[i].2).sum();
     println!("\nincremental MSF weight: {}", msf.total_weight());
     println!("offline  MSF weight:    {offline}");
-    assert_eq!(msf.total_weight(), offline, "incremental result must match offline Kruskal");
+    assert_eq!(
+        msf.total_weight(),
+        offline,
+        "incremental result must match offline Kruskal"
+    );
     println!("verified: incremental == offline");
 }

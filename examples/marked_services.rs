@@ -5,8 +5,8 @@
 //! distance for a fleet of vehicles; stations open/close via batch
 //! mark/unmark, and roadworks re-route edges via batch cut/link.
 
-use rcforest::{NearestMarkedAgg, TernaryForest};
 use rc_parlay::rng::SplitMix64;
+use rcforest::{NearestMarkedAgg, TernaryForest};
 
 fn main() {
     let n = 50_000u32;
@@ -28,7 +28,10 @@ fn main() {
     println!("nearest stations:");
     for (i, ans) in map.batch_nearest_marked(&fleet).iter().enumerate() {
         match ans {
-            Some((d, s)) => println!("  vehicle at {:>6}: station {s:>6} at distance {d}", fleet[i]),
+            Some((d, s)) => println!(
+                "  vehicle at {:>6}: station {s:>6} at distance {d}",
+                fleet[i]
+            ),
             None => println!("  vehicle at {:>6}: no station reachable", fleet[i]),
         }
     }
@@ -39,7 +42,10 @@ fn main() {
     println!("\nafter rebalancing stations:");
     for (i, ans) in map.batch_nearest_marked(&fleet).iter().enumerate() {
         match ans {
-            Some((d, s)) => println!("  vehicle at {:>6}: station {s:>6} at distance {d}", fleet[i]),
+            Some((d, s)) => println!(
+                "  vehicle at {:>6}: station {s:>6} at distance {d}",
+                fleet[i]
+            ),
             None => println!("  vehicle at {:>6}: no station reachable", fleet[i]),
         }
     }

@@ -6,8 +6,8 @@
 //! immediately. Uses `MinEdgeAgg`, which also *identifies* the bottleneck
 //! edge — exactly what an operator needs to upgrade.
 
-use rcforest::{MinEdgeAgg, TernaryForest};
 use rc_parlay::rng::SplitMix64;
+use rcforest::{MinEdgeAgg, TernaryForest};
 
 fn main() {
     let n = 10_000u32;
@@ -17,13 +17,24 @@ fn main() {
     // Chain weight u64::MAX: dummy chain edges never win a minimum.
     let mut net = TernaryForest::<MinEdgeAgg<u64>>::new(n as usize, u64::MAX);
     let links: Vec<(u32, u32, u64)> = (1..n)
-        .map(|v| (rng.next_below(v as u64) as u32, v, 1 + rng.next_below(10_000)))
+        .map(|v| {
+            (
+                rng.next_below(v as u64) as u32,
+                v,
+                1 + rng.next_below(10_000),
+            )
+        })
         .collect();
     net.batch_link(&links).expect("spanning tree");
 
     // 5 routes to health-check, in one batch.
     let routes: Vec<(u32, u32)> = (0..5)
-        .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
         .collect();
     println!("route bottlenecks:");
     let answers = net.batch_path_extrema(&routes);

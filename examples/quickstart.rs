@@ -14,7 +14,10 @@ fn main() {
         .expect("valid forest");
 
     println!("path sum 0..9            = {:?}", f.path_aggregate(0, 9));
-    println!("subtree sum of 5 (from 4) = {:?}", f.subtree_aggregate(5, 4));
+    println!(
+        "subtree sum of 5 (from 4) = {:?}",
+        f.subtree_aggregate(5, 4)
+    );
     println!("lca(2, 7, root=4)        = {:?}", f.lca(2, 7, 4));
 
     // Batch updates: O(k log(1 + n/k)) expected work, not a rebuild.

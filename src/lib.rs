@@ -1,9 +1,11 @@
 //! `rcforest` — batch-parallel dynamic trees (facade crate).
 //!
 //! Re-exports the full public API of the workspace: the RC-tree core
-//! (`rc-core`), arbitrary-degree ternarization (`rc-ternary`), the forest
-//! generator (`rc-gen`) and incremental MSF (`rc-msf`). See the README for
-//! a tour and the `examples/` directory for runnable scenarios.
+//! (`rc-core`) with its marked-subtree batch query engine
+//! ([`MarkedSweep`]), arbitrary-degree ternarization (`rc-ternary`), the
+//! forest generator (`rc-gen`) and incremental MSF (`rc-msf`). See the
+//! README for a tour and the `examples/` directory for runnable
+//! scenarios.
 
 pub use rc_core::*;
 pub use rc_gen::{paper_configs, ChainDist, ForestGenConfig, GeneratedForest};

@@ -21,10 +21,11 @@ fn propagation_is_canonical_under_long_edit_sequences() {
             if u == v {
                 continue;
             }
-            if naive.edge_weight(u, v).is_some() {
-                if !cuts.contains(&(u, v)) && !cuts.contains(&(v, u)) {
-                    cuts.push((u, v));
-                }
+            if naive.edge_weight(u, v).is_some()
+                && !cuts.contains(&(u, v))
+                && !cuts.contains(&(v, u))
+            {
+                cuts.push((u, v));
             }
         }
         for &(u, v) in &cuts {
@@ -34,11 +35,7 @@ fn propagation_is_canonical_under_long_edit_sequences() {
             let u = rng.next_below(n as u64) as u32;
             let v = rng.next_below(n as u64) as u32;
             let w = rng.next_below(100) as i64;
-            if u != v
-                && naive.degree(u) < 3
-                && naive.degree(v) < 3
-                && naive.link(u, v, w).is_ok()
-            {
+            if u != v && naive.degree(u) < 3 && naive.degree(v) < 3 && naive.link(u, v, w).is_ok() {
                 links.push((u, v, w));
             }
         }
@@ -59,7 +56,11 @@ fn aggregates_are_mutually_consistent() {
     let mut sum_edges: Vec<(u32, u32, i64)> = Vec::new();
     let mut naive = NaiveForest::<i64>::new(n);
     for v in 1..n as u32 {
-        let u = if rng.next_f64() < 0.6 { v - 1 } else { rng.next_below(v as u64) as u32 };
+        let u = if rng.next_f64() < 0.6 {
+            v - 1
+        } else {
+            rng.next_below(v as u64) as u32
+        };
         if naive.degree(u) < 3 && naive.link(u, v, 1).is_ok() {
             unit_edges.push((u, v, ()));
             sum_edges.push((u, v, 1));

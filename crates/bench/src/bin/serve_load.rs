@@ -1,0 +1,186 @@
+//! `rc-serve` load driver: coalesced vs forced size-1 epochs across a
+//! thread sweep, closed- and open-loop, writing `BENCH_serve.json` so the
+//! serving-throughput trajectory is tracked across PRs.
+//!
+//! Scale via `RC_BENCH_SCALE` (`tiny` for CI smoke, `large` for a full
+//! machine); `RC_SERVE_OUT` overrides the output path.
+
+use rc_bench::serve_driver::{coalesced_policy, default_stream, run_load, LoadResult, LoadSpec};
+use rc_bench::{scale, Table};
+use rc_gen::Arrival;
+use rc_serve::ServeConfig;
+use std::fmt::Write as _;
+
+struct Row {
+    mode: &'static str,
+    loop_kind: &'static str,
+    r: LoadResult,
+}
+
+fn main() {
+    // Window sizes chosen so the top thread count keeps thousands of
+    // requests in flight: on a single-core box the coalescing win is pure
+    // amortization (shared marked sweeps + one propagation per epoch), so
+    // the epochs must be large for the batch work bound to bite.
+    let (n, ops_per_thread, window) = match scale() {
+        "large" => (1_000_000, 6_000, 1_024),
+        "tiny" => (5_000, 500, 256),
+        _ => (20_000, 6_000, 1_024),
+    };
+    let threads_sweep: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= 8).collect();
+    println!("# serve_load — n={n}, {ops_per_thread} ops/thread, window {window}");
+    let t = Table::new(
+        "Coalesced epochs vs size-1 epochs (closed loop) + open-loop arrivals",
+        &[
+            "mode",
+            "loop",
+            "threads",
+            "ops/sec",
+            "mean batch",
+            "max batch",
+            "epochs",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "errors",
+        ],
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &threads_sweep {
+        let stream = default_stream(n, 42 + threads as u64);
+        // Coalesced, closed loop.
+        let coalesced = run_load(&LoadSpec {
+            threads,
+            ops_per_thread,
+            window,
+            open_loop: false,
+            stream: stream.clone(),
+            server: coalesced_policy(threads, window),
+        });
+        rows.push(Row {
+            mode: "coalesced",
+            loop_kind: "closed",
+            r: coalesced,
+        });
+        // Forced size-1 epochs, closed loop.
+        let size1 = run_load(&LoadSpec {
+            threads,
+            ops_per_thread,
+            window,
+            open_loop: false,
+            stream: stream.clone(),
+            server: ServeConfig::unbatched(),
+        });
+        rows.push(Row {
+            mode: "size1",
+            loop_kind: "closed",
+            r: size1,
+        });
+        // Coalesced, open loop: Poisson arrivals at a rate the coalesced
+        // server sustains (~60% of its closed-loop throughput per thread).
+        let closed_rate = rows[rows.len() - 2].r.ops_per_sec;
+        let per_thread = (closed_rate * 0.6 / threads as f64).max(1_000.0);
+        let mut open_stream = stream.clone();
+        open_stream.arrival = Arrival::Steady {
+            mean_gap_ns: (1e9 / per_thread) as u64,
+        };
+        let open = run_load(&LoadSpec {
+            threads,
+            ops_per_thread,
+            window,
+            open_loop: true,
+            stream: open_stream,
+            server: coalesced_policy(threads, window),
+        });
+        rows.push(Row {
+            mode: "coalesced",
+            loop_kind: "open",
+            r: open,
+        });
+        for row in rows.iter().rev().take(3).rev() {
+            t.row(&[
+                row.mode.into(),
+                row.loop_kind.into(),
+                row.r.threads.to_string(),
+                format!("{:.0}", row.r.ops_per_sec),
+                format!("{:.1}", row.r.mean_batch),
+                row.r.max_batch.to_string(),
+                row.r.epochs.to_string(),
+                format!("{:.1}", row.r.p50_us),
+                format!("{:.1}", row.r.p95_us),
+                format!("{:.1}", row.r.p99_us),
+                row.r.error_responses.to_string(),
+            ]);
+        }
+    }
+
+    // Acceptance metric: coalesced vs size-1 at the top thread count.
+    let top = *threads_sweep.last().unwrap();
+    let tput = |mode: &str, loop_kind: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.loop_kind == loop_kind && r.r.threads == top)
+            .map(|r| r.r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup = tput("coalesced", "closed") / tput("size1", "closed").max(1e-9);
+    let max_batch_top = rows
+        .iter()
+        .find(|r| r.mode == "coalesced" && r.loop_kind == "closed" && r.r.threads == top)
+        .map(|r| r.r.max_batch)
+        .unwrap_or(0);
+    println!(
+        "\ncoalesced vs size-1 at {top} threads: {speedup:.2}x (max coalesced batch {max_batch_top})"
+    );
+
+    // ---- BENCH_serve.json ----
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale());
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"ops_per_thread\": {ops_per_thread},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"mix\": \"query_heavy\",");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"loop\": \"{}\", \"threads\": {}, \"ops\": {}, \
+             \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"epochs\": {}, \
+             \"mean_batch\": {:.1}, \"max_batch\": {}, \"flushes\": {}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
+             \"error_responses\": {}}}{comma}",
+            row.mode,
+            row.loop_kind,
+            row.r.threads,
+            row.r.ops,
+            row.r.elapsed.as_secs_f64(),
+            row.r.ops_per_sec,
+            row.r.epochs,
+            row.r.mean_batch,
+            row.r.max_batch,
+            row.r.flushes,
+            row.r.p50_us,
+            row.r.p95_us,
+            row.r.p99_us,
+            row.r.mean_us,
+            row.r.error_responses,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_coalesced_vs_size1_at_{top}_threads\": {speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"max_coalesced_batch_at_{top}_threads\": {max_batch_top}"
+    );
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("RC_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

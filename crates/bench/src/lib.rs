@@ -5,6 +5,8 @@
 //! laptop-class machine; set `RC_BENCH_SCALE=large` for bigger inputs.
 //! EXPERIMENTS.md records paper-shape vs measured-shape per figure.
 
+pub mod serve_driver;
+
 use std::time::{Duration, Instant};
 
 /// Median wall time of `reps` runs of `f` (re-preparing state via `setup`).

@@ -1,0 +1,189 @@
+//! Shared load-driving machinery for the `rc-serve` benchmarks: the
+//! `serve_load` binary (BENCH_serve.json trajectory) and the
+//! `serve_throughput` criterion smoke both drive the coalescer through
+//! this module.
+
+use rc_gen::{Arrival, OpMix, RequestStream, RequestStreamConfig};
+use rc_serve::{RcServe, Request, Response, ServeConfig, ServeForest};
+use std::time::{Duration, Instant};
+
+/// One load run's parameters.
+#[derive(Clone)]
+pub struct LoadSpec {
+    /// Client threads.
+    pub threads: usize,
+    /// Requests per client thread.
+    pub ops_per_thread: usize,
+    /// Closed-loop pipeline window per thread (in-flight requests).
+    pub window: usize,
+    /// Open loop (pace by the stream's arrival process, fire-and-forget)
+    /// vs closed loop (windowed pipelining).
+    pub open_loop: bool,
+    /// Stream configuration (forest, mix, skew, arrivals).
+    pub stream: RequestStreamConfig,
+    /// Server batching policy.
+    pub server: ServeConfig,
+}
+
+/// Measured outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadResult {
+    pub threads: usize,
+    pub ops: usize,
+    pub error_responses: usize,
+    pub elapsed: Duration,
+    pub ops_per_sec: f64,
+    pub epochs: u64,
+    pub mean_batch: f64,
+    pub max_batch: usize,
+    pub flushes: u64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub mean_us: f64,
+}
+
+/// The default serving workload: a query-heavy mix over a Zipf-skewed
+/// vertex population — the traffic shape the coalescer exists for.
+pub fn default_stream(n: usize, seed: u64) -> RequestStreamConfig {
+    RequestStreamConfig {
+        forest: rc_gen::ForestGenConfig {
+            n,
+            seed,
+            ..Default::default()
+        },
+        mix: OpMix::query_heavy(),
+        zipf_exponent: 0.8,
+        arrival: Arrival::Closed,
+        invalid_frac: 0.0,
+        cpt_terminals: 8,
+    }
+}
+
+/// A coalescing policy tuned for windowed closed-loop load: drain the
+/// moment the whole aggregate window is queued (every client blocked),
+/// with a short linger bounding the wait when clients straggle.
+pub fn coalesced_policy(threads: usize, window: usize) -> ServeConfig {
+    ServeConfig {
+        max_epoch_ops: (threads * window).max(1024),
+        drain_threshold: (threads * window).max(1),
+        max_linger: Duration::from_micros(50),
+        ..ServeConfig::default()
+    }
+}
+
+/// Execute one load run: build the forest from the stream, start a fresh
+/// server, drive it from `threads` clients, shut down, report.
+pub fn run_load(spec: &LoadSpec) -> LoadResult {
+    let probe = RequestStream::new_partitioned(spec.stream.clone(), 0, spec.threads);
+    let forest = ServeForest::build_edges(
+        probe.num_vertices(),
+        &probe.initial_edges(),
+        rc_core::BuildOptions::default(),
+    )
+    .expect("generated forest is valid");
+    let server = RcServe::start(forest, spec.server.clone());
+
+    // Pre-generate every thread's request tape (and open-loop arrival
+    // schedule) outside the timed section, so the measurement is the
+    // serving path, not the generator's Zipf sampling.
+    let tapes: Vec<(Vec<Request>, Vec<u64>)> = (0..spec.threads)
+        .map(|t| {
+            let mut stream = RequestStream::new_partitioned(spec.stream.clone(), t, spec.threads);
+            let ops: Vec<Request> = (0..spec.ops_per_thread)
+                .map(|_| Request::from_stream(stream.next_op()))
+                .collect();
+            let delays: Vec<u64> = if spec.open_loop {
+                (0..spec.ops_per_thread)
+                    .map(|_| stream.next_delay_ns())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (ops, delays)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = tapes
+        .into_iter()
+        .map(|(ops, delays)| {
+            let client = server.client();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut errors = 0usize;
+                if spec.open_loop {
+                    // Open loop: pace submissions, collect handles, wait at
+                    // the end so latency includes queueing delay.
+                    let mut handles = Vec::with_capacity(ops.len());
+                    let mut next_at = Instant::now();
+                    for (req, gap) in ops.into_iter().zip(delays) {
+                        next_at += Duration::from_nanos(gap);
+                        let now = Instant::now();
+                        if next_at > now {
+                            std::thread::sleep(next_at - now);
+                        }
+                        handles.push(client.submit(req));
+                    }
+                    for h in handles {
+                        if matches!(h.wait(), Response::Updated(Err(_))) {
+                            errors += 1;
+                        }
+                    }
+                } else {
+                    let mut ops = ops.into_iter();
+                    loop {
+                        let chunk: Vec<Request> = ops.by_ref().take(spec.window.max(1)).collect();
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        let handles: Vec<_> =
+                            chunk.into_iter().map(|req| client.submit(req)).collect();
+                        for h in handles {
+                            if matches!(h.wait(), Response::Updated(Err(_))) {
+                                errors += 1;
+                            }
+                        }
+                    }
+                }
+                errors
+            })
+        })
+        .collect();
+    let error_responses: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = t0.elapsed();
+
+    let audit = server.client();
+    server.shutdown();
+    let stats = audit.stats();
+    if std::env::var("RC_SERVE_DEBUG").is_ok() {
+        for e in audit.epoch_history().iter().rev().take(8).rev() {
+            eprintln!(
+                "debug epoch {}: batch {} (u {} q {}, {} flushes) update {:.3} ms query {:.3} ms",
+                e.epoch,
+                e.batch,
+                e.updates,
+                e.queries,
+                e.flushes,
+                e.update_ns as f64 / 1e6,
+                e.query_ns as f64 / 1e6
+            );
+        }
+    }
+    let ops = spec.threads * spec.ops_per_thread;
+    LoadResult {
+        threads: spec.threads,
+        ops,
+        error_responses,
+        elapsed,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        epochs: stats.epochs,
+        mean_batch: stats.mean_batch,
+        max_batch: stats.max_batch,
+        flushes: stats.flushes,
+        p50_us: stats.latency.p50_ns as f64 / 1e3,
+        p95_us: stats.latency.p95_ns as f64 / 1e3,
+        p99_us: stats.latency.p99_ns as f64 / 1e3,
+        mean_us: stats.latency.mean_ns as f64 / 1e3,
+    }
+}

@@ -50,6 +50,36 @@ impl NearestMarkedAgg {
     }
 }
 
+/// Capability trait for nearest-marked-vertex queries: any aggregate that
+/// maintains a [`NearestMarkedAgg`] record (directly, or embedded in a
+/// larger composite such as a service-layer aggregate) and whose vertex
+/// weight carries a mark bit. `RcForest<A: NearestMarkedAggregate>` gains
+/// `batch_mark` / `batch_unmark` / `batch_nearest_marked`.
+pub trait NearestMarkedAggregate: ClusterAggregate {
+    /// The nearest-marked record maintained by this aggregate.
+    fn nearest(&self) -> &NearestMarkedAgg;
+
+    /// Is this vertex weight marked?
+    fn is_marked_weight(vw: &Self::VertexWeight) -> bool;
+
+    /// The same vertex weight with the mark bit set to `marked`.
+    fn with_mark(vw: &Self::VertexWeight, marked: bool) -> Self::VertexWeight;
+}
+
+impl NearestMarkedAggregate for NearestMarkedAgg {
+    fn nearest(&self) -> &NearestMarkedAgg {
+        self
+    }
+
+    fn is_marked_weight(vw: &bool) -> bool {
+        *vw
+    }
+
+    fn with_mark(_vw: &bool, marked: bool) -> bool {
+        marked
+    }
+}
+
 impl ClusterAggregate for NearestMarkedAgg {
     type VertexWeight = bool;
     type EdgeWeight = u64;

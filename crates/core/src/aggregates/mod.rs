@@ -18,6 +18,6 @@ mod unit;
 
 pub use count::CountAgg;
 pub use extrema::{EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, OrdWeight};
-pub use marked::{Near, NearestMarkedAgg};
+pub use marked::{Near, NearestMarkedAgg, NearestMarkedAggregate};
 pub use sum::SumAgg;
 pub use unit::UnitAgg;

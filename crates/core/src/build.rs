@@ -116,6 +116,7 @@ impl<A: ClusterAggregate> RcForest<A> {
             edges: EdgeArena::new(),
             levels: 0,
             marks: MarkSpace::new(n),
+            version: 0,
             scratch: Default::default(),
         };
         // Cluster slots start invalid; a throwaway aggregate fills them.

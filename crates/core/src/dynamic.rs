@@ -76,6 +76,7 @@ impl<A: ClusterAggregate> RcForest<A> {
             }
         }
         self.propagate(links, &[]);
+        self.bump_version();
         Ok(())
     }
 
@@ -84,6 +85,7 @@ impl<A: ClusterAggregate> RcForest<A> {
     pub fn batch_cut(&mut self, cuts: &[(Vertex, Vertex)]) -> Result<(), ForestError> {
         self.validate_cuts(cuts)?;
         self.propagate(&[], cuts);
+        self.bump_version();
         Ok(())
     }
 
@@ -102,25 +104,44 @@ impl<A: ClusterAggregate> RcForest<A> {
         self.validate_cuts(cuts)?;
         self.validate_links(links, cuts)?;
         self.propagate(links, cuts);
+        self.bump_version();
         Ok(())
     }
 
     /// Update vertex weights and repropagate augmented values,
-    /// `O(k log(1 + n/k))` work.
-    pub fn update_vertex_weights(&mut self, updates: &[(Vertex, A::VertexWeight)]) {
+    /// `O(k log(1 + n/k))` work. Rejects out-of-range vertices up front
+    /// (nothing is applied), so malformed requests cannot panic a serving
+    /// loop.
+    pub fn update_vertex_weights(
+        &mut self,
+        updates: &[(Vertex, A::VertexWeight)],
+    ) -> Result<(), ForestError> {
+        for &(v, _) in updates {
+            if v as usize >= self.n {
+                return Err(ForestError::VertexOutOfRange { v, n: self.n });
+            }
+        }
         let mut seed = Vec::with_capacity(updates.len());
         for (v, w) in updates {
             self.vertex_weights[*v as usize] = w.clone();
             seed.push(*v);
         }
         self.value_pass(seed);
+        self.bump_version();
+        Ok(())
     }
 
-    /// Update edge weights and repropagate augmented values.
+    /// Update edge weights and repropagate augmented values. Rejects
+    /// missing edges up front (nothing is applied on error).
     pub fn update_edge_weights(
         &mut self,
         updates: &[(Vertex, Vertex, A::EdgeWeight)],
     ) -> Result<(), ForestError> {
+        for &(u, v, _) in updates {
+            if self.find_base_edge(u, v).is_none() {
+                return Err(ForestError::MissingEdge { u, v });
+            }
+        }
         let mut seed = Vec::with_capacity(updates.len());
         for &(u, v, ref w) in updates {
             let e = self
@@ -134,6 +155,7 @@ impl<A: ClusterAggregate> RcForest<A> {
             seed.push(p.as_vertex());
         }
         self.value_pass(seed);
+        self.bump_version();
         Ok(())
     }
 
@@ -671,9 +693,28 @@ mod tests {
     }
 
     #[test]
+    fn version_stamp_counts_mutations() {
+        let mut f = F::build_edges(8, &path_edges(8), BuildOptions::default()).unwrap();
+        assert_eq!(f.version(), 0);
+        f.batch_cut(&[(3, 4)]).unwrap();
+        assert_eq!(f.version(), 1);
+        f.batch_link(&[(3, 4, 2)]).unwrap();
+        assert_eq!(f.version(), 2);
+        f.update_vertex_weights(&[(0, 9)]).unwrap();
+        f.update_edge_weights(&[(0, 1, 7)]).unwrap();
+        assert_eq!(f.version(), 4);
+        // Failed updates leave the version (and the weights) untouched.
+        assert!(f.update_vertex_weights(&[(0, 1), (99, 1)]).is_err());
+        assert!(f.update_edge_weights(&[(0, 7, 1)]).is_err());
+        assert!(f.batch_cut(&[(0, 7)]).is_err());
+        assert_eq!(f.version(), 4);
+        assert_eq!(*f.vertex_weight(0), 9, "failed batch applied nothing");
+    }
+
+    #[test]
     fn vertex_weight_updates_propagate() {
         let mut f = F::build_edges(16, &path_edges(16), BuildOptions::default()).unwrap();
-        f.update_vertex_weights(&[(3, 100), (12, 50)]);
+        f.update_vertex_weights(&[(3, 100), (12, 50)]).unwrap();
         f.validate().unwrap();
         let root = f.find_representative(0);
         // Total = 15 edges * 1 + 100 + 50.

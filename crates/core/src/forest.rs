@@ -243,6 +243,8 @@ pub struct RcForest<A: ClusterAggregate> {
     /// Total number of contraction rounds (max round + 1).
     pub(crate) levels: u32,
     pub(crate) marks: MarkSpace,
+    /// Monotone modification counter; see [`RcForest::version`].
+    pub(crate) version: u64,
     /// Pooled arenas for the marked-subtree query engine
     /// (`queries::engine`), so steady-state batch queries reuse buffers.
     pub(crate) scratch: crate::queries::engine::ScratchPool,
@@ -267,6 +269,21 @@ impl<A: ClusterAggregate> RcForest<A> {
     /// The build options in effect.
     pub fn options(&self) -> BuildOptions {
         self.opts
+    }
+
+    /// Cheap monotone version stamp: starts at 0 on build and increments
+    /// once per mutating operation (batch link/cut/update, weight
+    /// updates). Service layers use it to tag epochs and detect staleness
+    /// without hashing any structure.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Record one mutation. Called by every mutating entry point.
+    #[inline]
+    pub(crate) fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// The contraction round at which `v` contracted.
@@ -567,6 +584,7 @@ impl<A: ClusterAggregate> Clone for RcForest<A> {
             edges: self.edges.clone(),
             levels: self.levels,
             marks: self.marks.clone(),
+            version: self.version,
             scratch: Default::default(),
         }
     }

@@ -55,7 +55,8 @@ pub use aggregate::{
     AddWeight, ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate,
 };
 pub use aggregates::{
-    CountAgg, EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, NearestMarkedAgg, SumAgg, UnitAgg,
+    CountAgg, EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, Near, NearestMarkedAgg,
+    NearestMarkedAggregate, SumAgg, UnitAgg,
 };
 pub use forest::{BuildOptions, ContractionMode, RcForest, VertexCluster};
 pub use queries::cpt::CompressedPathTree;

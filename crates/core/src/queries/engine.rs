@@ -82,11 +82,15 @@ impl ScratchPool {
     }
 
     fn put(&self, scratch: QueryScratch) {
-        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
-        if pool.len()
-            < Self::MAX_POOLED
+        // Resolved once: `available_parallelism` re-reads cgroup files per
+        // call, which would tax every sweep release on hot query paths.
+        static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cap = *CAP.get_or_init(|| {
+            Self::MAX_POOLED
                 .min(std::thread::available_parallelism().map_or(Self::MAX_POOLED, |p| p.get()))
-        {
+        });
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < cap {
             pool.push(scratch);
         }
     }

@@ -1,6 +1,7 @@
 //! Batch nearest-marked-vertex queries (§3.8, supplementary A.7.1).
 //!
-//! The forest's augmented values ([`NearestMarkedAgg`]) maintain, per
+//! The forest's augmented values ([`crate::NearestMarkedAgg`], or any
+//! composite implementing [`NearestMarkedAggregate`]) maintain, per
 //! cluster, the *locally* nearest marked vertices (to the representative
 //! and to each boundary). `BatchMark`/`BatchUnmark` are vertex-weight
 //! updates propagating in `O(k log(1 + n/k))` work. A query batch runs one
@@ -10,9 +11,9 @@
 //! whose global value is already available because boundaries represent
 //! ancestors.
 
-use crate::aggregates::marked::{Near, NearestMarkedAgg};
+use crate::aggregates::marked::{Near, NearestMarkedAggregate};
 use crate::forest::RcForest;
-use crate::types::{ClusterKind, Vertex, NO_VERTEX};
+use crate::types::{ClusterKind, ForestError, Vertex, NO_VERTEX};
 use rayon::prelude::*;
 
 fn best(a: Near, b: Near) -> Near {
@@ -22,22 +23,37 @@ fn best(a: Near, b: Near) -> Near {
     }
 }
 
-impl RcForest<NearestMarkedAgg> {
-    /// Mark vertices (idempotent); `O(k log(1 + n/k))`.
-    pub fn batch_mark(&mut self, vs: &[Vertex]) {
-        let updates: Vec<(Vertex, bool)> = vs.iter().map(|&v| (v, true)).collect();
-        self.update_vertex_weights(&updates);
+impl<A: NearestMarkedAggregate> RcForest<A> {
+    /// Mark vertices (idempotent); `O(k log(1 + n/k))`. Out-of-range
+    /// vertices are rejected up front (nothing is applied).
+    pub fn batch_mark(&mut self, vs: &[Vertex]) -> Result<(), ForestError> {
+        self.set_marks(vs, true)
     }
 
     /// Unmark vertices; `O(k log(1 + n/k))`.
-    pub fn batch_unmark(&mut self, vs: &[Vertex]) {
-        let updates: Vec<(Vertex, bool)> = vs.iter().map(|&v| (v, false)).collect();
-        self.update_vertex_weights(&updates);
+    pub fn batch_unmark(&mut self, vs: &[Vertex]) -> Result<(), ForestError> {
+        self.set_marks(vs, false)
     }
 
-    /// Is `v` currently marked?
+    fn set_marks(&mut self, vs: &[Vertex], marked: bool) -> Result<(), ForestError> {
+        for &v in vs {
+            if !self.in_range(v) {
+                return Err(ForestError::VertexOutOfRange {
+                    v,
+                    n: self.num_vertices(),
+                });
+            }
+        }
+        let updates: Vec<(Vertex, A::VertexWeight)> = vs
+            .iter()
+            .map(|&v| (v, A::with_mark(self.vertex_weight(v), marked)))
+            .collect();
+        self.update_vertex_weights(&updates)
+    }
+
+    /// Is `v` currently marked? (`false` when out of range.)
     pub fn is_marked_vertex(&self, v: Vertex) -> bool {
-        *self.vertex_weight(v)
+        self.in_range(v) && A::is_marked_weight(self.vertex_weight(v))
     }
 
     /// `BatchNearestMarked`: for each query vertex, the nearest marked
@@ -57,12 +73,12 @@ impl RcForest<NearestMarkedAgg> {
         // tree to this cluster's representative.
         let global = sweep.top_down(None as Near, |s, vals| {
             let c = self.cluster(sweep.rep(s));
-            let mut cand = c.agg.near_rep; // nearest inside
+            let mut cand = c.agg.nearest().near_rep; // nearest inside
             match c.kind {
                 ClusterKind::Nullary => {}
                 ClusterKind::Unary => {
                     let b = c.boundary[0];
-                    let d = self.agg_of(c.bin_children[0]).path_len;
+                    let d = self.agg_of(c.bin_children[0]).nearest().path_len;
                     let gb = *vals.get(sweep.slot(b));
                     cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
                 }
@@ -70,7 +86,7 @@ impl RcForest<NearestMarkedAgg> {
                     for i in 0..2 {
                         let b = c.boundary[i];
                         debug_assert_ne!(b, NO_VERTEX);
-                        let d = self.agg_of(c.bin_children[i]).path_len;
+                        let d = self.agg_of(c.bin_children[i]).nearest().path_len;
                         let gb = *vals.get(sweep.slot(b));
                         cand = best(cand, gb.map(|(dist, x)| (dist + d, x)));
                     }
@@ -94,7 +110,7 @@ impl RcForest<NearestMarkedAgg> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::aggregates::marked::NearestMarkedAgg;
     use crate::forest::{BuildOptions, RcForest};
     use rc_parlay::rng::SplitMix64;
 
@@ -107,11 +123,11 @@ mod tests {
     fn nearest_on_path() {
         let mut f = build_path(10, 1);
         assert_eq!(f.batch_nearest_marked(&[4]), vec![None]);
-        f.batch_mark(&[0, 9]);
+        f.batch_mark(&[0, 9]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[4]), vec![Some((4, 0))]);
         assert_eq!(f.batch_nearest_marked(&[6]), vec![Some((3, 9))]);
         assert_eq!(f.batch_nearest_marked(&[0]), vec![Some((0, 0))]);
-        f.batch_unmark(&[0]);
+        f.batch_unmark(&[0]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[4]), vec![Some((5, 9))]);
     }
 
@@ -121,7 +137,7 @@ mod tests {
         let edges = vec![(0u32, 1u32, 10u64), (1, 2, 1)];
         let mut f =
             RcForest::<NearestMarkedAgg>::build_edges(3, &edges, BuildOptions::default()).unwrap();
-        f.batch_mark(&[0, 2]);
+        f.batch_mark(&[0, 2]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[1]), vec![Some((1, 2))]);
     }
 
@@ -152,7 +168,7 @@ mod tests {
         for &m in &marks {
             marked[m as usize] = true;
         }
-        f.batch_mark(&marks);
+        f.batch_mark(&marks).unwrap();
         f.validate().unwrap();
 
         let queries: Vec<u32> = (0..300).map(|_| rng.next_below(n as u64) as u32).collect();
@@ -174,7 +190,7 @@ mod tests {
     #[test]
     fn nearest_after_structure_updates() {
         let mut f = build_path(8, 1);
-        f.batch_mark(&[0]);
+        f.batch_mark(&[0]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[7]), vec![Some((7, 0))]);
         f.batch_cut(&[(3, 4)]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[7]), vec![None]);

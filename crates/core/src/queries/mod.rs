@@ -42,6 +42,17 @@
 //!
 //! `compressed_path_tree` is a set construction: out-of-range terminals
 //! are ignored rather than reported per-entry.
+//!
+//! # Error-not-panic updates
+//!
+//! The mutating entry points (`batch_link`, `batch_cut`,
+//! `update_vertex_weights`, `update_edge_weights`, `batch_mark`,
+//! `batch_unmark`) validate their whole batch up front and return
+//! [`crate::ForestError`] without applying anything on malformed input.
+//! Together with the uniform `None` contract above this guarantees that
+//! no request a client can phrase — out-of-range ids, self loops,
+//! duplicate or missing edges, cycle-closing links — can panic a serving
+//! loop built on top of the forest (see the `rc-serve` crate).
 
 pub mod bottleneck;
 pub mod connectivity;

@@ -43,26 +43,33 @@ impl<P: PathAggregate> Walk<P> {
     }
 
     /// Path value from the query vertex to boundary vertex `b` of the
-    /// current cluster.
-    pub(crate) fn val_for(&self, f: &RcForest<P>, b: Vertex) -> P::PathVal {
+    /// current cluster. `None` when `b` is not a boundary of the current
+    /// cluster (or its value is absent) — a malformed walk, reported as
+    /// `None` per the uniform contract of [`crate::queries`] instead of
+    /// panicking under a serving loop.
+    pub(crate) fn val_for(&self, f: &RcForest<P>, b: Vertex) -> Option<P::PathVal> {
         let c = f.cluster(self.rep);
         for i in 0..2 {
             if c.boundary[i] == b {
-                return self.bvals[i].clone().expect("boundary value present");
+                return self.bvals[i].clone();
             }
         }
-        panic!("{b} is not a boundary of {}'s cluster", self.rep)
+        None
     }
 
-    /// Ascend one step to the parent cluster. Returns false at a root.
-    pub(crate) fn ascend(&mut self, f: &RcForest<P>) -> bool {
+    /// Ascend one step to the parent cluster.
+    ///
+    /// `Some(true)` on a successful step, `Some(false)` at a component
+    /// root, `None` when the walk state is inconsistent with the cluster
+    /// structure (propagated as a `None` query answer).
+    pub(crate) fn ascend(&mut self, f: &RcForest<P>) -> Option<bool> {
         let c = f.cluster(self.rep);
         let parent = c.parent;
         if parent.is_none() {
-            return false;
+            return Some(false);
         }
         let p = parent.as_vertex();
-        let pv = self.val_for(f, p);
+        let pv = self.val_for(f, p)?;
         let pc = f.cluster(p);
         let mut bvals: [Option<P::PathVal>; 2] = [None, None];
         for (i, bval) in bvals.iter_mut().enumerate() {
@@ -84,7 +91,7 @@ impl<P: PathAggregate> Walk<P> {
         self.rep = p;
         self.rep_val = pv;
         self.bvals = bvals;
-        true
+        Some(true)
     }
 }
 
@@ -118,10 +125,10 @@ impl<P: PathAggregate> RcForest<P> {
             };
             let mut progressed = false;
             if au {
-                progressed |= wu.ascend(self);
+                progressed |= wu.ascend(self)?;
             }
             if av {
-                progressed |= wv.ascend(self);
+                progressed |= wv.ascend(self)?;
             }
             if !progressed {
                 return None; // both at (distinct) roots: disconnected

@@ -149,7 +149,8 @@ mod tests {
         let edges: Vec<(u32, u32, i64)> = (0..4).map(|i| (i, i + 1, 1)).collect();
         let mut f =
             RcForest::<SumAgg<i64>>::build_edges(5, &edges, BuildOptions::default()).unwrap();
-        f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>());
+        f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>())
+            .unwrap();
         // Subtree of 2 away from 1: vertices {2,3,4} + edges (2,3),(3,4).
         assert_eq!(f.subtree_aggregate(2, 1), Some(20 + 30 + 40 + 2));
         // Subtree of 2 away from 3: vertices {0,1,2} + edges (0,1),(1,2).
@@ -205,7 +206,7 @@ mod tests {
             let vws: Vec<(u32, i64)> = (0..n as u32)
                 .map(|v| (v, rng.next_below(30) as i64))
                 .collect();
-            f.update_vertex_weights(&vws);
+            f.update_vertex_weights(&vws).unwrap();
             let vw_of = |v: u32| vws[v as usize].1;
 
             let mut checked = 0;

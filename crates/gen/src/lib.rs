@@ -14,6 +14,11 @@
 use rc_parlay::rng::SplitMix64;
 use rc_parlay::shuffle::random_permutation;
 
+mod stream;
+pub use stream::{
+    Arrival, OpMix, RequestStream, RequestStreamConfig, StreamOp, Zipf, DEFAULT_CPT_TERMINALS,
+};
+
 /// Chain-length distributions of §6.1.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum ChainDist {
@@ -166,6 +171,13 @@ impl GeneratedForest {
     #[inline]
     fn map(&self, v: u32) -> u32 {
         self.perm[v as usize]
+    }
+
+    /// The shuffled (emitted) id of unshuffled vertex `v` — lets layered
+    /// generators (the request stream) place their own edges on the chain
+    /// structure while speaking the same id space as [`Self::edges`].
+    pub fn shuffled_id(&self, v: u32) -> u32 {
+        self.map(v)
     }
 
     /// Draw a new connector for chain `c`: its head attaches to a random

@@ -1,0 +1,910 @@
+//! The epoch-based request coalescer.
+//!
+//! # Epoch lifecycle
+//!
+//! 1. **Accumulate** — client threads stamp each request with a global
+//!    submission sequence number and push it into a sharded queue. The
+//!    worker sleeps until the queue is non-empty, then *lingers* up to
+//!    [`ServeConfig::max_linger`] or until [`ServeConfig::drain_threshold`]
+//!    requests are waiting, whichever comes first.
+//! 2. **Drain** — up to [`ServeConfig::max_epoch_ops`] requests leave the
+//!    queue, ordered by submission sequence. This ordered batch *is* the
+//!    epoch's serialization: the commit order equals (all updates in
+//!    submission order, then all queries).
+//! 3. **Update phase** — updates are admitted one by one against an
+//!    overlay of the forest (pending links/cuts/weights + a union–find
+//!    over component representatives), which decides each request's exact
+//!    sequential outcome without touching the forest. Contradictory pairs
+//!    (cut of an edge linked earlier in the epoch, links whose acyclicity
+//!    depends on an earlier cut) force a *flush* — the overlay commits via
+//!    `batch_cut` / `batch_link` / weight updates — and admission resumes
+//!    against the fresh forest. Conflict-free traffic commits as one flush.
+//! 4. **Query phase** — queries group by family and fan into one batch
+//!    call each (`batch_connected`, `batch_path_aggregate`, ...), sharing
+//!    the `O(k log(1 + n/k))` marked-sweep work across the epoch.
+//! 5. **Respond** — per-request oneshot slots fill (updates right after
+//!    the final flush, queries as their family completes), latencies are
+//!    recorded, and per-epoch stats append to the history ring.
+
+use crate::agg::{ServeForest, ServeVertexWeight};
+use crate::histogram::{EpochStats, LatencyHistogram, ServeStats};
+use crate::request::{CptResult, Request, Response, ResponseHandle, Slot};
+use rc_core::{ForestError, NO_VERTEX};
+use rc_parlay::hashtable::edge_key;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching policy and instrumentation knobs.
+///
+/// The policy trades latency for throughput: larger epochs amortize the
+/// `O(k log(1 + n/k))` batch work over more requests (throughput up,
+/// per-request latency up to `max_linger` higher); `drain_threshold`
+/// bounds how long a hot queue waits, and `max_epoch_ops` caps per-epoch
+/// work so one epoch cannot starve later arrivals.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Hard cap on requests drained into one epoch.
+    pub max_epoch_ops: usize,
+    /// Drain immediately once this many requests are queued ("drain when
+    /// the queue exceeds N" — the adaptive part of the policy).
+    pub drain_threshold: usize,
+    /// Longest time the worker lingers waiting for more requests after
+    /// the first one arrives.
+    pub max_linger: Duration,
+    /// Submission-queue shards (reduces producer contention).
+    pub shards: usize,
+    /// Record every request + response in commit order (tests/audits).
+    pub record_commit_log: bool,
+    /// Per-epoch stats retained in the history ring.
+    pub epoch_history: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_epoch_ops: 8_192,
+            drain_threshold: 1_024,
+            max_linger: Duration::from_micros(200),
+            shards: 8,
+            record_commit_log: false,
+            epoch_history: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default coalescing policy.
+    pub fn coalesced() -> Self {
+        Self::default()
+    }
+
+    /// Degenerate size-1 epochs — every request is its own batch. The
+    /// throughput baseline the coalescer is measured against.
+    pub fn unbatched() -> Self {
+        ServeConfig {
+            max_epoch_ops: 1,
+            drain_threshold: 1,
+            max_linger: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+}
+
+/// One committed request with its response, in commit order.
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// Epoch that committed the request (1-based).
+    pub epoch: u64,
+    /// Global submission sequence number.
+    pub seq: u64,
+    /// The request.
+    pub request: Request,
+    /// Its response.
+    pub response: Response,
+}
+
+struct Pending {
+    seq: u64,
+    submitted: Instant,
+    request: Request,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    epochs: u64,
+    ops: u64,
+    updates: u64,
+    queries: u64,
+    flushes: u64,
+    batch_sum: u64,
+    max_batch: usize,
+    history: VecDeque<EpochStats>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    shards: Vec<Mutex<Vec<Pending>>>,
+    qlen: AtomicUsize,
+    seq: AtomicU64,
+    /// Round-robin shard cursor for submissions.
+    rr: AtomicUsize,
+    accepting: AtomicBool,
+    /// Wake mutex holds the shutdown flag; producers notify under it.
+    wake: Mutex<bool>,
+    wake_cv: Condvar,
+    hist: LatencyHistogram,
+    stats: Mutex<StatsInner>,
+    log: Mutex<Vec<LogEntry>>,
+}
+
+/// A running coalescer: owns the forest on a dedicated worker thread.
+///
+/// Create with [`RcServe::start`], hand [`ServeClient`]s to client
+/// threads, stop with [`RcServe::shutdown`] (drains the queue and returns
+/// the forest). Dropping without `shutdown` also stops the worker.
+pub struct RcServe {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<ServeForest>>,
+}
+
+/// Cloneable submission handle; safe to share across client threads.
+#[derive(Clone)]
+pub struct ServeClient {
+    shared: Arc<Shared>,
+}
+
+impl RcServe {
+    /// Start serving `forest` under `cfg` on a dedicated worker thread.
+    pub fn start(forest: ServeForest, cfg: ServeConfig) -> RcServe {
+        let shared = Arc::new(Shared {
+            shards: (0..cfg.shards.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            qlen: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            rr: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            wake: Mutex::new(false),
+            wake_cv: Condvar::new(),
+            hist: LatencyHistogram::default(),
+            stats: Mutex::new(StatsInner::default()),
+            log: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("rc-serve-epoch".into())
+            .spawn(move || Worker::new(worker_shared).run(forest))
+            .expect("spawn rc-serve worker");
+        RcServe {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Aggregate statistics so far. Stats for an epoch are booked after
+    /// its responses fill, so a client racing the worker may observe the
+    /// previous epoch; read via a retained [`ServeClient`] after
+    /// [`RcServe::shutdown`] for exact totals.
+    pub fn stats(&self) -> ServeStats {
+        stats_of(&self.shared)
+    }
+
+    /// The most recent per-epoch stats (up to `cfg.epoch_history`).
+    pub fn epoch_history(&self) -> Vec<EpochStats> {
+        epoch_history_of(&self.shared)
+    }
+
+    /// Drain the commit log recorded so far (`record_commit_log` only).
+    pub fn take_commit_log(&self) -> Vec<LogEntry> {
+        std::mem::take(&mut *self.shared.log.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Stop accepting, drain every queued request, join the worker and
+    /// return the (fully committed) forest.
+    pub fn shutdown(mut self) -> ServeForest {
+        self.signal_shutdown();
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("rc-serve worker panicked")
+    }
+
+    fn signal_shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        let mut g = self.shared.wake.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.shared.wake_cv.notify_all();
+    }
+}
+
+impl Drop for RcServe {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.take() {
+            self.signal_shutdown();
+            let _ = w.join();
+        }
+    }
+}
+
+impl ServeClient {
+    /// Submit a request; returns immediately with a oneshot handle.
+    pub fn submit(&self, request: Request) -> ResponseHandle {
+        let slot = Arc::new(Slot::default());
+        let handle = ResponseHandle {
+            slot: Arc::clone(&slot),
+        };
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            slot.fill(Response::Rejected);
+            return handle;
+        }
+        // Round-robin shard choice; the seq stamp is taken *under* the
+        // shard lock so every shard's vector stays sorted by seq — the
+        // invariant the worker's k-way merge drain relies on.
+        let shard = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        let seq;
+        {
+            let mut q = self.shared.shards[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+            q.push(Pending {
+                seq,
+                submitted: Instant::now(),
+                request,
+                slot,
+            });
+        }
+        let len = self.shared.qlen.fetch_add(1, Ordering::SeqCst) + 1;
+        // Wake the worker on the empty→non-empty edge and once the drain
+        // threshold is reached; notifying under the lock pairs with the
+        // worker's check-then-wait.
+        if len == 1 || len == self.shared.cfg.drain_threshold {
+            let _g = self.shared.wake.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.wake_cv.notify_all();
+        }
+        // Close the shutdown race: if `accepting` flipped while we were
+        // enqueuing, the worker may already have taken its final look at
+        // the queue and exited. Our `qlen` increment is SeqCst-ordered
+        // after the worker's last zero read in that case, so this load is
+        // guaranteed to observe `false` — reclaim the request if it is
+        // still queued (if it is gone, the worker owns it and will answer).
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            let reclaimed = {
+                let mut q = self.shared.shards[shard]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                q.iter().position(|p| p.seq == seq).map(|at| q.remove(at))
+            };
+            if let Some(p) = reclaimed {
+                self.shared.qlen.fetch_sub(1, Ordering::SeqCst);
+                p.slot.fill(Response::Rejected);
+            }
+        }
+        handle
+    }
+
+    /// Submit and block for the response.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// Aggregate statistics (see [`RcServe::stats`] for the race caveat;
+    /// exact once the server has shut down).
+    pub fn stats(&self) -> ServeStats {
+        stats_of(&self.shared)
+    }
+
+    /// The most recent per-epoch stats.
+    pub fn epoch_history(&self) -> Vec<EpochStats> {
+        epoch_history_of(&self.shared)
+    }
+
+    /// Drain the commit log (`record_commit_log` only). Like
+    /// [`ServeClient::stats`], exact once the server has shut down.
+    pub fn take_commit_log(&self) -> Vec<LogEntry> {
+        std::mem::take(&mut *self.shared.log.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+fn stats_of(shared: &Shared) -> ServeStats {
+    let s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    ServeStats {
+        epochs: s.epochs,
+        ops: s.ops,
+        updates: s.updates,
+        queries: s.queries,
+        flushes: s.flushes,
+        mean_batch: if s.epochs == 0 {
+            0.0
+        } else {
+            s.batch_sum as f64 / s.epochs as f64
+        },
+        max_batch: s.max_batch,
+        latency: shared.hist.summary(),
+    }
+}
+
+fn epoch_history_of(shared: &Shared) -> Vec<EpochStats> {
+    shared
+        .stats
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .history
+        .iter()
+        .copied()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// worker
+// ---------------------------------------------------------------------
+
+struct Worker {
+    shared: Arc<Shared>,
+    epoch: u64,
+}
+
+impl Worker {
+    fn new(shared: Arc<Shared>) -> Self {
+        Worker { shared, epoch: 0 }
+    }
+
+    fn run(mut self, mut forest: ServeForest) -> ServeForest {
+        loop {
+            if !self.wait_for_epoch() && self.shared.qlen.load(Ordering::SeqCst) == 0 {
+                break; // shutdown with an empty queue
+            }
+            let queue_depth = self.shared.qlen.load(Ordering::SeqCst);
+            let batch = self.drain();
+            if batch.is_empty() {
+                continue;
+            }
+            self.process_epoch(&mut forest, batch, queue_depth);
+        }
+        forest
+    }
+
+    /// Sleep until there is work, then linger per policy. Returns `false`
+    /// once shutdown is signalled.
+    fn wait_for_epoch(&self) -> bool {
+        let cfg = &self.shared.cfg;
+        let mut g = self.shared.wake.lock().unwrap_or_else(|e| e.into_inner());
+        // Phase 1: wait for any work.
+        loop {
+            if *g {
+                return false;
+            }
+            if self.shared.qlen.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            g = self
+                .shared
+                .wake_cv
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        // Phase 2: linger for coalescing.
+        let t0 = Instant::now();
+        loop {
+            if *g {
+                return false;
+            }
+            if self.shared.qlen.load(Ordering::SeqCst) >= cfg.drain_threshold {
+                return true;
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= cfg.max_linger {
+                return true;
+            }
+            let (g2, _) = self
+                .shared
+                .wake_cv
+                .wait_timeout(g, cfg.max_linger - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            g = g2;
+        }
+    }
+
+    /// Pull up to `max_epoch_ops` requests in global submission order:
+    /// a k-way merge over the (individually seq-sorted) shards, draining
+    /// only each shard's merged prefix. `O(cap · shards)` — leftovers stay
+    /// queued in place, so a deep backlog never gets reshuffled.
+    fn drain(&self) -> Vec<Pending> {
+        let cap = self.shared.cfg.max_epoch_ops.max(1);
+        let mut guards: Vec<_> = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let mut take = vec![0usize; guards.len()];
+        let mut total = 0usize;
+        while total < cap {
+            let mut best: Option<usize> = None;
+            for (s, g) in guards.iter().enumerate() {
+                if take[s] < g.len()
+                    && best.is_none_or(|b: usize| g[take[s]].seq < guards[b][take[b]].seq)
+                {
+                    best = Some(s);
+                }
+            }
+            let Some(s) = best else { break };
+            take[s] += 1;
+            total += 1;
+        }
+        let mut merged: Vec<Pending> = Vec::with_capacity(total);
+        for (s, g) in guards.iter_mut().enumerate() {
+            merged.extend(g.drain(..take[s]));
+        }
+        drop(guards);
+        merged.sort_unstable_by_key(|p| p.seq);
+        self.shared.qlen.fetch_sub(merged.len(), Ordering::SeqCst);
+        merged
+    }
+
+    fn process_epoch(&mut self, forest: &mut ServeForest, batch: Vec<Pending>, queue_depth: usize) {
+        self.epoch += 1;
+        let (mut updates, mut queries): (Vec<Pending>, Vec<Pending>) =
+            batch.into_iter().partition(|p| p.request.is_update());
+
+        // ---- update phase ----
+        let t0 = Instant::now();
+        let mut phase = UpdatePhase::default();
+        let mut update_results: Vec<Result<(), ForestError>> = Vec::with_capacity(updates.len());
+        for p in &updates {
+            update_results.push(phase.admit(forest, &p.request));
+        }
+        phase.flush(forest);
+        let update_ns = t0.elapsed().as_nanos() as u64;
+        let flushes = phase.flushes;
+        for (p, r) in updates.iter().zip(&update_results) {
+            self.shared
+                .hist
+                .record(p.submitted.elapsed().as_nanos() as u64);
+            p.slot.fill(Response::Updated(r.clone()));
+        }
+
+        // ---- query phase ----
+        let t1 = Instant::now();
+        let responses = answer_queries(forest, &queries);
+        let query_ns = t1.elapsed().as_nanos() as u64;
+        for (p, r) in queries.iter().zip(&responses) {
+            self.shared
+                .hist
+                .record(p.submitted.elapsed().as_nanos() as u64);
+            p.slot.fill(r.clone());
+        }
+
+        // ---- bookkeeping ----
+        let stats = EpochStats {
+            epoch: self.epoch,
+            batch: updates.len() + queries.len(),
+            queue_depth,
+            updates: updates.len(),
+            queries: queries.len(),
+            flushes,
+            update_ns,
+            query_ns,
+            version_after: forest.version(),
+        };
+        {
+            let mut s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            s.epochs += 1;
+            s.ops += stats.batch as u64;
+            s.updates += stats.updates as u64;
+            s.queries += stats.queries as u64;
+            s.flushes += stats.flushes as u64;
+            s.batch_sum += stats.batch as u64;
+            s.max_batch = s.max_batch.max(stats.batch);
+            if s.history.len() == self.shared.cfg.epoch_history.max(1) {
+                s.history.pop_front();
+            }
+            s.history.push_back(stats);
+        }
+        if self.shared.cfg.record_commit_log {
+            let mut log = self.shared.log.lock().unwrap_or_else(|e| e.into_inner());
+            for (p, r) in updates.drain(..).zip(update_results) {
+                log.push(LogEntry {
+                    epoch: self.epoch,
+                    seq: p.seq,
+                    request: p.request,
+                    response: Response::Updated(r),
+                });
+            }
+            for (p, r) in queries.drain(..).zip(responses) {
+                log.push(LogEntry {
+                    epoch: self.epoch,
+                    seq: p.seq,
+                    request: p.request,
+                    response: r,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// update phase: exact in-epoch conflict resolution
+// ---------------------------------------------------------------------
+
+/// Overlay of pending updates over the forest. Admission answers each
+/// update's exact sequential outcome; `flush` commits the overlay in at
+/// most four batch calls (cuts, links, edge weights, vertex weights —
+/// an ordering equivalent to submission order for every *admitted* op,
+/// because conflicting admissions force an early flush).
+#[derive(Default)]
+struct UpdatePhase {
+    links: Vec<(u32, u32, u64)>,
+    link_idx: HashMap<u64, usize>,
+    cuts: Vec<(u32, u32)>,
+    cut_keys: HashMap<u64, ()>,
+    eweights: HashMap<u64, (u32, u32, u64)>,
+    vweights: HashMap<u32, ServeVertexWeight>,
+    deg: HashMap<u32, i32>,
+    /// Union–find over component representatives (forest + pending links).
+    uf: HashMap<u32, u32>,
+    /// A pending link was cancelled after its union was recorded: the
+    /// union–find now over-connects, so "connected" verdicts need a flush
+    /// to confirm (exactly like pending cuts do).
+    uf_stale: bool,
+    flushes: usize,
+}
+
+impl UpdatePhase {
+    fn find(&mut self, x: u32) -> u32 {
+        let p = *self.uf.get(&x).unwrap_or(&x);
+        if p == x {
+            x
+        } else {
+            let r = self.find(p);
+            self.uf.insert(x, r);
+            r
+        }
+    }
+
+    /// Effective edge presence under the overlay.
+    fn edge_present(&self, forest: &ServeForest, key: u64, u: u32, v: u32) -> bool {
+        if self.link_idx.contains_key(&key) {
+            return true;
+        }
+        forest.has_edge(u, v) && !self.cut_keys.contains_key(&key)
+    }
+
+    fn eff_degree(&self, forest: &ServeForest, v: u32) -> i32 {
+        forest.degree(v) as i32 + self.deg.get(&v).copied().unwrap_or(0)
+    }
+
+    fn eff_vweight(&self, forest: &ServeForest, v: u32) -> ServeVertexWeight {
+        self.vweights
+            .get(&v)
+            .copied()
+            .unwrap_or_else(|| *forest.vertex_weight(v))
+    }
+
+    fn check_range(forest: &ServeForest, v: u32) -> Result<(), ForestError> {
+        if (v as usize) < forest.num_vertices() {
+            Ok(())
+        } else {
+            Err(ForestError::VertexOutOfRange {
+                v,
+                n: forest.num_vertices(),
+            })
+        }
+    }
+
+    fn admit(&mut self, forest: &mut ServeForest, req: &Request) -> Result<(), ForestError> {
+        match *req {
+            Request::Link { u, v, w } => self.admit_link(forest, u, v, w),
+            Request::Cut { u, v } => self.admit_cut(forest, u, v),
+            Request::UpdateEdgeWeight { u, v, w } => {
+                Self::check_range(forest, u)?;
+                Self::check_range(forest, v)?;
+                let key = edge_key(u, v);
+                if let Some(&i) = self.link_idx.get(&key) {
+                    self.links[i].2 = w; // retarget the pending link's weight
+                    return Ok(());
+                }
+                if forest.has_edge(u, v) && !self.cut_keys.contains_key(&key) {
+                    self.eweights.insert(key, (u, v, w));
+                    Ok(())
+                } else {
+                    Err(ForestError::MissingEdge { u, v })
+                }
+            }
+            Request::UpdateVertexWeight { v, w } => {
+                Self::check_range(forest, v)?;
+                let mut vw = self.eff_vweight(forest, v);
+                vw.weight = w;
+                self.vweights.insert(v, vw);
+                Ok(())
+            }
+            Request::Mark { v } => self.set_mark(forest, v, true),
+            Request::Unmark { v } => self.set_mark(forest, v, false),
+            _ => unreachable!("queries never enter the update phase"),
+        }
+    }
+
+    fn set_mark(&mut self, forest: &ServeForest, v: u32, marked: bool) -> Result<(), ForestError> {
+        Self::check_range(forest, v)?;
+        let mut vw = self.eff_vweight(forest, v);
+        vw.marked = marked;
+        self.vweights.insert(v, vw);
+        Ok(())
+    }
+
+    fn admit_link(
+        &mut self,
+        forest: &mut ServeForest,
+        u: u32,
+        v: u32,
+        w: u64,
+    ) -> Result<(), ForestError> {
+        Self::check_range(forest, u)?;
+        Self::check_range(forest, v)?;
+        if u == v {
+            return Err(ForestError::SelfLoop { v });
+        }
+        // One retry after a forced flush resolves every cut-dependence.
+        for attempt in 0..2 {
+            let key = edge_key(u, v);
+            if self.edge_present(forest, key, u, v) {
+                return Err(ForestError::DuplicateEdge { u, v });
+            }
+            for x in [u, v] {
+                if self.eff_degree(forest, x) >= 3 {
+                    return Err(ForestError::DegreeOverflow { v: x });
+                }
+            }
+            // Cut→relink of one edge inside an epoch cancels: while {u,v}
+            // is pending-cut, no admitted link can have bridged its two
+            // sides (such a link would have seen them uf-connected and
+            // forced a flush, clearing the cut) — so the relink is provably
+            // acyclic and the pair collapses to an edge-weight update.
+            if self.cut_keys.remove(&key).is_some() {
+                let at = self
+                    .cuts
+                    .iter()
+                    .position(|&(a, b)| edge_key(a, b) == key)
+                    .expect("cut list and key set agree");
+                self.cuts.swap_remove(at);
+                *self.deg.entry(u).or_insert(0) += 1;
+                *self.deg.entry(v).or_insert(0) += 1;
+                self.eweights.insert(key, (u, v, w));
+                return Ok(());
+            }
+            let ru = self.find(forest.find_representative(u));
+            let rv = self.find(forest.find_representative(v));
+            if ru != rv {
+                self.uf.insert(ru, rv);
+                self.link_idx.insert(key, self.links.len());
+                self.links.push((u, v, w));
+                *self.deg.entry(u).or_insert(0) += 1;
+                *self.deg.entry(v).or_insert(0) += 1;
+                return Ok(());
+            }
+            // Connected under the overlay. That verdict is exact unless a
+            // pending cut (or a cancelled link) means the union–find
+            // over-connects — then flush and re-examine against the real
+            // forest.
+            if (self.cuts.is_empty() && !self.uf_stale) || attempt == 1 {
+                return Err(ForestError::WouldCreateCycle { u, v });
+            }
+            self.flush(forest);
+        }
+        unreachable!("second attempt always returns")
+    }
+
+    fn admit_cut(&mut self, forest: &mut ServeForest, u: u32, v: u32) -> Result<(), ForestError> {
+        Self::check_range(forest, u)?;
+        Self::check_range(forest, v)?;
+        let key = edge_key(u, v);
+        if let Some(at) = self.link_idx.remove(&key) {
+            // Link→cut of the same edge inside one epoch cancels. The
+            // union recorded at link admission cannot be unwound, so the
+            // union–find becomes an over-approximation — flag it.
+            self.links.swap_remove(at);
+            if let Some(moved) = self.links.get(at) {
+                let moved_key = edge_key(moved.0, moved.1);
+                self.link_idx.insert(moved_key, at);
+            }
+            *self.deg.entry(u).or_insert(0) -= 1;
+            *self.deg.entry(v).or_insert(0) -= 1;
+            self.uf_stale = true;
+            return Ok(());
+        }
+        if forest.has_edge(u, v) && !self.cut_keys.contains_key(&key) {
+            self.cut_keys.insert(key, ());
+            self.cuts.push((u, v));
+            self.eweights.remove(&key); // a pending reweight dies with the edge
+            *self.deg.entry(u).or_insert(0) -= 1;
+            *self.deg.entry(v).or_insert(0) -= 1;
+            Ok(())
+        } else {
+            Err(ForestError::MissingEdge { u, v })
+        }
+    }
+
+    /// Commit the overlay. Every admitted op was validated exactly, so the
+    /// batch calls cannot fail; a failure here is an engine bug worth a
+    /// loud crash rather than silent divergence from the responses already
+    /// promised.
+    fn flush(&mut self, forest: &mut ServeForest) {
+        let any = !self.cuts.is_empty()
+            || !self.links.is_empty()
+            || !self.eweights.is_empty()
+            || !self.vweights.is_empty();
+        if !any {
+            // Cancellations may have annihilated every pending op while
+            // still leaving recorded unions behind — the overlay (in
+            // particular the stale union–find) must reset regardless, or
+            // the caller's post-flush retry would trust it.
+            self.deg.clear();
+            self.uf.clear();
+            self.uf_stale = false;
+            return;
+        }
+        if !self.cuts.is_empty() || !self.links.is_empty() {
+            // One combined change-propagation (the paper's mixed update).
+            // Admission validated every link against the overlay *without*
+            // relying on any pending cut (cut-dependent links forced an
+            // earlier flush), so acyclicity holds even before the cuts.
+            forest
+                .batch_update_unchecked(&self.links, &self.cuts)
+                .expect("pre-validated epoch links+cuts");
+        }
+        if !self.eweights.is_empty() {
+            let ew: Vec<(u32, u32, u64)> = self.eweights.values().copied().collect();
+            forest
+                .update_edge_weights(&ew)
+                .expect("pre-validated edge weights");
+        }
+        if !self.vweights.is_empty() {
+            let vw: Vec<(u32, ServeVertexWeight)> =
+                self.vweights.iter().map(|(&v, &w)| (v, w)).collect();
+            forest
+                .update_vertex_weights(&vw)
+                .expect("in-range vertex weights");
+        }
+        self.links.clear();
+        self.link_idx.clear();
+        self.cuts.clear();
+        self.cut_keys.clear();
+        self.eweights.clear();
+        self.vweights.clear();
+        self.deg.clear();
+        self.uf.clear();
+        self.uf_stale = false;
+        self.flushes += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// query phase: one batch call per family
+// ---------------------------------------------------------------------
+
+fn answer_queries(forest: &ServeForest, queries: &[Pending]) -> Vec<Response> {
+    let mut responses: Vec<Option<Response>> = vec![None; queries.len()];
+
+    let mut conn: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut repr: (Vec<u32>, Vec<usize>) = Default::default();
+    let mut path: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut subtree: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut lca: (Vec<(u32, u32, u32)>, Vec<usize>) = Default::default();
+    let mut bottleneck: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut near: (Vec<u32>, Vec<usize>) = Default::default();
+
+    for (i, p) in queries.iter().enumerate() {
+        match &p.request {
+            Request::Connected { u, v } => {
+                conn.0.push((*u, *v));
+                conn.1.push(i);
+            }
+            Request::Representative { v } => {
+                repr.0.push(*v);
+                repr.1.push(i);
+            }
+            Request::PathSum { u, v } => {
+                path.0.push((*u, *v));
+                path.1.push(i);
+            }
+            Request::SubtreeSum { v, parent } => {
+                subtree.0.push((*v, *parent));
+                subtree.1.push(i);
+            }
+            Request::Lca { u, v, r } => {
+                lca.0.push((*u, *v, *r));
+                lca.1.push(i);
+            }
+            Request::Bottleneck { u, v } => {
+                bottleneck.0.push((*u, *v));
+                bottleneck.1.push(i);
+            }
+            Request::NearestMarked { v } => {
+                near.0.push(*v);
+                near.1.push(i);
+            }
+            Request::Cpt { terminals } => {
+                let cpt = forest.compressed_path_tree(terminals);
+                responses[i] = Some(Response::Cpt(CptResult {
+                    vertices: cpt.vertices,
+                    edges: cpt.edges,
+                }));
+            }
+            _ => unreachable!("updates never enter the query phase"),
+        }
+    }
+
+    if !conn.0.is_empty() {
+        for (ans, &i) in forest.batch_connected(&conn.0).into_iter().zip(&conn.1) {
+            responses[i] = Some(Response::Bool(ans));
+        }
+    }
+    if !repr.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_find_representatives(&repr.0)
+            .into_iter()
+            .zip(&repr.1)
+        {
+            responses[i] = Some(Response::Vertex((ans != NO_VERTEX).then_some(ans)));
+        }
+    }
+    if !path.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_path_aggregate(&path.0)
+            .into_iter()
+            .zip(&path.1)
+        {
+            responses[i] = Some(Response::Sum(ans.map(|p| p.sum)));
+        }
+    }
+    if !subtree.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_subtree_aggregate(&subtree.0)
+            .into_iter()
+            .zip(&subtree.1)
+        {
+            responses[i] = Some(Response::Sum(ans));
+        }
+    }
+    if !lca.0.is_empty() {
+        for (ans, &i) in forest.batch_lca(&lca.0).into_iter().zip(&lca.1) {
+            responses[i] = Some(Response::Vertex(ans));
+        }
+    }
+    if !bottleneck.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_path_extrema(&bottleneck.0)
+            .into_iter()
+            .zip(&bottleneck.1)
+        {
+            responses[i] = Some(Response::Extrema(ans));
+        }
+    }
+    if !near.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_nearest_marked(&near.0)
+            .into_iter()
+            .zip(&near.1)
+        {
+            responses[i] = Some(Response::Near(ans));
+        }
+    }
+
+    responses
+        .into_iter()
+        .map(|r| r.expect("every query family answered"))
+        .collect()
+}

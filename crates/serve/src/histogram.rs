@@ -1,0 +1,162 @@
+//! Lock-free log-bucketed latency histogram + per-epoch instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// Concurrent latency histogram over power-of-two nanosecond buckets
+/// (bucket `i` holds samples in `[2^i, 2^(i+1))`). Recording is a single
+/// relaxed `fetch_add`; percentiles are computed from a snapshot.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting.
+    pub fn summary(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let pct = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut acc = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                acc += c;
+                if acc >= target {
+                    // Upper bound of the bucket: pessimistic but stable.
+                    return (2u128.pow(i as u32 + 1) - 1).min(u64::MAX as u128) as u64;
+                }
+            }
+            u64::MAX
+        };
+        LatencySummary {
+            count,
+            mean_ns: sum_ns.checked_div(count).unwrap_or(0),
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+        }
+    }
+}
+
+/// Percentile snapshot of a [`LatencyHistogram`] (bucket upper bounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact mean (from the running sum, not the buckets).
+    pub mean_ns: u64,
+    /// Median, 95th and 99th percentile (log-bucket resolution).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+/// Instrumentation of one drained epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Epoch ordinal (1-based).
+    pub epoch: u64,
+    /// Requests drained into this epoch.
+    pub batch: usize,
+    /// Queue depth observed at drain time (before capping).
+    pub queue_depth: usize,
+    /// Update requests (including rejected ones).
+    pub updates: usize,
+    /// Query requests.
+    pub queries: usize,
+    /// Sub-batch flushes forced by in-epoch conflicts (1 = fully
+    /// coalesced update phase).
+    pub flushes: usize,
+    /// Wall time of the update phase.
+    pub update_ns: u64,
+    /// Wall time of the query phase.
+    pub query_ns: u64,
+    /// Forest version stamp after the epoch committed.
+    pub version_after: u64,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Epochs committed.
+    pub epochs: u64,
+    /// Requests served.
+    pub ops: u64,
+    /// Update requests served.
+    pub updates: u64,
+    /// Query requests served.
+    pub queries: u64,
+    /// Total sub-batch flushes across all epochs.
+    pub flushes: u64,
+    /// Mean epoch batch size.
+    pub mean_batch: f64,
+    /// Largest epoch batch.
+    pub max_batch: usize,
+    /// End-to-end request latency (submit → response).
+    pub latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_land_in_buckets() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(1_000); // bucket [512, 1024)
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket [2^19, 2^20)
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ns >= 1_000 && s.p50_ns < 2_048, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns >= 1_000_000, "p99 {}", s.p99_ns);
+        assert_eq!(s.mean_ns, (90 * 1_000 + 10 * 1_000_000) / 100);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let s = LatencyHistogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn zero_ns_sample_is_clamped() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.summary().count, 1);
+    }
+}

@@ -31,6 +31,15 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Machine parallelism, resolved once. `std::thread::available_parallelism`
+/// re-reads cgroup limits on every call (tens of microseconds inside a
+/// container) — caching it keeps tiny parallel-for calls on hot paths
+/// (change propagation runs several per contraction level) at nanoseconds.
+fn machine_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |x| x.get()))
+}
+
 /// Number of threads parallel operations may use on this thread: the
 /// innermost [`ThreadPool::install`] override, else the machine's
 /// available parallelism.
@@ -39,7 +48,7 @@ pub fn current_num_threads() -> usize {
     if o > 0 {
         o
     } else {
-        std::thread::available_parallelism().map_or(1, |x| x.get())
+        machine_parallelism()
     }
 }
 

@@ -349,8 +349,16 @@ impl<A: ClusterAggregate> TernaryForest<A> {
     }
 
     /// Set real vertex weights (dummies keep the default weight).
-    pub fn update_vertex_weights(&mut self, updates: &[(Vertex, A::VertexWeight)]) {
-        self.inner.update_vertex_weights(updates);
+    pub fn update_vertex_weights(
+        &mut self,
+        updates: &[(Vertex, A::VertexWeight)],
+    ) -> Result<(), ForestError> {
+        for &(v, _) in updates {
+            if v as usize >= self.n {
+                return Err(ForestError::VertexOutOfRange { v, n: self.n });
+            }
+        }
+        self.inner.update_vertex_weights(updates)
     }
 
     /// Update the weight of existing real edges.
@@ -507,7 +515,9 @@ impl TernaryForest<rc_core::NearestMarkedAgg> {
             .copied()
             .filter(|&v| (v as usize) < self.n)
             .collect();
-        self.inner.batch_mark(&real);
+        self.inner
+            .batch_mark(&real)
+            .expect("real ids are valid inner ids");
     }
 
     /// Unmark real vertices (out-of-range ids ignored).
@@ -517,7 +527,9 @@ impl TernaryForest<rc_core::NearestMarkedAgg> {
             .copied()
             .filter(|&v| (v as usize) < self.n)
             .collect();
-        self.inner.batch_unmark(&real);
+        self.inner
+            .batch_unmark(&real)
+            .expect("real ids are valid inner ids");
     }
 
     /// Nearest marked vertex for each query (distance, witness);
@@ -589,7 +601,8 @@ mod tests {
         let mut f = TF::new(5, 0);
         f.batch_link(&(1..5u32).map(|v| (0, v, 1i64)).collect::<Vec<_>>())
             .unwrap();
-        f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>());
+        f.update_vertex_weights(&(0..5u32).map(|v| (v, v as i64 * 10)).collect::<Vec<_>>())
+            .unwrap();
         // Subtree of 0 away from 1: everything except leaf 1 and edge (0,1).
         assert_eq!(f.subtree_aggregate(0, 1), Some(20 + 30 + 40 + 3));
         assert_eq!(f.subtree_aggregate(3, 0), Some(30));

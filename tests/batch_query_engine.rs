@@ -248,7 +248,7 @@ impl Mirror {
         let unmark: Vec<u32> = (0..self.n as u32)
             .filter(|&v| self.marked[v as usize])
             .collect();
-        self.near.batch_unmark(&unmark);
+        self.near.batch_unmark(&unmark).unwrap();
         self.marked.fill(false);
         let marks: Vec<u32> = (0..8)
             .map(|_| rng.next_below(self.n as u64) as u32)
@@ -256,7 +256,7 @@ impl Mirror {
         for &m in &marks {
             self.marked[m as usize] = true;
         }
-        self.near.batch_mark(&marks);
+        self.near.batch_mark(&marks).unwrap();
         let queries: Vec<u32> = (0..60).map(|_| self.vertex(rng)).collect();
         let got = self.near.batch_nearest_marked(&queries);
         for (i, &q) in queries.iter().enumerate() {

@@ -1,0 +1,472 @@
+//! Serializability oracle for the `rc-serve` coalescer.
+//!
+//! N client threads hammer one server with randomized, partly-invalid
+//! request streams (`rc-gen`). The server records its commit log (updates
+//! in submission order, then queries, per epoch). The oracle replays that
+//! log sequentially against `NaiveForest` + shadow vertex weights/marks
+//! and asserts that **every** response the server produced — update
+//! outcomes including exact `ForestError`s, and all seven query families —
+//! matches the sequential execution. Any lost update, phantom read, torn
+//! epoch or conflict-resolution bug shows up as a response mismatch.
+
+use rcforest::naive::NaiveForest;
+use rcforest::serve::{
+    CptResult, LogEntry, PathSummary, RcServe, Request, Response, ServeConfig, ServeForest,
+};
+use rcforest::{ForestError, RequestStream, RequestStreamConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const MAX_DEGREE: usize = 3;
+
+struct Oracle {
+    n: usize,
+    naive: NaiveForest<u64>,
+    vweights: Vec<u64>,
+    marked: Vec<bool>,
+}
+
+impl Oracle {
+    fn new(n: usize, edges: &[(u32, u32, u64)]) -> Self {
+        let mut naive = NaiveForest::new(n);
+        for &(u, v, w) in edges {
+            naive.link(u, v, w).expect("valid initial forest");
+        }
+        Oracle {
+            n,
+            naive,
+            vweights: vec![0; n],
+            marked: vec![false; n],
+        }
+    }
+
+    fn in_range(&self, v: u32) -> bool {
+        (v as usize) < self.n
+    }
+
+    fn range_check(&self, v: u32) -> Result<(), ForestError> {
+        if self.in_range(v) {
+            Ok(())
+        } else {
+            Err(ForestError::VertexOutOfRange { v, n: self.n })
+        }
+    }
+
+    /// Expected outcome of an update, in the serve layer's documented
+    /// check order; applies the op on success.
+    fn apply_update(&mut self, req: &Request) -> Result<(), ForestError> {
+        match *req {
+            Request::Link { u, v, w } => {
+                self.range_check(u)?;
+                self.range_check(v)?;
+                if u == v {
+                    return Err(ForestError::SelfLoop { v });
+                }
+                if self.naive.edge_weight(u, v).is_some() {
+                    return Err(ForestError::DuplicateEdge { u, v });
+                }
+                for x in [u, v] {
+                    if self.naive.degree(x) >= MAX_DEGREE {
+                        return Err(ForestError::DegreeOverflow { v: x });
+                    }
+                }
+                if self.naive.connected(u, v) {
+                    return Err(ForestError::WouldCreateCycle { u, v });
+                }
+                self.naive.link(u, v, w).expect("checked link");
+                Ok(())
+            }
+            Request::Cut { u, v } => {
+                self.range_check(u)?;
+                self.range_check(v)?;
+                if self.naive.edge_weight(u, v).is_none() {
+                    return Err(ForestError::MissingEdge { u, v });
+                }
+                self.naive.cut(u, v).expect("checked cut");
+                Ok(())
+            }
+            Request::UpdateEdgeWeight { u, v, w } => {
+                self.range_check(u)?;
+                self.range_check(v)?;
+                if self.naive.edge_weight(u, v).is_none() {
+                    return Err(ForestError::MissingEdge { u, v });
+                }
+                let old = self.naive.cut(u, v).expect("exists");
+                let _ = old;
+                self.naive.link(u, v, w).expect("relink");
+                Ok(())
+            }
+            Request::UpdateVertexWeight { v, w } => {
+                self.range_check(v)?;
+                self.vweights[v as usize] = w;
+                Ok(())
+            }
+            Request::Mark { v } => {
+                self.range_check(v)?;
+                self.marked[v as usize] = true;
+                Ok(())
+            }
+            Request::Unmark { v } => {
+                self.range_check(v)?;
+                self.marked[v as usize] = false;
+                Ok(())
+            }
+            _ => unreachable!("query in update replay"),
+        }
+    }
+
+    /// Path edges with endpoints, for bottleneck/CPT verification.
+    fn path_edge_refs(&self, u: u32, v: u32) -> Option<Vec<(u64, u32, u32)>> {
+        let p = self.naive.path_vertices(u, v)?;
+        Some(
+            p.windows(2)
+                .map(|w| {
+                    let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+                    (*self.naive.edge_weight(a, b).expect("path edge"), a, b)
+                })
+                .collect(),
+        )
+    }
+
+    fn expected_extrema(&self, u: u32, v: u32) -> Option<PathSummary> {
+        if !self.in_range(u) || !self.in_range(v) {
+            return None;
+        }
+        let edges = self.path_edge_refs(u, v)?;
+        let sum = edges.iter().fold(0u64, |a, e| a.wrapping_add(e.0));
+        let min = edges.iter().min().copied();
+        let max = edges.iter().max().copied();
+        let to_ref = |e: (u64, u32, u32)| rcforest::EdgeRef {
+            u: e.1,
+            v: e.2,
+            w: e.0,
+        };
+        Some(PathSummary {
+            sum,
+            min: min.map(to_ref),
+            max: max.map(to_ref),
+        })
+    }
+
+    fn check_query(&self, entry: &LogEntry, repr_seen: &mut HashMap<u32, u32>) {
+        let req = &entry.request;
+        let resp = &entry.response;
+        let ctx = || format!("epoch {} seq {} {:?}", entry.epoch, entry.seq, req);
+        match *req {
+            Request::Connected { u, v } => {
+                let want = self.in_range(u) && self.in_range(v) && self.naive.connected(u, v);
+                assert_eq!(resp, &Response::Bool(want), "{}", ctx());
+            }
+            Request::Representative { v } => {
+                let Response::Vertex(got) = resp else {
+                    panic!("{}: wrong response kind {resp:?}", ctx());
+                };
+                assert_eq!(got.is_some(), self.in_range(v), "{}", ctx());
+                if let Some(r) = got {
+                    assert!(
+                        self.in_range(*r) && self.naive.connected(v, *r),
+                        "{}: repr {r} outside component",
+                        ctx()
+                    );
+                    // Same epoch + same repr => same component.
+                    if let Some(&w) = repr_seen.get(r) {
+                        assert!(self.naive.connected(v, w), "{}: repr collision", ctx());
+                    } else {
+                        repr_seen.insert(*r, v);
+                    }
+                }
+            }
+            Request::PathSum { u, v } => {
+                let want = if self.in_range(u) && self.in_range(v) {
+                    self.naive
+                        .path_edges(u, v)
+                        .map(|es| es.iter().fold(0u64, |a, &w| a.wrapping_add(w)))
+                } else {
+                    None
+                };
+                assert_eq!(resp, &Response::Sum(want), "{}", ctx());
+            }
+            Request::SubtreeSum { v, parent } => {
+                let want = if self.in_range(v)
+                    && self.in_range(parent)
+                    && self.naive.edge_weight(v, parent).is_some()
+                {
+                    let (vs, es) = self.naive.subtree(v, parent);
+                    let mut total = es.iter().fold(0u64, |a, &w| a.wrapping_add(w));
+                    for x in vs {
+                        total = total.wrapping_add(self.vweights[x as usize]);
+                    }
+                    Some(total)
+                } else {
+                    None
+                };
+                assert_eq!(resp, &Response::Sum(want), "{}", ctx());
+            }
+            Request::Lca { u, v, r } => {
+                let want = if [u, v, r].iter().all(|&x| self.in_range(x)) {
+                    self.naive.lca(u, v, r)
+                } else {
+                    None
+                };
+                assert_eq!(resp, &Response::Vertex(want), "{}", ctx());
+            }
+            Request::Bottleneck { u, v } => {
+                let want = self.expected_extrema(u, v);
+                assert_eq!(resp, &Response::Extrema(want), "{}", ctx());
+            }
+            Request::NearestMarked { v } => {
+                let want = if self.in_range(v) {
+                    self.naive.nearest_marked(v, &self.marked)
+                } else {
+                    None
+                };
+                let Response::Near(got) = resp else {
+                    panic!("{}: wrong response kind {resp:?}", ctx());
+                };
+                // Distances must agree (witnesses only differ on ties).
+                assert_eq!(got.map(|x| x.0), want.map(|x| x.0), "{}", ctx());
+            }
+            Request::Cpt { ref terminals } => {
+                let Response::Cpt(cpt) = resp else {
+                    panic!("{}: wrong response kind {resp:?}", ctx());
+                };
+                self.check_cpt(terminals, cpt, &ctx());
+            }
+            _ => unreachable!("update in query replay"),
+        }
+    }
+
+    /// The compressed tree must preserve pairwise path summaries exactly.
+    fn check_cpt(&self, terminals: &[u32], cpt: &CptResult, ctx: &str) {
+        let index: HashMap<u32, usize> = cpt
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let mut adj: Vec<Vec<(usize, PathSummary)>> = vec![Vec::new(); cpt.vertices.len()];
+        for &(a, b, p) in &cpt.edges {
+            adj[index[&a]].push((index[&b], p));
+            adj[index[&b]].push((index[&a], p));
+        }
+        let combine = |a: &PathSummary, b: &PathSummary| PathSummary {
+            sum: a.sum.wrapping_add(b.sum),
+            min: match (a.min, b.min) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => Some(if (x.w, x.u, x.v) <= (y.w, y.u, y.v) {
+                    x
+                } else {
+                    y
+                }),
+            },
+            max: match (a.max, b.max) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => Some(if (x.w, x.u, x.v) >= (y.w, y.u, y.v) {
+                    x
+                } else {
+                    y
+                }),
+            },
+        };
+        let in_range: Vec<u32> = terminals
+            .iter()
+            .copied()
+            .filter(|&t| self.in_range(t))
+            .collect();
+        for &a in &in_range {
+            for &b in &in_range {
+                if a >= b {
+                    continue;
+                }
+                let want = self.expected_extrema(a, b);
+                // BFS in the compressed tree.
+                let got = (|| {
+                    let (sa, sb) = (*index.get(&a)?, *index.get(&b)?);
+                    let mut val: Vec<Option<PathSummary>> = vec![None; adj.len()];
+                    val[sa] = Some(PathSummary {
+                        sum: 0,
+                        min: None,
+                        max: None,
+                    });
+                    let mut queue = std::collections::VecDeque::from([sa]);
+                    let mut prev = vec![usize::MAX; adj.len()];
+                    prev[sa] = sa;
+                    while let Some(x) = queue.pop_front() {
+                        let vx = val[x].unwrap();
+                        for &(y, p) in &adj[x] {
+                            if prev[y] == usize::MAX {
+                                prev[y] = x;
+                                val[y] = Some(combine(&vx, &p));
+                                queue.push_back(y);
+                            }
+                        }
+                    }
+                    val[sb]
+                })();
+                assert_eq!(got, want, "{ctx}: cpt pair ({a},{b})");
+            }
+        }
+    }
+}
+
+/// Drive `threads` clients over partitioned streams, then replay the
+/// commit log against the oracle.
+fn run_oracle(cfg: ServeConfig, threads: usize, ops_per_thread: usize, seed: u64) {
+    run_oracle_mix(
+        cfg,
+        threads,
+        ops_per_thread,
+        seed,
+        rcforest::OpMix::balanced(),
+    )
+}
+
+fn run_oracle_mix(
+    cfg: ServeConfig,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    mix: rcforest::OpMix,
+) {
+    let stream_cfg = RequestStreamConfig {
+        forest: rcforest::ForestGenConfig {
+            n: 1_500,
+            seed,
+            max_weight: 64,
+            ..Default::default()
+        },
+        mix,
+        invalid_frac: 0.05,
+        cpt_terminals: 6,
+        ..Default::default()
+    };
+    let probe = RequestStream::new_partitioned(stream_cfg.clone(), 0, threads);
+    let initial = probe.initial_edges();
+    let n = probe.num_vertices();
+    let forest = ServeForest::build_edges(n, &initial, rcforest::BuildOptions::default()).unwrap();
+
+    let server = RcServe::start(forest, cfg);
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let client = server.client();
+            let scfg = stream_cfg.clone();
+            std::thread::spawn(move || {
+                let mut stream = RequestStream::new_partitioned(scfg, t, threads);
+                let mut served = 0usize;
+                // Chunked submission: bursts build big epochs, the waits
+                // create cross-epoch dependencies.
+                let mut remaining = ops_per_thread;
+                while remaining > 0 {
+                    let chunk = remaining.min(32);
+                    remaining -= chunk;
+                    let handles: Vec<_> = (0..chunk)
+                        .map(|_| client.submit(Request::from_stream(stream.next_op())))
+                        .collect();
+                    for h in handles {
+                        assert!(h.wait() != Response::Rejected);
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, threads * ops_per_thread);
+
+    // The log finishes booking after responses fill; join the worker
+    // (shutdown) before draining it.
+    let auditor = server.client();
+    server.shutdown();
+    let log = auditor.take_commit_log();
+    assert_eq!(log.len(), total, "every request committed exactly once");
+
+    // Replay: log order is commit order (updates then queries per epoch).
+    let mut oracle = Oracle::new(n, &initial);
+    let mut epoch = 0u64;
+    let mut repr_seen: HashMap<u32, u32> = HashMap::new();
+    let mut seen_seqs = std::collections::HashSet::new();
+    for entry in &log {
+        assert!(seen_seqs.insert(entry.seq), "seq {} duplicated", entry.seq);
+        if entry.epoch != epoch {
+            epoch = entry.epoch;
+            repr_seen.clear();
+        }
+        if entry.request.is_update() {
+            let want = oracle.apply_update(&entry.request);
+            assert_eq!(
+                entry.response,
+                Response::Updated(want.clone()),
+                "epoch {} seq {} {:?}",
+                entry.epoch,
+                entry.seq,
+                entry.request
+            );
+        } else {
+            oracle.check_query(entry, &mut repr_seen);
+        }
+    }
+}
+
+#[test]
+fn serializability_oracle_eight_threads_coalesced() {
+    run_oracle(
+        ServeConfig {
+            max_linger: Duration::from_micros(300),
+            record_commit_log: true,
+            ..ServeConfig::default()
+        },
+        8,
+        400,
+        2025,
+    );
+}
+
+#[test]
+fn serializability_oracle_tiny_epochs() {
+    // Size-bounded epochs force constant drain/requeue traffic.
+    run_oracle(
+        ServeConfig {
+            max_epoch_ops: 24,
+            drain_threshold: 8,
+            max_linger: Duration::from_micros(50),
+            record_commit_log: true,
+            ..ServeConfig::default()
+        },
+        8,
+        150,
+        77,
+    );
+}
+
+#[test]
+fn serializability_oracle_update_heavy_toggles() {
+    // Long linger + update-heavy mix: the same connector edge is routinely
+    // cut and relinked (and linked and re-cut) inside one epoch, driving
+    // the coalescer's cancellation paths and stale-union-find flushes.
+    run_oracle_mix(
+        ServeConfig {
+            max_linger: Duration::from_millis(2),
+            drain_threshold: 2_048,
+            record_commit_log: true,
+            ..ServeConfig::default()
+        },
+        8,
+        400,
+        4242,
+        rcforest::OpMix::update_heavy(),
+    );
+}
+
+#[test]
+fn serializability_oracle_unbatched_baseline() {
+    run_oracle(
+        ServeConfig {
+            record_commit_log: true,
+            ..ServeConfig::unbatched()
+        },
+        4,
+        80,
+        9,
+    );
+}

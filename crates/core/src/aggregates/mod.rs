@@ -7,17 +7,20 @@
 //! | [`CountAgg`] | hop counts | sizes | unweighted |
 //! | [`UnitAgg`] | — | — | pure structure (connectivity, LCA) |
 //! | [`NearestMarkedAgg`] | — | — | nearest-marked-vertex queries (§3.8) |
+//! | [`StdAgg`] | sums + extrema | sums | every family at once over `u64` weights; the backend-trait / serve weight model |
 //! | `(A, B)` pairs | from `A` | from `B` | composition |
 
 mod count;
 mod extrema;
 pub mod marked;
 mod pair;
+pub mod std_agg;
 mod sum;
 mod unit;
 
 pub use count::CountAgg;
 pub use extrema::{EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, OrdWeight};
 pub use marked::{Near, NearestMarkedAgg, NearestMarkedAggregate};
+pub use std_agg::{PathSummary, StdAgg, StdVertexWeight};
 pub use sum::SumAgg;
 pub use unit::UnitAgg;

@@ -23,6 +23,15 @@
 //! Downstream crates can build new batch query kinds on the same engine
 //! via [`RcForest::marked_sweep`].
 //!
+//! # Architecture: the backend trait
+//!
+//! The [`backend::DynamicForest`] trait fixes one op surface — link/cut,
+//! weight/mark updates, and the seven query families over the standard
+//! `u64` weight model ([`StdAgg`]) — so RC forests, ternarized forests
+//! (`rc-ternary`), link-cut trees (`rc-lct`) and the naive oracle
+//! ([`NaiveStdForest`]) are interchangeable for differential testing,
+//! stream replay and crossover benchmarks.
+//!
 //! # Quick start
 //!
 //! ```
@@ -42,6 +51,7 @@
 
 pub mod aggregate;
 pub mod aggregates;
+pub mod backend;
 mod build;
 mod decide;
 mod dynamic;
@@ -56,8 +66,9 @@ pub use aggregate::{
 };
 pub use aggregates::{
     CountAgg, EdgeRef, ExtremaAgg, MaxEdgeAgg, MinEdgeAgg, Near, NearestMarkedAgg,
-    NearestMarkedAggregate, SumAgg, UnitAgg,
+    NearestMarkedAggregate, PathSummary, StdAgg, StdVertexWeight, SumAgg, UnitAgg,
 };
+pub use backend::{DynamicForest, NaiveStdForest};
 pub use forest::{BuildOptions, ContractionMode, RcForest, VertexCluster};
 pub use queries::cpt::CompressedPathTree;
 pub use queries::engine::{MarkedSweep, SweepVals};

@@ -1,17 +1,56 @@
 //! A naive reference forest — the test oracle.
 //!
 //! Plain adjacency lists with BFS/DFS query implementations. Everything is
-//! `O(n)` per operation, unmistakably correct, and used to cross-check
-//! every RC-tree query family on randomized workloads. Also serves as the
-//! sequential baseline in benchmarks.
+//! `O(component)` per operation, unmistakably correct, and used to
+//! cross-check every RC-tree query family on randomized workloads. Also
+//! serves as the sequential baseline in benchmarks.
+//!
+//! Walks are *adjacency-indexed*: visited/predecessor state lives in an
+//! epoch-stamped scratch pool that is allocated once and never cleared, so
+//! a query touches only the component it walks instead of `O(n)` fresh
+//! allocation per call. Oracle replays of long request streams (the serve
+//! oracle, backend differential tests) would otherwise be quadratic in `n`.
 
 use crate::types::{ForestError, Vertex};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
+/// Reusable per-forest walk state: `stamp[v] == epoch` means "visited in
+/// the current walk", and `pred` is only meaningful for stamped vertices.
+#[derive(Debug, Default)]
+struct WalkScratch {
+    epoch: u64,
+    stamp: Vec<u64>,
+    pred: Vec<Vertex>,
+}
+
+impl WalkScratch {
+    /// Begin a fresh walk; returns the new epoch.
+    fn begin(&mut self, n: usize) -> u64 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.pred.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
 /// Adjacency-list forest with edge weights `W`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct NaiveForest<W: Clone> {
     adj: Vec<Vec<(Vertex, W)>>,
+    scratch: RefCell<WalkScratch>,
+}
+
+impl<W: Clone> Clone for NaiveForest<W> {
+    fn clone(&self) -> Self {
+        // Clones get fresh scratch; stamps are per-instance state.
+        NaiveForest {
+            adj: self.adj.clone(),
+            scratch: RefCell::new(WalkScratch::default()),
+        }
+    }
 }
 
 impl<W: Clone> NaiveForest<W> {
@@ -19,6 +58,7 @@ impl<W: Clone> NaiveForest<W> {
     pub fn new(n: usize) -> Self {
         NaiveForest {
             adj: vec![Vec::new(); n],
+            scratch: RefCell::new(WalkScratch::default()),
         }
     }
 
@@ -78,23 +118,44 @@ impl<W: Clone> NaiveForest<W> {
         }
     }
 
-    /// Are `u` and `v` in the same tree?
+    /// Are `u` and `v` in the same tree? (`O(component)`, no per-call
+    /// allocation.)
     pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
-        self.path_vertices(u, v).is_some()
+        if u == v {
+            return true;
+        }
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin(self.adj.len());
+        s.stamp[u as usize] = epoch;
+        let mut q = VecDeque::from([u]);
+        while let Some(x) = q.pop_front() {
+            for &(y, _) in &self.adj[x as usize] {
+                if s.stamp[y as usize] != epoch {
+                    if y == v {
+                        return true;
+                    }
+                    s.stamp[y as usize] = epoch;
+                    q.push_back(y);
+                }
+            }
+        }
+        false
     }
 
     /// Vertices of `v`'s component.
     pub fn component(&self, v: Vertex) -> Vec<Vertex> {
-        let mut seen = vec![false; self.adj.len()];
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin(self.adj.len());
         let mut out = vec![v];
-        seen[v as usize] = true;
-        let mut q = VecDeque::from([v]);
-        while let Some(x) = q.pop_front() {
+        s.stamp[v as usize] = epoch;
+        let mut i = 0;
+        while i < out.len() {
+            let x = out[i];
+            i += 1;
             for &(y, _) in &self.adj[x as usize] {
-                if !seen[y as usize] {
-                    seen[y as usize] = true;
+                if s.stamp[y as usize] != epoch {
+                    s.stamp[y as usize] = epoch;
                     out.push(y);
-                    q.push_back(y);
                 }
             }
         }
@@ -106,19 +167,21 @@ impl<W: Clone> NaiveForest<W> {
         if u == v {
             return Some(vec![u]);
         }
-        let n = self.adj.len();
-        let mut pred = vec![u32::MAX; n];
-        pred[u as usize] = u;
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin(self.adj.len());
+        s.stamp[u as usize] = epoch;
+        s.pred[u as usize] = u;
         let mut q = VecDeque::from([u]);
         while let Some(x) = q.pop_front() {
             for &(y, _) in &self.adj[x as usize] {
-                if pred[y as usize] == u32::MAX {
-                    pred[y as usize] = x;
+                if s.stamp[y as usize] != epoch {
+                    s.stamp[y as usize] = epoch;
+                    s.pred[y as usize] = x;
                     if y == v {
                         let mut path = vec![v];
                         let mut cur = v;
                         while cur != u {
-                            cur = pred[cur as usize];
+                            cur = s.pred[cur as usize];
                             path.push(cur);
                         }
                         path.reverse();
@@ -182,8 +245,9 @@ impl NaiveForest<u64> {
     /// trees have unique paths).
     pub fn nearest_marked(&self, v: Vertex, marked: &[bool]) -> Option<(u64, Vertex)> {
         let mut best: Option<(u64, Vertex)> = None;
-        let mut seen = vec![false; self.adj.len()];
-        seen[v as usize] = true;
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin(self.adj.len());
+        s.stamp[v as usize] = epoch;
         let mut stack = vec![(v, 0u64)];
         while let Some((x, d)) = stack.pop() {
             if marked[x as usize] {
@@ -194,8 +258,8 @@ impl NaiveForest<u64> {
                 });
             }
             for &(y, w) in &self.adj[x as usize] {
-                if !seen[y as usize] {
-                    seen[y as usize] = true;
+                if s.stamp[y as usize] != epoch {
+                    s.stamp[y as usize] = epoch;
                     stack.push((y, d + w));
                 }
             }

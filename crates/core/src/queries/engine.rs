@@ -17,7 +17,7 @@
 //! family is just a visitor plus an assembly step — and future query kinds
 //! (diameter, centroid, heavy-path decompositions) are small visitors
 //! instead of new modules of scaffolding. The compact subtree storage
-//! (slot map, CSR children and round buckets) lives in a [`QueryScratch`]
+//! (slot map, CSR children and round buckets) lives in a `QueryScratch`
 //! checked out of a per-forest pool, so steady-state batch queries reuse
 //! the same arenas instead of re-allocating and re-hashing per call.
 

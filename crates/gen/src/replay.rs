@@ -1,0 +1,256 @@
+//! Stream replay against any [`DynamicForest`] backend, and the
+//! differential-testing harness built on it.
+//!
+//! [`apply_op`] executes one generated [`StreamOp`] through the backend
+//! trait and captures the answer as a comparable [`OpResponse`].
+//! [`assert_backends_agree`] drives two backends through the *same*
+//! seeded stream and asserts every response matches — update outcomes
+//! including exact [`ForestError`]s, and all query families. The one
+//! family compared structurally instead of literally is
+//! `Representative`: backends may name different (and differently
+//! stable) component representatives, so the harness compares the
+//! *partition* the ids induce over a probe set (same-representative ⟺
+//! same-component must agree across backends and with `connected`).
+
+use crate::stream::{RequestStream, RequestStreamConfig, StreamOp};
+use rc_core::{DynamicForest, ForestError, PathSummary, Vertex};
+
+/// The captured answer of one replayed [`StreamOp`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpResponse {
+    /// Outcome of a structural/weight/mark update.
+    Updated(Result<(), ForestError>),
+    /// `Connected`.
+    Bool(bool),
+    /// `Lca`.
+    Vertex(Option<Vertex>),
+    /// `PathSum` / `SubtreeSum`.
+    Sum(Option<u64>),
+    /// `Bottleneck`.
+    Extrema(Option<PathSummary>),
+    /// `NearestMarked`.
+    Near(Option<(u64, Vertex)>),
+    /// `Representative` — compared structurally by the harness, never
+    /// with `==` across backends.
+    Repr(Option<Vertex>),
+    /// Op outside the backend trait surface (`Cpt`).
+    Skipped,
+}
+
+/// Execute one generated op against a backend.
+pub fn apply_op<B: DynamicForest>(f: &mut B, op: &StreamOp) -> OpResponse {
+    match *op {
+        StreamOp::Link { u, v, w } => OpResponse::Updated(f.link(u, v, w)),
+        StreamOp::Cut { u, v } => OpResponse::Updated(f.cut(u, v)),
+        StreamOp::UpdateEdgeWeight { u, v, w } => OpResponse::Updated(f.set_edge_weight(u, v, w)),
+        StreamOp::UpdateVertexWeight { v, w } => OpResponse::Updated(f.set_vertex_weight(v, w)),
+        StreamOp::Mark { v } => OpResponse::Updated(f.set_mark(v, true)),
+        StreamOp::Unmark { v } => OpResponse::Updated(f.set_mark(v, false)),
+        StreamOp::Connected { u, v } => OpResponse::Bool(f.connected(u, v)),
+        StreamOp::Representative { v } => OpResponse::Repr(f.representative(v)),
+        StreamOp::PathSum { u, v } => OpResponse::Sum(f.path_sum(u, v)),
+        StreamOp::SubtreeSum { v, parent } => OpResponse::Sum(f.subtree_sum(v, parent)),
+        StreamOp::Lca { u, v, r } => OpResponse::Vertex(f.lca(u, v, r)),
+        StreamOp::Bottleneck { u, v } => OpResponse::Extrema(f.path_extrema(u, v)),
+        StreamOp::NearestMarked { v } => OpResponse::Near(f.nearest_marked(v)),
+        StreamOp::Cpt { .. } => OpResponse::Skipped,
+    }
+}
+
+/// Tally of one differential run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DifferentialReport {
+    /// Ops replayed (including skipped ones).
+    pub ops: usize,
+    /// Structural/weight/mark updates among them.
+    pub updates: usize,
+    /// Queries among them.
+    pub queries: usize,
+    /// Updates that (identically) returned a `ForestError`.
+    pub rejected: usize,
+    /// Representative partition probes performed.
+    pub repr_probes: usize,
+}
+
+/// Number of recent vertices kept as representative-partition probes.
+const PROBES: usize = 6;
+
+/// Drive two backends through the same seeded request stream and assert
+/// every response agrees (see the module docs for the `Representative`
+/// contract). Both backends must be empty, over the same vertex count,
+/// and enforce the same degree cap — otherwise degree-overflowing links
+/// would be accepted by one and rejected by the other.
+///
+/// Returns the tally; panics (assert) on the first divergence.
+pub fn assert_backends_agree<A: DynamicForest, B: DynamicForest>(
+    a: &mut A,
+    b: &mut B,
+    cfg: RequestStreamConfig,
+    ops: usize,
+) -> DifferentialReport {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "vertex counts differ");
+    assert_eq!(
+        a.max_degree(),
+        b.max_degree(),
+        "degree caps differ: {} vs {} — overflowing links would diverge",
+        a.backend_name(),
+        b.backend_name()
+    );
+    let mut stream = RequestStream::new(cfg);
+    let initial = stream.initial_edges();
+    assert_eq!(
+        a.batch_link(&initial),
+        Ok(()),
+        "{} initial build",
+        a.backend_name()
+    );
+    assert_eq!(
+        b.batch_link(&initial),
+        Ok(()),
+        "{} initial build",
+        b.backend_name()
+    );
+
+    let names = (a.backend_name(), b.backend_name());
+    let mut report = DifferentialReport::default();
+    let mut probes: Vec<Vertex> = Vec::new();
+    for i in 0..ops {
+        let op = stream.next_op();
+        report.ops += 1;
+        if op.is_update() {
+            report.updates += 1;
+        } else {
+            report.queries += 1;
+        }
+        if let StreamOp::Representative { v } = op {
+            // Structural comparison over the probe set: presence and the
+            // induced same-component partition must match.
+            report.repr_probes += 1;
+            let mut vs = probes.clone();
+            vs.push(v);
+            let ra = a.batch_representatives(&vs);
+            let rb = b.batch_representatives(&vs);
+            for (j, (x, y)) in ra.iter().zip(rb.iter()).enumerate() {
+                assert_eq!(
+                    x.is_some(),
+                    y.is_some(),
+                    "op {i}: representative presence diverged at probe {j} \
+                     ({:?}: {x:?} vs {:?}: {y:?})",
+                    names.0,
+                    names.1
+                );
+            }
+            for j in 0..vs.len() {
+                for k in j + 1..vs.len() {
+                    let same_a = ra[j].is_some() && ra[j] == ra[k];
+                    let same_b = rb[j].is_some() && rb[j] == rb[k];
+                    assert_eq!(
+                        same_a, same_b,
+                        "op {i}: representative partition diverged on probes \
+                         ({}, {}) of {vs:?} ({:?} vs {:?})",
+                        vs[j], vs[k], ra, rb
+                    );
+                    // Cross-check the partition against connectivity.
+                    assert_eq!(
+                        same_a,
+                        a.connected(vs[j], vs[k]),
+                        "op {i}: {} representatives disagree with its own \
+                         connectivity on ({}, {})",
+                        names.0,
+                        vs[j],
+                        vs[k]
+                    );
+                }
+            }
+        } else {
+            let ra = apply_op(a, &op);
+            let rb = apply_op(b, &op);
+            assert_eq!(
+                ra, rb,
+                "op {i} {op:?}: {} answered {ra:?}, {} answered {rb:?}",
+                names.0, names.1
+            );
+            if let OpResponse::Updated(Err(_)) = ra {
+                report.rejected += 1;
+            }
+        }
+        // Refresh the probe pool with vertices this op touched.
+        for x in op_vertices(&op) {
+            if !probes.contains(&x) {
+                probes.push(x);
+                if probes.len() > PROBES {
+                    probes.remove(0);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The vertex ids named by an op (probe-pool refresh).
+fn op_vertices(op: &StreamOp) -> Vec<Vertex> {
+    match *op {
+        StreamOp::Link { u, v, .. }
+        | StreamOp::Cut { u, v }
+        | StreamOp::UpdateEdgeWeight { u, v, .. }
+        | StreamOp::Connected { u, v }
+        | StreamOp::PathSum { u, v }
+        | StreamOp::Bottleneck { u, v } => vec![u, v],
+        StreamOp::SubtreeSum { v, parent } => vec![v, parent],
+        StreamOp::Lca { u, v, r } => vec![u, v, r],
+        StreamOp::UpdateVertexWeight { v, .. }
+        | StreamOp::Mark { v }
+        | StreamOp::Unmark { v }
+        | StreamOp::Representative { v }
+        | StreamOp::NearestMarked { v } => vec![v],
+        StreamOp::Cpt { ref terminals } => terminals.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForestGenConfig;
+    use rc_core::NaiveStdForest;
+
+    fn cfg(n: usize, seed: u64, invalid: f64) -> RequestStreamConfig {
+        RequestStreamConfig {
+            forest: ForestGenConfig {
+                n,
+                seed,
+                max_weight: 64,
+                ..Default::default()
+            },
+            invalid_frac: invalid,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn naive_agrees_with_itself() {
+        let mut a = NaiveStdForest::with_max_degree(400, Some(3));
+        let mut b = NaiveStdForest::with_max_degree(400, Some(3));
+        let r = assert_backends_agree(&mut a, &mut b, cfg(400, 3, 0.1), 2_000);
+        assert_eq!(r.ops, 2_000);
+        assert!(r.rejected > 0, "invalid_frac must exercise error paths");
+        assert!(r.repr_probes > 0);
+    }
+
+    #[test]
+    fn valid_streams_never_error() {
+        // The partitioned stream contract: with invalid_frac = 0, every
+        // update the stream emits is valid on a degree-≤3 forest.
+        let mut a = NaiveStdForest::with_max_degree(600, Some(3));
+        let mut b = NaiveStdForest::with_max_degree(600, Some(3));
+        let r = assert_backends_agree(&mut a, &mut b, cfg(600, 11, 0.0), 3_000);
+        assert_eq!(r.rejected, 0, "valid stream produced an error");
+    }
+
+    #[test]
+    #[should_panic(expected = "degree caps differ")]
+    fn mismatched_caps_are_rejected_up_front() {
+        let mut a = NaiveStdForest::with_max_degree(16, Some(3));
+        let mut b = NaiveStdForest::new(16);
+        assert_backends_agree(&mut a, &mut b, cfg(16, 1, 0.0), 1);
+    }
+}

@@ -595,13 +595,14 @@ impl RequestStream {
     /// A deliberately unvalidated op: random ids, possibly out of range.
     fn invalid_op(&mut self) -> StreamOp {
         let n = self.cfg.forest.n as u64;
+        let w = self.weight();
         // ~20% out of range.
         let any = |rng: &mut SplitMix64| rng.next_below(n + n / 4 + 2) as u32;
         match self.rng.next_below(6) {
             0 => StreamOp::Link {
                 u: any(&mut self.rng),
                 v: any(&mut self.rng),
-                w: 1,
+                w,
             },
             1 => StreamOp::Cut {
                 u: any(&mut self.rng),
@@ -610,7 +611,7 @@ impl RequestStream {
             2 => StreamOp::UpdateEdgeWeight {
                 u: any(&mut self.rng),
                 v: any(&mut self.rng),
-                w: 1,
+                w,
             },
             3 => StreamOp::PathSum {
                 u: any(&mut self.rng),
@@ -775,6 +776,107 @@ mod tests {
         });
         let mean: f64 = (0..5_000).map(|_| st.next_delay_ns() as f64).sum::<f64>() / 5_000.0;
         assert!((250.0..1_000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range_across_parameter_grid() {
+        // Property: every sample lands in 1..=n for any (n, exponent),
+        // including the degenerate n = 1 and uniform e = 0 corners.
+        let mut rng = SplitMix64::new(0x21FF);
+        for n in [1u64, 2, 3, 10, 1_000, 1_000_000] {
+            for e in [0.0, 0.2, 0.5, 0.99, 1.0, 1.5, 3.0] {
+                let z = Zipf::new(n, e);
+                for _ in 0..2_000 {
+                    let s = z.sample(&mut rng);
+                    assert!(
+                        (1..=n).contains(&s),
+                        "Zipf(n={n}, e={e}) emitted {s} out of range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_is_monotone_in_the_exponent() {
+        // Property: the mass of the top ranks grows with the exponent.
+        let n = 1_000u64;
+        let trials = 30_000;
+        let mut head_mass = Vec::new();
+        for (i, e) in [0.0, 0.5, 1.0, 1.5, 2.0].into_iter().enumerate() {
+            // Independent deterministic streams per exponent.
+            let mut rng = SplitMix64::new(0xABC0 + i as u64);
+            let z = Zipf::new(n, e);
+            let hits = (0..trials).filter(|_| z.sample(&mut rng) <= 10).count();
+            head_mass.push(hits as f64 / trials as f64);
+        }
+        for w in head_mass.windows(2) {
+            assert!(
+                w[1] > w[0] * 1.05,
+                "top-10 mass must grow with the exponent: {head_mass:?}"
+            );
+        }
+        // And the uniform corner is calibrated: P(rank <= 10) = 1%.
+        assert!(
+            (0.005..0.02).contains(&head_mass[0]),
+            "uniform head mass {}",
+            head_mass[0]
+        );
+    }
+
+    #[test]
+    fn invalid_frac_accounting_matches_configuration() {
+        // The invalid path draws ids uniformly over [0, n + n/4 + 2), so
+        // ~1/5 of drawn ids are out of range; 5 of its 6 op shapes name
+        // two ids, one names one. Expected out-of-range op rate:
+        //   frac * (5 * (1 - 0.8^2) + 1 * 0.2) / 6 ≈ frac * 0.333.
+        // Valid ops never name out-of-range ids, so the observed rate
+        // accounts for the configured fraction.
+        let n = 4_000usize;
+        let total = 6_000usize;
+        for (seed, frac) in [(1u64, 0.0f64), (2, 0.3), (3, 0.8)] {
+            let mut s = RequestStream::new(RequestStreamConfig {
+                invalid_frac: frac,
+                forest: ForestGenConfig {
+                    n,
+                    seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let mut oor = 0usize;
+            for op in s.ops(total) {
+                let ids: Vec<u32> = match op {
+                    StreamOp::Link { u, v, .. }
+                    | StreamOp::Cut { u, v }
+                    | StreamOp::UpdateEdgeWeight { u, v, .. }
+                    | StreamOp::Connected { u, v }
+                    | StreamOp::PathSum { u, v }
+                    | StreamOp::Bottleneck { u, v } => vec![u, v],
+                    StreamOp::SubtreeSum { v, parent } => vec![v, parent],
+                    StreamOp::Lca { u, v, r } => vec![u, v, r],
+                    StreamOp::UpdateVertexWeight { v, .. }
+                    | StreamOp::Mark { v }
+                    | StreamOp::Unmark { v }
+                    | StreamOp::Representative { v }
+                    | StreamOp::NearestMarked { v } => vec![v],
+                    StreamOp::Cpt { terminals } => terminals,
+                };
+                if ids.iter().any(|&x| x as usize >= n) {
+                    oor += 1;
+                }
+            }
+            let expect = frac * 0.333;
+            let got = oor as f64 / total as f64;
+            if frac == 0.0 {
+                assert_eq!(oor, 0, "valid streams never leave the id range");
+            } else {
+                assert!(
+                    (expect * 0.6..expect * 1.5).contains(&got),
+                    "invalid_frac {frac}: out-of-range rate {got:.4}, expected ≈{expect:.4}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,904 @@
+//! Link-cut trees: the classic sequential dynamic-forest baseline.
+//!
+//! A splay-based implementation of Sleator–Tarjan link-cut trees with
+//! lazy path reversal (`evert`), augmented for every query family of the
+//! [`DynamicForest`] backend trait:
+//!
+//! * **path aggregates** — each edge is materialized as an *edge node*
+//!   spliced between its endpoints, so the preferred-path splay trees
+//!   carry exact path sums and min/max edges with [`EdgeRef`] witnesses
+//!   (same `(weight, u, v)` tie-break as the RC-tree aggregates);
+//! * **subtree sums** — virtual-subtree augmentation: every node
+//!   maintains the total of the subtrees hanging off its preferred path
+//!   (`vsub`), updated at each preferred-child switch, so
+//!   `subtree_sum(v, parent)` is `evert(parent); access(v)` plus one
+//!   field read;
+//! * **LCA** — `access` returns the last preferred-path switch point;
+//! * **connectivity / representatives** — `find_root` after `access`.
+//!
+//! All operations are amortized `O(log n)` — except
+//! [`DynamicForest::nearest_marked`], which this baseline answers by
+//! scanning the marked set (`O(m log n)`); crossover benchmarks exclude
+//! it. Batch entry points are the trait's sequential loops: this backend
+//! exists precisely to be the "independent sequential ops" side of the
+//! paper's batch-vs-sequential crossover experiment.
+//!
+//! An optional degree cap ([`LctForest::with_max_degree`]) makes the
+//! error contract of [`DynamicForest::link`] bit-identical to the raw
+//! degree-≤3 RC forest, which is what lets differential tests demand
+//! exact [`ForestError`] agreement.
+
+use rc_core::aggregate::PathAggregate;
+use rc_core::{DynamicForest, EdgeRef, ForestError, MaxEdgeAgg, MinEdgeAgg, PathSummary, Vertex};
+use std::collections::{BTreeSet, HashMap};
+
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn key(u: Vertex, v: Vertex) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+#[inline]
+fn pick_min(a: Option<EdgeRef<u64>>, b: Option<EdgeRef<u64>>) -> Option<EdgeRef<u64>> {
+    <MinEdgeAgg<u64> as PathAggregate>::path_combine(&a, &b)
+}
+
+#[inline]
+fn pick_max(a: Option<EdgeRef<u64>>, b: Option<EdgeRef<u64>>) -> Option<EdgeRef<u64>> {
+    <MaxEdgeAgg<u64> as PathAggregate>::path_combine(&a, &b)
+}
+
+/// One splay node: a forest vertex (`edge == None`) or a materialized
+/// edge (`edge == Some`). `parent` doubles as the path-parent pointer —
+/// a node is a splay root iff its parent does not child-link it back.
+#[derive(Clone, Debug)]
+struct Node {
+    parent: u32,
+    child: [u32; 2],
+    flip: bool,
+    /// Edge payload (`None` for vertex nodes).
+    edge: Option<EdgeRef<u64>>,
+    /// Additive vertex weight (0 for edge nodes).
+    vweight: u64,
+    /// Sum of edge weights over this splay subtree's path segment.
+    psum: u64,
+    /// Lightest / heaviest edge on the segment.
+    pmin: Option<EdgeRef<u64>>,
+    pmax: Option<EdgeRef<u64>>,
+    /// Total (vertex + edge weights) of the represented subtree under
+    /// this splay subtree: own + children + `vsub`.
+    tot: u64,
+    /// Sum of totals of virtual (non-preferred) child subtrees.
+    vsub: u64,
+}
+
+impl Node {
+    fn vertex() -> Node {
+        Node {
+            parent: NIL,
+            child: [NIL, NIL],
+            flip: false,
+            edge: None,
+            vweight: 0,
+            psum: 0,
+            pmin: None,
+            pmax: None,
+            tot: 0,
+            vsub: 0,
+        }
+    }
+}
+
+/// An amortized `O(log n)` sequential dynamic forest (see the crate docs).
+pub struct LctForest {
+    nodes: Vec<Node>,
+    /// Free edge-node slots (all ≥ `n`).
+    free: Vec<u32>,
+    /// `{u, v}` → edge-node id.
+    edges: HashMap<u64, u32>,
+    degree: Vec<u32>,
+    marked: BTreeSet<Vertex>,
+    n: usize,
+    cap: Option<usize>,
+    /// Reusable root-to-node path buffer for `splay`'s flip push-down.
+    splay_scratch: Vec<u32>,
+}
+
+impl LctForest {
+    /// An edgeless forest on `n` vertices with no degree cap.
+    pub fn new(n: usize) -> Self {
+        Self::with_max_degree(n, None)
+    }
+
+    /// An edgeless forest enforcing `cap` on `link` (use `Some(3)` to
+    /// mirror the raw RC forest's `DegreeOverflow` contract exactly).
+    pub fn with_max_degree(n: usize, cap: Option<usize>) -> Self {
+        LctForest {
+            nodes: (0..n).map(|_| Node::vertex()).collect(),
+            free: Vec::new(),
+            edges: HashMap::new(),
+            degree: vec![0; n],
+            marked: BTreeSet::new(),
+            n,
+            cap,
+            splay_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Does the forest contain edge `{u, v}`?
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        u != v && self.edges.contains_key(&key(u, v))
+    }
+
+    #[inline]
+    fn in_range(&self, v: Vertex) -> bool {
+        (v as usize) < self.n
+    }
+
+    // ---------------------------------------------------------------
+    // splay machinery
+    // ---------------------------------------------------------------
+
+    #[inline]
+    fn is_splay_root(&self, x: u32) -> bool {
+        let p = self.nodes[x as usize].parent;
+        p == NIL || (self.nodes[p as usize].child[0] != x && self.nodes[p as usize].child[1] != x)
+    }
+
+    fn push(&mut self, x: u32) {
+        if self.nodes[x as usize].flip {
+            self.nodes[x as usize].flip = false;
+            self.nodes[x as usize].child.swap(0, 1);
+            for c in self.nodes[x as usize].child {
+                if c != NIL {
+                    self.nodes[c as usize].flip ^= true;
+                }
+            }
+        }
+    }
+
+    /// Recompute aggregates from children (orientation-independent, so
+    /// pending flips below are harmless).
+    fn pull(&mut self, x: u32) {
+        let nx = &self.nodes[x as usize];
+        let (own_ps, own_e) = match nx.edge {
+            Some(e) => (e.w, Some(e)),
+            None => (0, None),
+        };
+        let mut psum = own_ps;
+        let mut pmin = own_e;
+        let mut pmax = own_e;
+        let mut tot = nx.vweight.wrapping_add(own_ps).wrapping_add(nx.vsub);
+        for c in nx.child {
+            if c != NIL {
+                let nc = &self.nodes[c as usize];
+                psum = psum.wrapping_add(nc.psum);
+                pmin = pick_min(pmin, nc.pmin);
+                pmax = pick_max(pmax, nc.pmax);
+                tot = tot.wrapping_add(nc.tot);
+            }
+        }
+        let nx = &mut self.nodes[x as usize];
+        nx.psum = psum;
+        nx.pmin = pmin;
+        nx.pmax = pmax;
+        nx.tot = tot;
+    }
+
+    fn rotate(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent;
+        let g = self.nodes[p as usize].parent;
+        let dir = (self.nodes[p as usize].child[1] == x) as usize;
+        let b = self.nodes[x as usize].child[1 - dir];
+        self.nodes[p as usize].child[dir] = b;
+        if b != NIL {
+            self.nodes[b as usize].parent = p;
+        }
+        self.nodes[x as usize].child[1 - dir] = p;
+        if g != NIL {
+            if self.nodes[g as usize].child[0] == p {
+                self.nodes[g as usize].child[0] = x;
+            } else if self.nodes[g as usize].child[1] == p {
+                self.nodes[g as usize].child[1] = x;
+            }
+            // else: p was a splay root; x inherits the path-parent.
+        }
+        self.nodes[x as usize].parent = g;
+        self.nodes[p as usize].parent = x;
+        self.pull(p);
+        self.pull(x);
+    }
+
+    fn splay(&mut self, x: u32) {
+        // Push pending flips root-to-x first (reused buffer — this is
+        // the hottest loop of the benchmark baseline).
+        let mut path = std::mem::take(&mut self.splay_scratch);
+        path.clear();
+        path.push(x);
+        let mut cur = x;
+        while !self.is_splay_root(cur) {
+            cur = self.nodes[cur as usize].parent;
+            path.push(cur);
+        }
+        for &y in path.iter().rev() {
+            self.push(y);
+        }
+        self.splay_scratch = path;
+        while !self.is_splay_root(x) {
+            let p = self.nodes[x as usize].parent;
+            if !self.is_splay_root(p) {
+                let g = self.nodes[p as usize].parent;
+                let zigzig = (self.nodes[g as usize].child[0] == p)
+                    == (self.nodes[p as usize].child[0] == x);
+                if zigzig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(x);
+                }
+            }
+            self.rotate(x);
+        }
+    }
+
+    /// Make the root-to-`x` path preferred and splay `x` to the root of
+    /// its splay tree. Returns the last preferred-path switch point (the
+    /// LCA primitive).
+    fn access(&mut self, x: u32) -> u32 {
+        self.splay(x);
+        let r = self.nodes[x as usize].child[1];
+        if r != NIL {
+            let rt = self.nodes[r as usize].tot;
+            let nx = &mut self.nodes[x as usize];
+            nx.vsub = nx.vsub.wrapping_add(rt);
+            nx.child[1] = NIL;
+            self.pull(x);
+        }
+        let mut last = x;
+        loop {
+            let w = self.nodes[x as usize].parent;
+            if w == NIL {
+                break;
+            }
+            self.splay(w);
+            let r = self.nodes[w as usize].child[1];
+            if r != NIL {
+                let rt = self.nodes[r as usize].tot;
+                self.nodes[w as usize].vsub = self.nodes[w as usize].vsub.wrapping_add(rt);
+            }
+            let xt = self.nodes[x as usize].tot;
+            let nw = &mut self.nodes[w as usize];
+            nw.vsub = nw.vsub.wrapping_sub(xt);
+            nw.child[1] = x;
+            self.pull(w);
+            last = w;
+            self.splay(x);
+        }
+        last
+    }
+
+    /// Make `x` the root of its represented tree.
+    fn make_root(&mut self, x: u32) {
+        self.access(x);
+        self.nodes[x as usize].flip ^= true;
+        self.push(x);
+    }
+
+    /// Root of `x`'s represented tree (splayed for amortization).
+    fn find_root(&mut self, x: u32) -> u32 {
+        self.access(x);
+        let mut cur = x;
+        self.push(cur);
+        while self.nodes[cur as usize].child[0] != NIL {
+            cur = self.nodes[cur as usize].child[0];
+            self.push(cur);
+        }
+        self.splay(cur);
+        cur
+    }
+
+    /// Splay root of `x` (climbs child links only; does not restructure,
+    /// so the climb is unpaid — the caller must splay the climbed node
+    /// afterwards to keep the amortized bound).
+    fn splay_top(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.nodes[x as usize].parent;
+            if p == NIL
+                || (self.nodes[p as usize].child[0] != x && self.nodes[p as usize].child[1] != x)
+            {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Evert `u`, access `v`; true iff they are connected, in which case
+    /// `v`'s splay tree is exactly the `u..v` path — callers read `v`'s
+    /// aggregates before the next operation. Connectivity is `O(1)` on
+    /// top of the two accesses: `make_root(u)` leaves `u` parentless,
+    /// and the only operation since — `access(v)` — gives `u` a parent
+    /// iff it pulls `u` onto `v`'s preferred path, i.e. iff the two
+    /// vertices share a tree.
+    fn expose(&mut self, u: u32, v: u32) -> bool {
+        debug_assert_ne!(u, v, "callers special-case self pairs");
+        self.make_root(u);
+        self.access(v);
+        self.nodes[u as usize].parent != NIL
+    }
+
+    fn connected_nodes(&mut self, u: u32, v: u32) -> bool {
+        u == v || self.expose(u, v)
+    }
+
+    // ---------------------------------------------------------------
+    // structural updates
+    // ---------------------------------------------------------------
+
+    fn alloc_edge(&mut self, e: EdgeRef<u64>) -> u32 {
+        let mut node = Node::vertex();
+        node.edge = Some(e);
+        node.psum = e.w;
+        node.pmin = Some(e);
+        node.pmax = Some(e);
+        node.tot = e.w;
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn do_link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
+        if !self.in_range(u) {
+            return Err(ForestError::VertexOutOfRange { v: u, n: self.n });
+        }
+        if !self.in_range(v) {
+            return Err(ForestError::VertexOutOfRange { v, n: self.n });
+        }
+        if u == v {
+            return Err(ForestError::SelfLoop { v });
+        }
+        if self.edges.contains_key(&key(u, v)) {
+            return Err(ForestError::DuplicateEdge { u, v });
+        }
+        if let Some(cap) = self.cap {
+            for x in [u, v] {
+                if self.degree[x as usize] as usize >= cap {
+                    return Err(ForestError::DegreeOverflow { v: x });
+                }
+            }
+        }
+        if self.connected_nodes(u, v) {
+            return Err(ForestError::WouldCreateCycle { u, v });
+        }
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        let e = self.alloc_edge(EdgeRef { u: a, v: b, w });
+        // Hang u's everted tree under the edge node, then the edge node
+        // under v — both as virtual children of an accessed root.
+        self.make_root(u);
+        let ut = self.nodes[u as usize].tot;
+        self.nodes[u as usize].parent = e;
+        self.nodes[e as usize].vsub = self.nodes[e as usize].vsub.wrapping_add(ut);
+        self.pull(e);
+        self.access(v);
+        let et = self.nodes[e as usize].tot;
+        self.nodes[e as usize].parent = v;
+        self.nodes[v as usize].vsub = self.nodes[v as usize].vsub.wrapping_add(et);
+        self.pull(v);
+        self.edges.insert(key(u, v), e);
+        self.degree[u as usize] += 1;
+        self.degree[v as usize] += 1;
+        Ok(())
+    }
+
+    fn do_cut(&mut self, u: Vertex, v: Vertex) -> Result<(), ForestError> {
+        if !self.in_range(u) {
+            return Err(ForestError::VertexOutOfRange { v: u, n: self.n });
+        }
+        if !self.in_range(v) {
+            return Err(ForestError::VertexOutOfRange { v, n: self.n });
+        }
+        let Some(&e) = self.edges.get(&key(u, v)) else {
+            return Err(ForestError::MissingEdge { u, v });
+        };
+        // Split above the edge node (detaching u's side), then above v.
+        self.make_root(u);
+        self.access(e);
+        let a = self.nodes[e as usize].child[0];
+        debug_assert_ne!(a, NIL, "edge node has a path predecessor");
+        self.nodes[e as usize].child[0] = NIL;
+        self.nodes[a as usize].parent = NIL;
+        self.pull(e);
+        self.access(v);
+        let b = self.nodes[v as usize].child[0];
+        debug_assert_eq!(b, e, "edge node is v's path predecessor");
+        self.nodes[v as usize].child[0] = NIL;
+        self.nodes[e as usize].parent = NIL;
+        self.pull(v);
+        debug_assert_eq!(self.nodes[e as usize].vsub, 0, "freed edge is isolated");
+        self.edges.remove(&key(u, v));
+        self.degree[u as usize] -= 1;
+        self.degree[v as usize] -= 1;
+        self.free.push(e);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // validation (test support)
+    // ---------------------------------------------------------------
+
+    /// Check structural and aggregate invariants of the whole splay
+    /// forest (child/parent symmetry, aggregate recomputation, `vsub`
+    /// vs. actual virtual children). `O(n)`; test support.
+    pub fn validate(&self) -> Result<(), String> {
+        let live = |i: u32| -> bool {
+            (i as usize) < self.n
+                || (self.nodes[i as usize].edge.is_some() && !self.free.contains(&i))
+        };
+        let mut vsub_actual: HashMap<u32, u64> = HashMap::new();
+        for i in 0..self.nodes.len() as u32 {
+            if !live(i) {
+                continue;
+            }
+            let nd = &self.nodes[i as usize];
+            for c in nd.child {
+                if c != NIL && self.nodes[c as usize].parent != i {
+                    return Err(format!("node {i}: child {c} parent back-link broken"));
+                }
+            }
+            let p = nd.parent;
+            if p != NIL
+                && self.nodes[p as usize].child[0] != i
+                && self.nodes[p as usize].child[1] != i
+            {
+                // Virtual child: contributes to p's vsub.
+                *vsub_actual.entry(p).or_insert(0) = vsub_actual
+                    .get(&p)
+                    .copied()
+                    .unwrap_or(0)
+                    .wrapping_add(nd.tot);
+            }
+        }
+        for i in 0..self.nodes.len() as u32 {
+            if !live(i) {
+                continue;
+            }
+            let nd = &self.nodes[i as usize];
+            let expect = vsub_actual.get(&i).copied().unwrap_or(0);
+            if nd.vsub != expect {
+                return Err(format!("node {i}: vsub {} != actual {}", nd.vsub, expect));
+            }
+            let (own_ps, own_e) = match nd.edge {
+                Some(e) => (e.w, Some(e)),
+                None => (0, None),
+            };
+            let mut psum = own_ps;
+            let mut pmin = own_e;
+            let mut pmax = own_e;
+            let mut tot = nd.vweight.wrapping_add(own_ps).wrapping_add(nd.vsub);
+            for c in nd.child {
+                if c != NIL {
+                    let nc = &self.nodes[c as usize];
+                    psum = psum.wrapping_add(nc.psum);
+                    pmin = pick_min(pmin, nc.pmin);
+                    pmax = pick_max(pmax, nc.pmax);
+                    tot = tot.wrapping_add(nc.tot);
+                }
+            }
+            if psum != nd.psum || pmin != nd.pmin || pmax != nd.pmax || tot != nd.tot {
+                return Err(format!("node {i}: stale aggregates"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for LctForest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LctForest(n={}, edges={})", self.n, self.edges.len())
+    }
+}
+
+impl DynamicForest for LctForest {
+    fn backend_name(&self) -> &'static str {
+        "lct"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn max_degree(&self) -> Option<usize> {
+        self.cap
+    }
+
+    fn link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
+        self.do_link(u, v, w)
+    }
+
+    fn cut(&mut self, u: Vertex, v: Vertex) -> Result<(), ForestError> {
+        self.do_cut(u, v)
+    }
+
+    fn set_edge_weight(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
+        if !self.in_range(u) || !self.in_range(v) {
+            return Err(ForestError::MissingEdge { u, v });
+        }
+        let Some(&e) = self.edges.get(&key(u, v)) else {
+            return Err(ForestError::MissingEdge { u, v });
+        };
+        self.access(e);
+        let er = self.nodes[e as usize].edge.as_mut().expect("edge node");
+        er.w = w;
+        self.pull(e);
+        Ok(())
+    }
+
+    fn set_vertex_weight(&mut self, v: Vertex, w: u64) -> Result<(), ForestError> {
+        if !self.in_range(v) {
+            return Err(ForestError::VertexOutOfRange { v, n: self.n });
+        }
+        self.access(v);
+        self.nodes[v as usize].vweight = w;
+        self.pull(v);
+        Ok(())
+    }
+
+    fn set_mark(&mut self, v: Vertex, marked: bool) -> Result<(), ForestError> {
+        if !self.in_range(v) {
+            return Err(ForestError::VertexOutOfRange { v, n: self.n });
+        }
+        if marked {
+            self.marked.insert(v);
+        } else {
+            self.marked.remove(&v);
+        }
+        Ok(())
+    }
+
+    fn connected(&mut self, u: Vertex, v: Vertex) -> bool {
+        self.in_range(u) && self.in_range(v) && self.connected_nodes(u, v)
+    }
+
+    fn representative(&mut self, v: Vertex) -> Option<Vertex> {
+        if !self.in_range(v) {
+            return None;
+        }
+        let r = self.find_root(v);
+        debug_assert!((r as usize) < self.n, "tree roots are vertices");
+        Some(r)
+    }
+
+    fn path_sum(&mut self, u: Vertex, v: Vertex) -> Option<u64> {
+        self.path_extrema(u, v).map(|p| p.sum)
+    }
+
+    fn path_extrema(&mut self, u: Vertex, v: Vertex) -> Option<PathSummary> {
+        if !self.in_range(u) || !self.in_range(v) {
+            return None;
+        }
+        if u == v {
+            return Some(PathSummary::identity());
+        }
+        if !self.expose(u, v) {
+            return None;
+        }
+        let nv = &self.nodes[v as usize];
+        Some(PathSummary {
+            sum: nv.psum,
+            min: nv.pmin,
+            max: nv.pmax,
+        })
+    }
+
+    fn lca(&mut self, u: Vertex, v: Vertex, r: Vertex) -> Option<Vertex> {
+        if [u, v, r].iter().any(|&x| !self.in_range(x)) {
+            return None;
+        }
+        self.make_root(r);
+        self.access(u);
+        if u != r && self.nodes[r as usize].parent == NIL {
+            return None; // u not connected to r (the O(1) expose check)
+        }
+        let last = self.access(v);
+        // The O(1) check is spent (access(u) may already have chained
+        // `r`), so climb to r's splay root — and splay `r` afterwards to
+        // pay for the climb.
+        let v_connected = self.splay_top(r) == v;
+        self.splay(r);
+        if !v_connected {
+            return None;
+        }
+        debug_assert!(
+            (last as usize) < self.n,
+            "paths between vertices branch at vertices"
+        );
+        Some(last)
+    }
+
+    fn subtree_sum(&mut self, v: Vertex, parent: Vertex) -> Option<u64> {
+        if !self.in_range(v) || !self.in_range(parent) || !self.has_edge(v, parent) {
+            return None;
+        }
+        self.make_root(parent);
+        self.access(v);
+        let nv = &self.nodes[v as usize];
+        Some(nv.vweight.wrapping_add(nv.vsub))
+    }
+
+    fn nearest_marked(&mut self, v: Vertex) -> Option<(u64, Vertex)> {
+        if !self.in_range(v) {
+            return None;
+        }
+        // Baseline-quality scan: O(marked · log n) amortized. The marked
+        // set is iterated in id order, and the (distance, vertex) minimum
+        // reproduces the deterministic tie-break of the RC aggregates.
+        let marks: Vec<Vertex> = self.marked.iter().copied().collect();
+        let mut best: Option<(u64, Vertex)> = None;
+        for m in marks {
+            let d = if m == v {
+                0
+            } else {
+                if !self.expose(v, m) {
+                    continue; // different component
+                }
+                self.nodes[m as usize].psum
+            };
+            let cand = (d, m);
+            best = Some(match best {
+                None => cand,
+                Some(b) => b.min(cand),
+            });
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::NaiveStdForest;
+    use rc_parlay::rng::SplitMix64;
+
+    fn path(n: u32) -> LctForest {
+        let mut f = LctForest::new(n as usize);
+        for i in 0..n - 1 {
+            f.do_link(i, i + 1, (i + 1) as u64).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn path_queries_on_a_path() {
+        let mut f = path(10);
+        f.validate().unwrap();
+        assert_eq!(f.path_sum(0, 9), Some(45));
+        assert_eq!(f.path_sum(3, 3), Some(0));
+        let p = f.path_extrema(2, 7).unwrap();
+        assert_eq!(p.sum, 3 + 4 + 5 + 6 + 7);
+        assert_eq!(
+            (p.min.unwrap().u, p.min.unwrap().v, p.min.unwrap().w),
+            (2, 3, 3)
+        );
+        assert_eq!(p.max.unwrap().w, 7);
+        assert!(f.connected(0, 9));
+        assert!(!f.connected(0, 10));
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn link_cut_roundtrip() {
+        let mut f = path(8);
+        f.do_cut(3, 4).unwrap();
+        f.validate().unwrap();
+        assert!(!f.connected(0, 7));
+        assert_eq!(f.path_sum(0, 3), Some(1 + 2 + 3));
+        assert_eq!(f.path_sum(4, 7), Some(5 + 6 + 7));
+        assert_eq!(f.path_sum(0, 7), None);
+        f.do_link(0, 7, 100).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.path_sum(3, 4), Some(1 + 2 + 3 + 100 + 7 + 6 + 5));
+        assert_eq!(f.num_edges(), 7);
+    }
+
+    #[test]
+    fn error_contract_matches_rc_order() {
+        let mut f = LctForest::with_max_degree(6, Some(3));
+        for v in 1..=3 {
+            f.do_link(0, v, 1).unwrap();
+        }
+        assert_eq!(f.do_link(0, 0, 1), Err(ForestError::SelfLoop { v: 0 }));
+        assert_eq!(
+            f.do_link(0, 1, 9),
+            Err(ForestError::DuplicateEdge { u: 0, v: 1 })
+        );
+        assert_eq!(
+            f.do_link(0, 4, 1),
+            Err(ForestError::DegreeOverflow { v: 0 })
+        );
+        assert_eq!(
+            f.do_link(1, 2, 1),
+            Err(ForestError::WouldCreateCycle { u: 1, v: 2 })
+        );
+        assert_eq!(
+            f.do_link(9, 0, 1),
+            Err(ForestError::VertexOutOfRange { v: 9, n: 6 })
+        );
+        assert_eq!(f.do_cut(1, 2), Err(ForestError::MissingEdge { u: 1, v: 2 }));
+        assert_eq!(
+            f.set_edge_weight(0, 9, 1),
+            Err(ForestError::MissingEdge { u: 0, v: 9 })
+        );
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn lca_on_star_and_path() {
+        let mut f = LctForest::new(7);
+        for v in 1..7 {
+            f.do_link(0, v, 1).unwrap();
+        }
+        assert_eq!(f.lca(1, 2, 3), Some(0));
+        assert_eq!(f.lca(1, 0, 3), Some(0));
+        assert_eq!(f.lca(4, 4, 5), Some(4));
+        assert_eq!(f.lca(1, 2, 1), Some(1));
+        let mut p = path(6);
+        assert_eq!(p.lca(0, 5, 2), Some(2));
+        assert_eq!(p.lca(0, 1, 5), Some(1));
+        p.do_cut(2, 3).unwrap();
+        assert_eq!(p.lca(0, 5, 2), None);
+    }
+
+    #[test]
+    fn subtree_sums_with_vertex_weights() {
+        // Star with center 0, leaves 1..=4, edge weight 1, vweight 10*id.
+        let mut f = LctForest::new(5);
+        for v in 1..5u32 {
+            f.do_link(0, v, 1).unwrap();
+        }
+        for v in 0..5u32 {
+            f.set_vertex_weight(v, v as u64 * 10).unwrap();
+        }
+        assert_eq!(f.subtree_sum(0, 1), Some(20 + 30 + 40 + 3));
+        assert_eq!(f.subtree_sum(3, 0), Some(30));
+        assert_eq!(f.subtree_sum(1, 2), None, "not adjacent");
+        assert_eq!(f.subtree_sum(1, 1), None, "self pair");
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn nearest_marked_scan() {
+        let mut f = path(8); // weights i+1
+        assert_eq!(f.nearest_marked(4), None);
+        f.set_mark(0, true).unwrap();
+        f.set_mark(7, true).unwrap();
+        assert_eq!(f.nearest_marked(2), Some((1 + 2, 0)));
+        assert_eq!(f.nearest_marked(6), Some((7, 7)));
+        assert_eq!(f.nearest_marked(0), Some((0, 0)));
+        f.do_cut(3, 4).unwrap();
+        assert_eq!(f.nearest_marked(4), Some((5 + 6 + 7, 7)));
+        f.set_mark(7, false).unwrap();
+        assert_eq!(f.nearest_marked(4), None);
+    }
+
+    #[test]
+    fn representative_consistency() {
+        let mut f = path(10);
+        f.do_cut(4, 5).unwrap();
+        let r0 = f.representative(0).unwrap();
+        let r4 = f.representative(4).unwrap();
+        let r5 = f.representative(5).unwrap();
+        assert_eq!(r0, r4);
+        assert_ne!(r4, r5);
+        assert_eq!(f.representative(10), None);
+    }
+
+    #[test]
+    fn edge_weight_updates_propagate() {
+        let mut f = path(6);
+        f.set_edge_weight(2, 3, 77).unwrap();
+        assert_eq!(f.path_sum(0, 5), Some(1 + 2 + 77 + 4 + 5));
+        let p = f.path_extrema(0, 5).unwrap();
+        assert_eq!(p.max.unwrap().w, 77);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn randomized_vs_naive_oracle() {
+        let n = 64usize;
+        let mut lct = LctForest::with_max_degree(n, Some(3));
+        let mut naive = NaiveStdForest::with_max_degree(n, Some(3));
+        let mut rng = SplitMix64::new(0xD1FF);
+        for round in 0..4_000u32 {
+            let u = rng.next_below(n as u64 + 4) as u32;
+            let v = rng.next_below(n as u64 + 4) as u32;
+            let r = rng.next_below(n as u64) as u32;
+            let w = 1 + rng.next_below(50);
+            match rng.next_below(12) {
+                0..=2 => {
+                    assert_eq!(lct.link(u, v, w), naive.link(u, v, w), "round {round} link");
+                }
+                3 | 4 => {
+                    assert_eq!(lct.cut(u, v), naive.cut(u, v), "round {round} cut");
+                }
+                5 => {
+                    assert_eq!(
+                        lct.set_edge_weight(u, v, w),
+                        naive.set_edge_weight(u, v, w),
+                        "round {round} sew"
+                    );
+                }
+                6 => {
+                    assert_eq!(
+                        lct.set_vertex_weight(u, w),
+                        naive.set_vertex_weight(u, w),
+                        "round {round} svw"
+                    );
+                    let m = rng.next_f64() < 0.3;
+                    assert_eq!(lct.set_mark(v, m), naive.set_mark(v, m));
+                }
+                7 => {
+                    assert_eq!(
+                        lct.connected(u, v),
+                        naive.connected(u, v),
+                        "round {round} conn"
+                    );
+                    assert_eq!(
+                        lct.nearest_marked(u),
+                        naive.nearest_marked(u),
+                        "round {round} near"
+                    );
+                }
+                8 => {
+                    assert_eq!(
+                        lct.path_extrema(u, v),
+                        naive.path_extrema(u, v),
+                        "round {round} extrema {u} {v}"
+                    );
+                }
+                9 => {
+                    assert_eq!(lct.lca(u, v, r), naive.lca(u, v, r), "round {round} lca");
+                }
+                10 => {
+                    assert_eq!(
+                        lct.subtree_sum(u, v),
+                        naive.subtree_sum(u, v),
+                        "round {round} subtree"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        lct.path_sum(u, v),
+                        naive.path_sum(u, v),
+                        "round {round} psum"
+                    );
+                }
+            }
+            if round % 512 == 0 {
+                lct.validate()
+                    .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            }
+        }
+        lct.validate().unwrap();
+    }
+}

@@ -1,7 +1,7 @@
 //! Semisort / group-by (§2.1).
 //!
 //! A semisort groups equal keys together without fully ordering them. The
-//! paper uses the expected-linear-work semisort of [48]; we hash keys to
+//! paper uses the expected-linear-work semisort of \[48\]; we hash keys to
 //! 64 bits and sort by hash, which has the same interface and, for the
 //! word-sized keys used throughout this workspace, differs only by the
 //! `O(log n)` comparison-sort factor (documented in DESIGN.md §4). Groups

@@ -1,269 +1,21 @@
-//! The combined serving aggregate: one forest answering every family.
+//! The serving aggregate — the standard combined aggregate of `rc-core`.
 //!
-//! The core query families are gated by capability traits that a single
-//! aggregate type must implement simultaneously; [`ServeAgg`] composes the
-//! four building blocks — [`SumAgg`] (path/subtree sums), [`MinEdgeAgg`] /
-//! [`MaxEdgeAgg`] (bottlenecks, compressed path trees) and
-//! [`NearestMarkedAgg`] (nearest-marked) — over one shared vertex weight
-//! ([`ServeVertexWeight`]: a `u64` weight plus the mark bit) and `u64` edge
-//! weights.
-//!
-//! # The product path monoid
-//!
-//! [`PathSummary`] is the componentwise product of the sum and min/max
-//! path monoids. The group operations ([`GroupPathAggregate`]) are exact
-//! on the `sum` component only — extrema have no inverses, so their
-//! components of `batch_path_aggregate` answers are meaningless and the
-//! serve layer never reads them there. `batch_path_extrema` and
-//! compressed path trees use only `path_combine` over genuine cluster
-//! paths, where every component is exact.
+//! The combined sum + min/max-edge + nearest-marked aggregate originally
+//! lived here; it is now [`rc_core::StdAgg`] (the weight model of the
+//! [`rc_core::DynamicForest`] backend trait), re-exported under the
+//! historical serve-layer names. See `rc_core::aggregates::std_agg` for
+//! the product-monoid caveats (`GroupPathAggregate` is exact on `sum`
+//! only).
 
-use rc_core::aggregate::{ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate};
-use rc_core::{
-    EdgeRef, MaxEdgeAgg, MinEdgeAgg, NearestMarkedAgg, NearestMarkedAggregate, RcForest, SumAgg,
-    Vertex,
-};
+pub use rc_core::aggregates::std_agg::PathSummary;
+use rc_core::RcForest;
+
+/// The combined serving aggregate (alias of [`rc_core::StdAgg`]).
+pub type ServeAgg = rc_core::StdAgg;
+
+/// Vertex payload: additive weight + mark bit (alias of
+/// [`rc_core::StdVertexWeight`]).
+pub type ServeVertexWeight = rc_core::StdVertexWeight;
 
 /// The forest type served by the coalescer.
 pub type ServeForest = RcForest<ServeAgg>;
-
-/// Vertex payload: an additive weight (subtree sums) plus the mark bit
-/// (nearest-marked queries).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct ServeVertexWeight {
-    /// Additive vertex weight, counted by subtree sums.
-    pub weight: u64,
-    /// Mark for nearest-marked queries.
-    pub marked: bool,
-}
-
-/// Product path value: exact `sum`, `min` and `max` over a path's edges.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct PathSummary {
-    /// Sum of edge weights (wrapping group).
-    pub sum: u64,
-    /// Lightest edge with endpoints (`None` on an empty path).
-    pub min: Option<EdgeRef<u64>>,
-    /// Heaviest edge with endpoints (`None` on an empty path).
-    pub max: Option<EdgeRef<u64>>,
-}
-
-/// Augmented value combining sums, extrema and nearest-marked records.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub struct ServeAgg {
-    sum: SumAgg<u64>,
-    min: MinEdgeAgg<u64>,
-    max: MaxEdgeAgg<u64>,
-    nm: NearestMarkedAgg,
-}
-
-/// Collect per-component rake references without re-allocating per child
-/// (rakes are at most `MAX_DEGREE` long).
-macro_rules! split_rakes {
-    ($rakes:expr => $sum:ident, $min:ident, $max:ident, $nm:ident) => {
-        let $sum: Vec<&SumAgg<u64>> = $rakes.iter().map(|r| &r.sum).collect();
-        let $min: Vec<&MinEdgeAgg<u64>> = $rakes.iter().map(|r| &r.min).collect();
-        let $max: Vec<&MaxEdgeAgg<u64>> = $rakes.iter().map(|r| &r.max).collect();
-        let $nm: Vec<&NearestMarkedAgg> = $rakes.iter().map(|r| &r.nm).collect();
-    };
-}
-
-impl ClusterAggregate for ServeAgg {
-    type VertexWeight = ServeVertexWeight;
-    type EdgeWeight = u64;
-
-    fn base_edge(u: Vertex, v: Vertex, w: &u64) -> Self {
-        ServeAgg {
-            sum: SumAgg::base_edge(u, v, w),
-            min: MinEdgeAgg::base_edge(u, v, w),
-            max: MaxEdgeAgg::base_edge(u, v, w),
-            nm: NearestMarkedAgg::base_edge(u, v, w),
-        }
-    }
-
-    fn compress(
-        v: Vertex,
-        vw: &ServeVertexWeight,
-        a: Vertex,
-        left: &Self,
-        b: Vertex,
-        right: &Self,
-        rakes: &[&Self],
-    ) -> Self {
-        split_rakes!(rakes => rs, rmin, rmax, rnm);
-        ServeAgg {
-            sum: SumAgg::compress(v, &vw.weight, a, &left.sum, b, &right.sum, &rs),
-            min: MinEdgeAgg::compress(v, &(), a, &left.min, b, &right.min, &rmin),
-            max: MaxEdgeAgg::compress(v, &(), a, &left.max, b, &right.max, &rmax),
-            nm: NearestMarkedAgg::compress(v, &vw.marked, a, &left.nm, b, &right.nm, &rnm),
-        }
-    }
-
-    fn rake(v: Vertex, vw: &ServeVertexWeight, u: Vertex, edge: &Self, rakes: &[&Self]) -> Self {
-        split_rakes!(rakes => rs, rmin, rmax, rnm);
-        ServeAgg {
-            sum: SumAgg::rake(v, &vw.weight, u, &edge.sum, &rs),
-            min: MinEdgeAgg::rake(v, &(), u, &edge.min, &rmin),
-            max: MaxEdgeAgg::rake(v, &(), u, &edge.max, &rmax),
-            nm: NearestMarkedAgg::rake(v, &vw.marked, u, &edge.nm, &rnm),
-        }
-    }
-
-    fn finalize(v: Vertex, vw: &ServeVertexWeight, rakes: &[&Self]) -> Self {
-        split_rakes!(rakes => rs, rmin, rmax, rnm);
-        ServeAgg {
-            sum: SumAgg::finalize(v, &vw.weight, &rs),
-            min: MinEdgeAgg::finalize(v, &(), &rmin),
-            max: MaxEdgeAgg::finalize(v, &(), &rmax),
-            nm: NearestMarkedAgg::finalize(v, &vw.marked, &rnm),
-        }
-    }
-}
-
-impl PathAggregate for ServeAgg {
-    type PathVal = PathSummary;
-
-    fn path_identity() -> PathSummary {
-        PathSummary {
-            sum: 0,
-            min: None,
-            max: None,
-        }
-    }
-
-    fn path_combine(a: &PathSummary, b: &PathSummary) -> PathSummary {
-        PathSummary {
-            sum: <SumAgg<u64> as PathAggregate>::path_combine(&a.sum, &b.sum),
-            min: <MinEdgeAgg<u64> as PathAggregate>::path_combine(&a.min, &b.min),
-            max: <MaxEdgeAgg<u64> as PathAggregate>::path_combine(&a.max, &b.max),
-        }
-    }
-
-    fn cluster_path(&self) -> PathSummary {
-        PathSummary {
-            sum: self.sum.cluster_path(),
-            min: self.min.cluster_path(),
-            max: self.max.cluster_path(),
-        }
-    }
-
-    fn edge_path_value(w: &u64) -> PathSummary {
-        PathSummary {
-            sum: *w,
-            min: None,
-            max: None,
-        }
-    }
-}
-
-impl GroupPathAggregate for ServeAgg {
-    /// Exact on `sum` only; `min`/`max` have no inverses and answer the
-    /// identity (their components of root-path-trick results are
-    /// meaningless — read extrema via `batch_path_extrema` instead).
-    fn path_inverse(a: &PathSummary) -> PathSummary {
-        PathSummary {
-            sum: <SumAgg<u64> as GroupPathAggregate>::path_inverse(&a.sum),
-            min: None,
-            max: None,
-        }
-    }
-}
-
-impl SubtreeAggregate for ServeAgg {
-    type SubtreeVal = u64;
-
-    fn subtree_identity() -> u64 {
-        0
-    }
-
-    fn subtree_combine(a: &u64, b: &u64) -> u64 {
-        a.wrapping_add(*b)
-    }
-
-    fn cluster_total(&self) -> u64 {
-        <SumAgg<u64> as SubtreeAggregate>::cluster_total(&self.sum)
-    }
-
-    fn vertex_value(_v: Vertex, vw: &ServeVertexWeight) -> u64 {
-        vw.weight
-    }
-}
-
-impl NearestMarkedAggregate for ServeAgg {
-    fn nearest(&self) -> &NearestMarkedAgg {
-        &self.nm
-    }
-
-    fn is_marked_weight(vw: &ServeVertexWeight) -> bool {
-        vw.marked
-    }
-
-    fn with_mark(vw: &ServeVertexWeight, marked: bool) -> ServeVertexWeight {
-        ServeVertexWeight {
-            weight: vw.weight,
-            marked,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rc_core::BuildOptions;
-
-    fn path_forest(n: u32) -> ServeForest {
-        let edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i, i + 1, (i + 1) as u64)).collect();
-        ServeForest::build_edges(n as usize, &edges, BuildOptions::default()).unwrap()
-    }
-
-    #[test]
-    fn one_forest_answers_every_family() {
-        let mut f = path_forest(10);
-        // Path sums via the group trick.
-        assert_eq!(
-            f.batch_path_aggregate(&[(0, 9)])[0].map(|p| p.sum),
-            Some(45)
-        );
-        // Extrema via compressed path trees.
-        let ex = f.batch_path_extrema(&[(2, 7)]);
-        let p = ex[0].unwrap();
-        assert_eq!(p.min.unwrap().w, 3);
-        assert_eq!(p.max.unwrap().w, 7);
-        assert_eq!(p.sum, 3 + 4 + 5 + 6 + 7);
-        // Connectivity / LCA.
-        assert!(f.batch_connected(&[(0, 9)])[0]);
-        assert_eq!(f.batch_lca(&[(2, 5, 9)]), vec![Some(5)]);
-        // Subtree sums with vertex weights.
-        f.update_vertex_weights(&[(
-            9,
-            ServeVertexWeight {
-                weight: 100,
-                marked: false,
-            },
-        )])
-        .unwrap();
-        assert_eq!(f.batch_subtree_aggregate(&[(9, 8)]), vec![Some(100)]);
-        assert_eq!(f.batch_subtree_aggregate(&[(8, 7)]), vec![Some(100 + 9)]);
-        // Nearest-marked.
-        f.batch_mark(&[0]).unwrap();
-        assert_eq!(f.batch_nearest_marked(&[3]), vec![Some((1 + 2 + 3, 0))]);
-        // Marking does not disturb sums.
-        assert_eq!(
-            f.batch_path_aggregate(&[(0, 9)])[0].map(|p| p.sum),
-            Some(45)
-        );
-    }
-
-    #[test]
-    fn structure_updates_keep_all_components_consistent() {
-        let mut f = path_forest(16);
-        f.batch_mark(&[15]).unwrap();
-        f.batch_cut(&[(7, 8)]).unwrap();
-        assert_eq!(f.batch_path_aggregate(&[(0, 15)]), vec![None]);
-        assert_eq!(f.batch_nearest_marked(&[0]), vec![None]);
-        f.batch_link(&[(0, 15, 2)]).unwrap();
-        assert_eq!(f.batch_nearest_marked(&[0]), vec![Some((2, 15))]);
-        let ex = f.batch_path_extrema(&[(0, 8)]);
-        assert_eq!(ex[0].unwrap().min.unwrap().w, 2, "new edge is lightest");
-    }
-}

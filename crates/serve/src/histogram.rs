@@ -159,4 +159,77 @@ mod tests {
         h.record(0);
         assert_eq!(h.summary().count, 1);
     }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let h = LatencyHistogram::default();
+        h.record(5_000); // bucket [4096, 8192)
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_ns, 5_000);
+        for p in [s.p50_ns, s.p95_ns, s.p99_ns] {
+            assert!((4_096..8_192).contains(&p), "percentile {p} off-bucket");
+        }
+    }
+
+    #[test]
+    fn bucket_saturation_at_u64_max() {
+        // u64::MAX lands in the top bucket; its reported upper bound must
+        // clamp to u64::MAX instead of overflowing 2^64.
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_ns, u64::MAX);
+        assert_eq!(s.p99_ns, u64::MAX);
+        // The running sum wraps (relaxed fetch_add), but count stays exact.
+        assert_eq!(h.summary().count, 2);
+    }
+
+    #[test]
+    fn p99_on_tiny_counts_tracks_the_maximum() {
+        // With fewer than 100 samples, ceil(count * 0.99) == count, so
+        // p99 must sit in the slowest sample's bucket — one outlier among
+        // two samples is "the p99".
+        let h = LatencyHistogram::default();
+        h.record(1_000); // [512, 1024)
+        h.record(1 << 30); // [2^30, 2^31)
+        let s = h.summary();
+        assert!(s.p50_ns < 2_048, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns >= (1 << 30), "p99 {}", s.p99_ns);
+        // Rank boundary: with 99 fast + 1 slow the ceil-rank p99 target
+        // is rank 99 — still the fast bucket; a second slow sample pushes
+        // rank 100 of 101 into the slow bucket.
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1 << 30);
+        let s = h.summary();
+        assert!(s.p95_ns < 2_048, "p95 {}", s.p95_ns);
+        assert!(
+            s.p99_ns < 2_048,
+            "p99 rank 99/100 is fast, got {}",
+            s.p99_ns
+        );
+        h.record(1 << 30);
+        let s = h.summary();
+        assert!(
+            s.p99_ns >= (1 << 30),
+            "p99 rank 100/101 is slow, got {}",
+            s.p99_ns
+        );
+    }
+
+    #[test]
+    fn percentile_ordering_is_monotone() {
+        let h = LatencyHistogram::default();
+        for i in 1..=1_000u64 {
+            h.record(i * 1_000);
+        }
+        let s = h.summary();
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!(s.mean_ns > 0);
+    }
 }

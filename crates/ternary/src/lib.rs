@@ -18,6 +18,9 @@ use rc_core::aggregate::{ClusterAggregate, PathAggregate, SubtreeAggregate};
 use rc_core::{CompressedPathTree, ForestError, MarkedSweep, RcForest, Vertex};
 use rc_parlay::hashtable::{edge_key, ConcurrentMap};
 
+mod backend;
+pub use backend::{TernAgg, TernaryStdForest};
+
 /// Sentinel for "no vertex".
 const NONE32: u32 = u32::MAX;
 
@@ -499,14 +502,19 @@ impl<S: SubtreeAggregate> TernaryForest<S> {
     }
 }
 
-/// Nearest-marked queries through ternarization: marks live on real
-/// vertices; chain edges carry distance 0, so distances are preserved.
 impl TernaryForest<rc_core::NearestMarkedAgg> {
     /// Create a nearest-marked ternary forest (chain weight 0).
     pub fn new_nearest_marked(n: usize) -> Self {
         Self::new(n, 0)
     }
+}
 
+/// Nearest-marked queries through ternarization: marks live on real
+/// vertices; chain edges carry distance 0 (the identity edge weight), so
+/// distances are preserved. Available for any aggregate carrying a
+/// nearest-marked record — the plain [`rc_core::NearestMarkedAgg`] or
+/// composites such as the backend's `TernAgg`.
+impl<A: rc_core::NearestMarkedAggregate> TernaryForest<A> {
     /// Mark real vertices (out-of-range ids ignored — dummies must never
     /// carry marks).
     pub fn batch_mark(&mut self, vs: &[Vertex]) {

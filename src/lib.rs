@@ -2,18 +2,21 @@
 //!
 //! Re-exports the full public API of the workspace: the RC-tree core
 //! (`rc-core`) with its marked-subtree batch query engine
-//! ([`MarkedSweep`]), arbitrary-degree ternarization (`rc-ternary`), the
-//! forest + request-stream generator (`rc-gen`), incremental MSF
-//! (`rc-msf`) and the request-coalescing service layer (`rc-serve`,
-//! under [`serve`]). See the README for a tour and the `examples/`
-//! directory for runnable scenarios.
+//! ([`MarkedSweep`]) and the [`DynamicForest`] backend trait,
+//! arbitrary-degree ternarization (`rc-ternary`), the link-cut tree
+//! sequential baseline (`rc-lct`), the forest + request-stream generator
+//! (`rc-gen`), incremental MSF (`rc-msf`) and the request-coalescing
+//! service layer (`rc-serve`, under [`serve`]). See the README for a
+//! tour and the `examples/` directory for runnable scenarios.
 
 pub use rc_core::*;
 pub use rc_gen::{
-    paper_configs, Arrival, ChainDist, ForestGenConfig, GeneratedForest, OpMix, RequestStream,
-    RequestStreamConfig, StreamOp,
+    apply_op, assert_backends_agree, paper_configs, Arrival, ChainDist, DifferentialReport,
+    ForestGenConfig, GeneratedForest, OpMix, OpResponse, RequestStream, RequestStreamConfig,
+    StreamOp,
 };
+pub use rc_lct::LctForest;
 pub use rc_msf::{kruskal, BatchStats, IncrementalMsf, UnionFind};
 pub use rc_parlay as parlay;
 pub use rc_serve as serve;
-pub use rc_ternary::TernaryForest;
+pub use rc_ternary::{TernaryForest, TernaryStdForest};

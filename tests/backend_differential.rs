@@ -1,0 +1,118 @@
+//! Differential oracle across [`DynamicForest`] backends.
+//!
+//! Every pair of backends is driven through the same seeded request
+//! stream — structural churn, weight/mark updates, deliberately invalid
+//! ops, and all query families — and must agree on *every* response,
+//! including exact [`rcforest::ForestError`] outcomes. The headline test
+//! is `lct_vs_rc_100k`: the sequential link-cut baseline against the
+//! batch-parallel RC forest over ≥ 100k ops (the full count runs in
+//! release; debug builds run a reduced stream so `cargo test` stays
+//! quick — CI runs the release version explicitly).
+
+use rcforest::{
+    assert_backends_agree, DynamicForest, ForestGenConfig, LctForest, NaiveStdForest, OpMix,
+    RcForest, RequestStreamConfig, StdAgg, TernaryStdForest,
+};
+
+fn stream_cfg(n: usize, seed: u64, max_weight: u64) -> RequestStreamConfig {
+    RequestStreamConfig {
+        forest: ForestGenConfig {
+            n,
+            seed,
+            max_weight,
+            ..Default::default()
+        },
+        mix: OpMix::balanced(),
+        // Exercise the error paths: out-of-range ids, missing edges,
+        // duplicate links, degree overflows, cycles.
+        invalid_frac: 0.08,
+        ..Default::default()
+    }
+}
+
+/// Acceptance test: LCT vs RC agree on every response over >= 100k ops.
+#[test]
+fn lct_vs_rc_100k() {
+    let (n, ops) = if cfg!(debug_assertions) {
+        (1_200, 12_000)
+    } else {
+        (2_000, 100_000)
+    };
+    let mut rc = RcForest::<StdAgg>::new(n);
+    let mut lct = LctForest::with_max_degree(n, Some(3));
+    let report = assert_backends_agree(&mut rc, &mut lct, stream_cfg(n, 0xD1F_001, 64), ops);
+    assert_eq!(report.ops, ops);
+    assert!(report.rejected > 0, "error paths must be exercised");
+    assert!(report.updates > ops / 10 && report.queries > ops / 3);
+}
+
+/// Ground truth: LCT vs the naive oracle.
+#[test]
+fn lct_vs_naive() {
+    let n = 700;
+    let ops = if cfg!(debug_assertions) {
+        6_000
+    } else {
+        25_000
+    };
+    let mut lct = LctForest::with_max_degree(n, Some(3));
+    let mut naive = NaiveStdForest::with_max_degree(n, Some(3));
+    let report = assert_backends_agree(&mut lct, &mut naive, stream_cfg(n, 0xD1F_002, 64), ops);
+    assert!(report.rejected > 0);
+}
+
+/// Ternarized RC vs LCT, both uncapped. Weights are drawn from a large
+/// space: the ternary backend tie-breaks extreme-edge witnesses on inner
+/// (dummy) ids before mapping them back, so equal-weight edges could
+/// legitimately surface different witnesses.
+#[test]
+fn ternary_vs_lct_uncapped() {
+    let n = 500;
+    let ops = if cfg!(debug_assertions) {
+        4_000
+    } else {
+        20_000
+    };
+    let mut tern = TernaryStdForest::new_std(n);
+    let mut lct = LctForest::new(n);
+    let report = assert_backends_agree(&mut tern, &mut lct, stream_cfg(n, 0xD1F_003, 1 << 40), ops);
+    assert!(report.rejected > 0);
+}
+
+/// RC vs naive under an update-heavy mix (structural churn dominates).
+#[test]
+fn rc_vs_naive_update_heavy() {
+    let n = 600;
+    let ops = if cfg!(debug_assertions) {
+        5_000
+    } else {
+        20_000
+    };
+    let mut rc = RcForest::<StdAgg>::new(n);
+    let mut naive = NaiveStdForest::with_max_degree(n, Some(3));
+    let cfg = RequestStreamConfig {
+        mix: OpMix::update_heavy(),
+        ..stream_cfg(n, 0xD1F_004, 64)
+    };
+    let report = assert_backends_agree(&mut rc, &mut naive, cfg, ops);
+    assert!(report.updates > report.queries / 2);
+}
+
+/// Degree-overflow parity: capped backends reject the same link with the
+/// same error while an uncapped pair accepts it.
+#[test]
+fn degree_cap_parity() {
+    let mut rc = RcForest::<StdAgg>::new(8);
+    let mut lct3 = LctForest::with_max_degree(8, Some(3));
+    let mut lct = LctForest::new(8);
+    for f in [&mut lct3 as &mut dyn DynamicForest, &mut lct, &mut rc] {
+        for v in 1..=3 {
+            f.link(0, v, 1).unwrap();
+        }
+    }
+    assert_eq!(
+        DynamicForest::link(&mut rc, 0, 4, 1),
+        DynamicForest::link(&mut lct3, 0, 4, 1),
+    );
+    assert!(DynamicForest::link(&mut lct, 0, 4, 1).is_ok());
+}

@@ -3,52 +3,50 @@
 //! N client threads hammer one server with randomized, partly-invalid
 //! request streams (`rc-gen`). The server records its commit log (updates
 //! in submission order, then queries, per epoch). The oracle replays that
-//! log sequentially against `NaiveForest` + shadow vertex weights/marks
-//! and asserts that **every** response the server produced — update
-//! outcomes including exact `ForestError`s, and all seven query families —
-//! matches the sequential execution. Any lost update, phantom read, torn
-//! epoch or conflict-resolution bug shows up as a response mismatch.
+//! log sequentially against the [`DynamicForest`] backend trait's naive
+//! reference implementation ([`NaiveStdForest`]) and asserts that
+//! **every** response the server produced — update outcomes including
+//! exact `ForestError`s, and all seven query families — matches the
+//! sequential execution. Any lost update, phantom read, torn epoch or
+//! conflict-resolution bug shows up as a response mismatch.
+//!
+//! The only serve-layer semantics not inherited from the trait verbatim:
+//! `UpdateEdgeWeight` range-checks its endpoints *before* probing edge
+//! presence (the trait's `set_edge_weight` folds out-of-range ids into
+//! `MissingEdge`, matching the raw core call).
 
-use rcforest::naive::NaiveForest;
 use rcforest::serve::{
     CptResult, LogEntry, PathSummary, RcServe, Request, Response, ServeConfig, ServeForest,
 };
-use rcforest::{ForestError, RequestStream, RequestStreamConfig};
+use rcforest::{DynamicForest, ForestError, NaiveStdForest, RequestStream, RequestStreamConfig};
 use std::collections::HashMap;
 use std::time::Duration;
 
 const MAX_DEGREE: usize = 3;
 
 struct Oracle {
-    n: usize,
-    naive: NaiveForest<u64>,
-    vweights: Vec<u64>,
-    marked: Vec<bool>,
+    nv: NaiveStdForest,
 }
 
 impl Oracle {
     fn new(n: usize, edges: &[(u32, u32, u64)]) -> Self {
-        let mut naive = NaiveForest::new(n);
-        for &(u, v, w) in edges {
-            naive.link(u, v, w).expect("valid initial forest");
-        }
-        Oracle {
-            n,
-            naive,
-            vweights: vec![0; n],
-            marked: vec![false; n],
-        }
+        let mut nv = NaiveStdForest::with_max_degree(n, Some(MAX_DEGREE));
+        nv.batch_link(edges).expect("valid initial forest");
+        Oracle { nv }
     }
 
     fn in_range(&self, v: u32) -> bool {
-        (v as usize) < self.n
+        (v as usize) < self.nv.num_vertices()
     }
 
     fn range_check(&self, v: u32) -> Result<(), ForestError> {
         if self.in_range(v) {
             Ok(())
         } else {
-            Err(ForestError::VertexOutOfRange { v, n: self.n })
+            Err(ForestError::VertexOutOfRange {
+                v,
+                n: self.nv.num_vertices(),
+            })
         }
     }
 
@@ -56,106 +54,27 @@ impl Oracle {
     /// check order; applies the op on success.
     fn apply_update(&mut self, req: &Request) -> Result<(), ForestError> {
         match *req {
-            Request::Link { u, v, w } => {
-                self.range_check(u)?;
-                self.range_check(v)?;
-                if u == v {
-                    return Err(ForestError::SelfLoop { v });
-                }
-                if self.naive.edge_weight(u, v).is_some() {
-                    return Err(ForestError::DuplicateEdge { u, v });
-                }
-                for x in [u, v] {
-                    if self.naive.degree(x) >= MAX_DEGREE {
-                        return Err(ForestError::DegreeOverflow { v: x });
-                    }
-                }
-                if self.naive.connected(u, v) {
-                    return Err(ForestError::WouldCreateCycle { u, v });
-                }
-                self.naive.link(u, v, w).expect("checked link");
-                Ok(())
-            }
-            Request::Cut { u, v } => {
-                self.range_check(u)?;
-                self.range_check(v)?;
-                if self.naive.edge_weight(u, v).is_none() {
-                    return Err(ForestError::MissingEdge { u, v });
-                }
-                self.naive.cut(u, v).expect("checked cut");
-                Ok(())
-            }
+            Request::Link { u, v, w } => self.nv.link(u, v, w),
+            Request::Cut { u, v } => self.nv.cut(u, v),
             Request::UpdateEdgeWeight { u, v, w } => {
                 self.range_check(u)?;
                 self.range_check(v)?;
-                if self.naive.edge_weight(u, v).is_none() {
-                    return Err(ForestError::MissingEdge { u, v });
-                }
-                let old = self.naive.cut(u, v).expect("exists");
-                let _ = old;
-                self.naive.link(u, v, w).expect("relink");
-                Ok(())
+                self.nv.set_edge_weight(u, v, w)
             }
-            Request::UpdateVertexWeight { v, w } => {
-                self.range_check(v)?;
-                self.vweights[v as usize] = w;
-                Ok(())
-            }
-            Request::Mark { v } => {
-                self.range_check(v)?;
-                self.marked[v as usize] = true;
-                Ok(())
-            }
-            Request::Unmark { v } => {
-                self.range_check(v)?;
-                self.marked[v as usize] = false;
-                Ok(())
-            }
+            Request::UpdateVertexWeight { v, w } => self.nv.set_vertex_weight(v, w),
+            Request::Mark { v } => self.nv.set_mark(v, true),
+            Request::Unmark { v } => self.nv.set_mark(v, false),
             _ => unreachable!("query in update replay"),
         }
     }
 
-    /// Path edges with endpoints, for bottleneck/CPT verification.
-    fn path_edge_refs(&self, u: u32, v: u32) -> Option<Vec<(u64, u32, u32)>> {
-        let p = self.naive.path_vertices(u, v)?;
-        Some(
-            p.windows(2)
-                .map(|w| {
-                    let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
-                    (*self.naive.edge_weight(a, b).expect("path edge"), a, b)
-                })
-                .collect(),
-        )
-    }
-
-    fn expected_extrema(&self, u: u32, v: u32) -> Option<PathSummary> {
-        if !self.in_range(u) || !self.in_range(v) {
-            return None;
-        }
-        let edges = self.path_edge_refs(u, v)?;
-        let sum = edges.iter().fold(0u64, |a, e| a.wrapping_add(e.0));
-        let min = edges.iter().min().copied();
-        let max = edges.iter().max().copied();
-        let to_ref = |e: (u64, u32, u32)| rcforest::EdgeRef {
-            u: e.1,
-            v: e.2,
-            w: e.0,
-        };
-        Some(PathSummary {
-            sum,
-            min: min.map(to_ref),
-            max: max.map(to_ref),
-        })
-    }
-
-    fn check_query(&self, entry: &LogEntry, repr_seen: &mut HashMap<u32, u32>) {
+    fn check_query(&mut self, entry: &LogEntry, repr_seen: &mut HashMap<u32, u32>) {
         let req = &entry.request;
         let resp = &entry.response;
         let ctx = || format!("epoch {} seq {} {:?}", entry.epoch, entry.seq, req);
         match *req {
             Request::Connected { u, v } => {
-                let want = self.in_range(u) && self.in_range(v) && self.naive.connected(u, v);
-                assert_eq!(resp, &Response::Bool(want), "{}", ctx());
+                assert_eq!(resp, &Response::Bool(self.nv.connected(u, v)), "{}", ctx());
             }
             Request::Representative { v } => {
                 let Response::Vertex(got) = resp else {
@@ -164,62 +83,42 @@ impl Oracle {
                 assert_eq!(got.is_some(), self.in_range(v), "{}", ctx());
                 if let Some(r) = got {
                     assert!(
-                        self.in_range(*r) && self.naive.connected(v, *r),
+                        self.in_range(*r) && self.nv.connected(v, *r),
                         "{}: repr {r} outside component",
                         ctx()
                     );
                     // Same epoch + same repr => same component.
                     if let Some(&w) = repr_seen.get(r) {
-                        assert!(self.naive.connected(v, w), "{}: repr collision", ctx());
+                        assert!(self.nv.connected(v, w), "{}: repr collision", ctx());
                     } else {
                         repr_seen.insert(*r, v);
                     }
                 }
             }
             Request::PathSum { u, v } => {
-                let want = if self.in_range(u) && self.in_range(v) {
-                    self.naive
-                        .path_edges(u, v)
-                        .map(|es| es.iter().fold(0u64, |a, &w| a.wrapping_add(w)))
-                } else {
-                    None
-                };
-                assert_eq!(resp, &Response::Sum(want), "{}", ctx());
+                assert_eq!(resp, &Response::Sum(self.nv.path_sum(u, v)), "{}", ctx());
             }
             Request::SubtreeSum { v, parent } => {
-                let want = if self.in_range(v)
-                    && self.in_range(parent)
-                    && self.naive.edge_weight(v, parent).is_some()
-                {
-                    let (vs, es) = self.naive.subtree(v, parent);
-                    let mut total = es.iter().fold(0u64, |a, &w| a.wrapping_add(w));
-                    for x in vs {
-                        total = total.wrapping_add(self.vweights[x as usize]);
-                    }
-                    Some(total)
-                } else {
-                    None
-                };
-                assert_eq!(resp, &Response::Sum(want), "{}", ctx());
+                assert_eq!(
+                    resp,
+                    &Response::Sum(self.nv.subtree_sum(v, parent)),
+                    "{}",
+                    ctx()
+                );
             }
             Request::Lca { u, v, r } => {
-                let want = if [u, v, r].iter().all(|&x| self.in_range(x)) {
-                    self.naive.lca(u, v, r)
-                } else {
-                    None
-                };
-                assert_eq!(resp, &Response::Vertex(want), "{}", ctx());
+                assert_eq!(resp, &Response::Vertex(self.nv.lca(u, v, r)), "{}", ctx());
             }
             Request::Bottleneck { u, v } => {
-                let want = self.expected_extrema(u, v);
-                assert_eq!(resp, &Response::Extrema(want), "{}", ctx());
+                assert_eq!(
+                    resp,
+                    &Response::Extrema(self.nv.path_extrema(u, v)),
+                    "{}",
+                    ctx()
+                );
             }
             Request::NearestMarked { v } => {
-                let want = if self.in_range(v) {
-                    self.naive.nearest_marked(v, &self.marked)
-                } else {
-                    None
-                };
+                let want = self.nv.nearest_marked(v);
                 let Response::Near(got) = resp else {
                     panic!("{}: wrong response kind {resp:?}", ctx());
                 };
@@ -237,7 +136,7 @@ impl Oracle {
     }
 
     /// The compressed tree must preserve pairwise path summaries exactly.
-    fn check_cpt(&self, terminals: &[u32], cpt: &CptResult, ctx: &str) {
+    fn check_cpt(&mut self, terminals: &[u32], cpt: &CptResult, ctx: &str) {
         let index: HashMap<u32, usize> = cpt
             .vertices
             .iter()
@@ -278,7 +177,7 @@ impl Oracle {
                 if a >= b {
                     continue;
                 }
-                let want = self.expected_extrema(a, b);
+                let want = self.nv.path_extrema(a, b);
                 // BFS in the compressed tree.
                 let got = (|| {
                     let (sa, sb) = (*index.get(&a)?, *index.get(&b)?);

@@ -93,6 +93,25 @@ pub fn thread_counts() -> Vec<usize> {
     out
 }
 
+/// Threads to sweep for the `fig9b_speedup` scaling trajectory: always
+/// 1, 2 and 4 (so `BENCH_speedup.json` records comparable points across
+/// machines — on hosts with fewer cores the pool is oversubscribed, which
+/// the file's `machine_parallelism` field makes visible), plus higher
+/// powers of two and the machine size on larger hosts.
+pub fn speedup_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |x| x.get());
+    let mut out = vec![1, 2, 4];
+    let mut t = 8;
+    while t <= max {
+        out.push(t);
+        t *= 2;
+    }
+    if max > 4 && *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
 /// Markdown table printer.
 pub struct Table {
     cols: Vec<String>,

@@ -25,7 +25,7 @@ use crate::aggregate::ClusterAggregate;
 use crate::forest::RcForest;
 use crate::types::{Vertex, NO_VERTEX};
 use rc_parlay::slice::ParSlice;
-use rc_parlay::{parallel_collect, parallel_for_grain, NONE_U32, SEQ_THRESHOLD};
+use rc_parlay::{adaptive_grain, parallel_collect, parallel_for_grain, NONE_U32, SEQ_THRESHOLD};
 use std::sync::Mutex;
 
 /// Reusable arenas backing one [`MarkedSweep`]: the compact marked-subtree
@@ -375,7 +375,14 @@ impl<'f, A: ClusterAggregate> MarkedSweep<'f, A> {
                     round: &self.scratch.round,
                     min_round: r as u32,
                 };
-                parallel_for_grain(bucket.len(), SEQ_THRESHOLD, |i| {
+                // Small batches take a sequential fast path through the
+                // adaptive grain: for bucket sizes at or below
+                // `SEQ_THRESHOLD` (always the case when the whole marked
+                // set is — the tiny-k `rc_batched` rounds of the fig11b
+                // sweep), the grain equals the bucket length and
+                // `parallel_for_grain` runs the loop inline with no pool
+                // dispatch.
+                parallel_for_grain(bucket.len(), adaptive_grain(bucket.len()), |i| {
                     let s = bucket[i];
                     let v = visit(s, &view);
                     // SAFETY: slot `s` belongs to round `r` and is written

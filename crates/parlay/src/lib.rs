@@ -39,15 +39,39 @@ pub const NONE_U32: u32 = u32::MAX;
 
 /// Granularity below which parallel loops fall back to sequential execution.
 ///
-/// Matches ParlayLib's default granularity philosophy: spawning tasks for
-/// fewer than ~2k elements costs more than it saves.
+/// Matches ParlayLib's default granularity philosophy: dispatching to the
+/// pool for fewer than ~2k elements costs more than it saves.
 pub const SEQ_THRESHOLD: usize = 2048;
+
+/// Smallest chunk [`adaptive_grain`] will hand to a pool thread. Below
+/// this, per-chunk scheduling overhead (an atomic claim plus cache
+/// traffic) rivals the work in the chunk.
+pub const MIN_GRAIN: usize = 256;
+
+/// Grain size adapted to the current pool and input length.
+///
+/// Returns `n` (one sequential chunk) when the pool is single-threaded or
+/// the input is below [`SEQ_THRESHOLD`] — parallel machinery would be pure
+/// overhead. Otherwise targets ~8 chunks per pool thread, clamped to
+/// `[MIN_GRAIN, SEQ_THRESHOLD]`, so the pool's dynamic chunk claiming can
+/// rebalance stragglers while chunks stay big enough to amortize their
+/// scheduling cost. Replaces the one-size-fits-all [`SEQ_THRESHOLD`]
+/// blocking used before the persistent pool existed: with many threads the
+/// old fixed 2048-element blocks left most of the pool idle on mid-sized
+/// inputs, and with one thread they still paid the dispatch tax.
+pub fn adaptive_grain(n: usize) -> usize {
+    let t = rayon::current_num_threads();
+    if t <= 1 || n <= SEQ_THRESHOLD {
+        return n.max(1);
+    }
+    (n / (t * 8)).clamp(MIN_GRAIN, SEQ_THRESHOLD)
+}
 
 /// Run `f(i)` for every `i in 0..n`, in parallel when `n` is large enough.
 ///
 /// `f` must be safe to run concurrently for distinct indices.
 pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
-    parallel_for_grain(n, SEQ_THRESHOLD, f)
+    parallel_for_grain(n, adaptive_grain(n), f)
 }
 
 /// Like [`parallel_for`] but with an explicit grain size.
@@ -78,7 +102,8 @@ where
     T: Send,
     F: Fn(usize, &mut Vec<T>) + Sync,
 {
-    if n <= SEQ_THRESHOLD {
+    let grain = adaptive_grain(n);
+    if n <= grain {
         let mut out = Vec::new();
         for i in 0..n {
             f(i, &mut out);
@@ -86,7 +111,6 @@ where
         return out;
     }
     use rayon::prelude::*;
-    let grain = SEQ_THRESHOLD;
     let nblocks = n.div_ceil(grain);
     (0..nblocks)
         .into_par_iter()

@@ -2,15 +2,15 @@
 
 use crate::scan::scan_exclusive_u32;
 use crate::slice::{uninit_copy_vec, ParSlice};
-use crate::{parallel_for_grain, SEQ_THRESHOLD};
+use crate::{adaptive_grain, parallel_for_grain};
 use rayon::prelude::*;
 
 /// Indices `i in 0..n` with `pred(i)`, in increasing order.
 pub fn pack_index<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> Vec<u32> {
-    if n <= SEQ_THRESHOLD {
+    let block = adaptive_grain(n);
+    if n <= block {
         return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
     }
-    let block = SEQ_THRESHOLD;
     let nblocks = n.div_ceil(block);
     let mut counts: Vec<u32> = (0..nblocks)
         .into_par_iter()
@@ -60,7 +60,7 @@ where
     let mut out: Vec<T> = uninit_copy_vec(idx.len());
     {
         let ps = ParSlice::new(&mut out);
-        parallel_for_grain(idx.len(), SEQ_THRESHOLD, |k| {
+        parallel_for_grain(idx.len(), adaptive_grain(idx.len()), |k| {
             // SAFETY: each k written exactly once.
             unsafe { ps.write(k, f(idx[k])) };
         });
@@ -92,10 +92,11 @@ where
     T: Sync,
     F: Fn(&T) -> bool + Sync,
 {
-    if xs.len() <= SEQ_THRESHOLD {
+    let block = adaptive_grain(xs.len());
+    if xs.len() <= block {
         return xs.iter().filter(|x| pred(x)).count();
     }
-    xs.par_chunks(SEQ_THRESHOLD)
+    xs.par_chunks(block)
         .map(|c| c.iter().filter(|x| pred(x)).count())
         .sum()
 }

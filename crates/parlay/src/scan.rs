@@ -6,8 +6,8 @@
 //! behind `pack`, `flatten`, counting sort and the batch-query offsets in
 //! `rc-core`.
 
+use crate::adaptive_grain;
 use crate::slice::ParSlice;
-use crate::SEQ_THRESHOLD;
 use rayon::prelude::*;
 
 /// Generic exclusive scan in place. `xs[i]` becomes `op(id, xs[0..i])`;
@@ -23,10 +23,10 @@ where
     if n == 0 {
         return id;
     }
-    if n <= SEQ_THRESHOLD {
+    let block = adaptive_grain(n);
+    if n <= block {
         return scan_exclusive_seq(xs, id, &op);
     }
-    let block = SEQ_THRESHOLD;
     let nblocks = n.div_ceil(block);
     // Pass 1: block sums.
     let mut sums: Vec<T> = xs
@@ -84,10 +84,11 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Send + Sync,
 {
-    if xs.len() <= SEQ_THRESHOLD {
+    let block = adaptive_grain(xs.len());
+    if xs.len() <= block {
         return xs.iter().fold(id, |a, &b| op(a, b));
     }
-    xs.par_chunks(SEQ_THRESHOLD)
+    xs.par_chunks(block)
         .map(|c| c.iter().fold(id, |a, &b| op(a, b)))
         .reduce(|| id, &op)
 }

@@ -8,7 +8,7 @@
 //! come back as contiguous ranges.
 
 use crate::rng::hash2;
-use crate::sort::sort_by_u64_key;
+use crate::sort::sort_by_u64_pair_key;
 use crate::SEQ_THRESHOLD;
 use rayon::prelude::*;
 
@@ -26,13 +26,10 @@ where
     V: Copy + Send + Sync,
 {
     let mut items: Vec<(u64, V)> = pairs.to_vec();
-    // Sort by (hash(key), key) so equal keys are adjacent even on hash
-    // collisions.
-    sort_by_u64_key(&mut items, |&(k, _)| hash2(seed, k));
-    // Hash ties with different keys: fix up with a secondary ordering pass.
-    // (Collisions are ~ n^2 / 2^64 — essentially never — but correctness
-    // must not depend on luck.)
-    items.sort_by_key(|&(k, _)| (hash2(seed, k), k));
+    // One parallel sort by (hash(key), key): equal keys end up adjacent
+    // even when two distinct keys collide in the hash (~ n^2 / 2^64 —
+    // essentially never — but correctness must not depend on luck).
+    sort_by_u64_pair_key(&mut items, |&(k, _)| (hash2(seed, k), k));
 
     let n = items.len();
     let is_start = |i: usize| i == 0 || items[i - 1].0 != items[i].0;

@@ -6,7 +6,7 @@
 
 use crate::scan::scan_exclusive_u32;
 use crate::slice::{uninit_copy_vec, ParSlice};
-use crate::SEQ_THRESHOLD;
+use crate::{adaptive_grain, SEQ_THRESHOLD};
 use rayon::prelude::*;
 
 /// Stable parallel counting sort of `xs` by `key(x) in 0..num_buckets`.
@@ -21,10 +21,12 @@ where
 {
     let n = xs.len();
     assert!(num_buckets > 0);
-    if n <= SEQ_THRESHOLD || num_buckets > n {
+    // Blocks hold at least `num_buckets` items so per-block histograms
+    // amortize; the adaptive grain sizes them to the pool above that.
+    let block = adaptive_grain(n).max(num_buckets);
+    if n <= block || num_buckets > n {
         return counting_sort_seq(xs, num_buckets, key);
     }
-    let block = SEQ_THRESHOLD.max(num_buckets);
     let nblocks = n.div_ceil(block);
     // Per-block histograms, laid out bucket-major so the prefix sum directly
     // yields scatter offsets: hist[b * nblocks + blk].
@@ -98,12 +100,27 @@ where
 }
 
 /// Parallel sort of items by a `u64` key. Not stable. Wraps rayon's
-/// pattern-defeating quicksort, which for our word-sized keys performs like
-/// a well-tuned sample sort.
+/// parallel unstable sort (a fork-join merge sort in the workspace shim).
 pub fn sort_by_u64_key<T, F>(xs: &mut [T], key: F)
 where
     T: Copy + Send + Sync,
     F: Fn(&T) -> u64 + Sync + Send,
+{
+    if xs.len() <= SEQ_THRESHOLD {
+        xs.sort_unstable_by_key(|x| key(x));
+    } else {
+        xs.par_sort_unstable_by_key(|x| key(x));
+    }
+}
+
+/// Parallel sort of items by a composite `(u64, u64)` key. Not stable.
+/// Used by the semisort to order by `(hash(key), key)` in a single pass —
+/// hash collisions between distinct keys are broken by the second
+/// component instead of a sequential fix-up re-sort.
+pub fn sort_by_u64_pair_key<T, F>(xs: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> (u64, u64) + Sync + Send,
 {
     if xs.len() <= SEQ_THRESHOLD {
         xs.sort_unstable_by_key(|x| key(x));

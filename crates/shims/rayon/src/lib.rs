@@ -2,10 +2,11 @@
 //!
 //! The build environment for this repository has no access to a crates.io
 //! registry, so the workspace ships the *subset* of rayon's API that the
-//! rcforest crates actually use, implemented as plain fork-join over
-//! `std::thread::scope`. The surface and semantics match rayon closely
-//! enough that pointing the workspace `rayon` dependency back at crates.io
-//! is a one-line change and requires no source edits.
+//! rcforest crates actually use, backed by a **persistent work-stealing
+//! thread pool** (the `pool` module). The surface and semantics
+//! match rayon closely enough that pointing the workspace `rayon`
+//! dependency back at crates.io is a one-line change and requires no
+//! source edits.
 //!
 //! What is provided:
 //!
@@ -13,44 +14,41 @@
 //!   `for_each`, `collect` (order-preserving), `sum`, `reduce`, and
 //!   `fold(..).reduce(..)`;
 //! * `par_iter()` on slices, `into_par_iter()` on `Range<usize>`,
-//!   `par_chunks(..)` and `par_sort_unstable_by_key(..)` on slices;
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which here scope a
-//!   thread-count override rather than an actual pool.
+//!   `par_chunks(..)` and a parallel-merge-sort
+//!   `par_sort_unstable_by_key(..)` on slices;
+//! * [`join`] executing its second branch on a pool worker (or inline if
+//!   nobody steals it), with help-first stealing while blocked;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] routing parallel
+//!   calls to a dedicated pool instance;
+//! * `RAYON_NUM_THREADS` to size the global pool.
 //!
-//! Parallelism model: each consuming operation splits its index space into
-//! at most [`current_num_threads`] contiguous chunks and runs them on
-//! scoped threads (the first chunk on the calling thread). Work stealing
-//! is not implemented; callers in `rc-parlay` already block work into
-//! even-sized chunks above a sequential threshold, which is the load
-//! pattern this executor handles well.
+//! # Execution model
+//!
+//! A pool's workers are spawned **once**, lazily on its first parallel
+//! call, and then parked on a condvar whenever idle — a steady-state
+//! parallel call costs one mutex push plus a wakeup, not a round of OS
+//! thread spawns. Each consuming operation publishes a single chunked job;
+//! every participating thread (the caller included) repeatedly claims a
+//! grain-sized range of the index space from a shared atomic counter, so
+//! load imbalance between chunks is absorbed dynamically rather than
+//! baked into a static split. Panics in user closures are caught on the
+//! executing worker, stashed, and re-thrown on the calling thread after
+//! the operation completes; the worker survives and keeps serving jobs.
+//!
+//! The global pool sizes itself from `RAYON_NUM_THREADS` (falling back to
+//! the machine's available parallelism, resolved once). Pools built via
+//! [`ThreadPoolBuilder`] own their workers; [`ThreadPool::install`] makes
+//! a pool the routing target for parallel calls made by the closure (the
+//! closure itself still runs on the calling thread — the one observable
+//! difference from real rayon, which migrates it onto a worker).
 
-use std::cell::Cell;
+mod pool;
+mod sort;
+
+pub use pool::{current_num_threads, join};
+
 use std::mem::MaybeUninit;
-
-thread_local! {
-    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
-}
-
-/// Machine parallelism, resolved once. `std::thread::available_parallelism`
-/// re-reads cgroup limits on every call (tens of microseconds inside a
-/// container) — caching it keeps tiny parallel-for calls on hot paths
-/// (change propagation runs several per contraction level) at nanoseconds.
-fn machine_parallelism() -> usize {
-    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |x| x.get()))
-}
-
-/// Number of threads parallel operations may use on this thread: the
-/// innermost [`ThreadPool::install`] override, else the machine's
-/// available parallelism.
-pub fn current_num_threads() -> usize {
-    let o = THREAD_OVERRIDE.with(|c| c.get());
-    if o > 0 {
-        o
-    } else {
-        machine_parallelism()
-    }
-}
+use std::sync::Arc;
 
 /// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads` +
 /// `build` + `install` pattern.
@@ -72,101 +70,60 @@ impl std::fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// New builder with default (machine) parallelism.
+    /// New builder with default (global pool) sizing.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Cap the number of threads operations inside `install` may use.
+    /// Set the pool's thread count (0 = `RAYON_NUM_THREADS`, else the
+    /// machine's available parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Build the (virtual) pool.
+    /// Build a dedicated pool. Workers are spawned lazily on the pool's
+    /// first parallel call and joined when the pool is dropped.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 {
+            pool::default_pool_size()
+        } else {
+            self.num_threads
+        };
         Ok(ThreadPool {
-            num_threads: self.num_threads,
+            registry: pool::Registry::new(size),
         })
     }
 }
 
-/// A virtual pool: holds only the thread-count cap applied during
-/// [`ThreadPool::install`].
+/// A dedicated pool instance with its own persistent workers.
 pub struct ThreadPool {
-    num_threads: usize,
-}
-
-/// Restores the caller's thread-count override on drop (also on panic).
-struct OverrideGuard {
-    prev: usize,
-}
-
-impl OverrideGuard {
-    fn set(n: usize) -> Self {
-        OverrideGuard {
-            prev: THREAD_OVERRIDE.with(|c| c.replace(n)),
-        }
-    }
-}
-
-impl Drop for OverrideGuard {
-    fn drop(&mut self) {
-        THREAD_OVERRIDE.with(|c| c.set(self.prev));
-    }
+    registry: Arc<pool::Registry>,
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count as the parallelism cap for
-    /// parallel operations started inside it. Worker threads spawned by
-    /// those operations inherit the cap, so nested parallelism stays
-    /// bounded like it would on a real fixed-size pool.
+    /// Run `f` with this pool as the target of every parallel operation it
+    /// starts (nested operations on pool workers inherit it). `f` itself
+    /// runs on the calling thread.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _guard = OverrideGuard::set(self.current_num_threads());
+        let _guard = pool::install_registry(Arc::clone(&self.registry));
         f()
     }
 
-    /// The pool's thread count. As with real rayon, an unset (zero)
-    /// builder value means the machine's available parallelism.
+    /// The pool's thread count.
     pub fn current_num_threads(&self) -> usize {
-        if self.num_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |x| x.get())
-        } else {
-            self.num_threads
-        }
+        self.registry.size
     }
 }
 
-/// Run `a` and `b`, potentially in parallel, returning both results. The
-/// caller's thread cap is split between the two branches so nested
-/// parallelism stays within it.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    let cap = current_num_threads();
-    if cap <= 1 {
-        return (a(), b());
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate_and_join();
     }
-    let half = (cap / 2).max(1);
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || {
-            let _guard = OverrideGuard::set(half);
-            b()
-        });
-        let ra = {
-            let _guard = OverrideGuard::set((cap - half).max(1));
-            a()
-        };
-        (ra, hb.join().expect("rayon shim: join task panicked"))
-    })
 }
 
 /// Raw-pointer wrapper for disjoint writes into a result buffer from
-/// several scoped threads.
+/// several pool threads.
 struct OutPtr<T>(*mut T);
 unsafe impl<T: Send> Send for OutPtr<T> {}
 unsafe impl<T: Send> Sync for OutPtr<T> {}
@@ -180,41 +137,6 @@ impl<T> OutPtr<T> {
     unsafe fn write(&self, i: usize, v: T) {
         unsafe { self.0.add(i).write(v) }
     }
-}
-
-/// Split `0..n` into at most `current_num_threads()` contiguous chunks and
-/// run `body(lo, hi)` for each, first chunk on the calling thread. Each
-/// chunk (including the calling thread's) runs under an even share of the
-/// caller's thread cap, so nested parallel operations keep the total
-/// bounded by the cap — like a real fixed-size pool, minus work stealing.
-fn run_chunked<F: Fn(usize, usize) + Sync>(n: usize, body: F) {
-    if n == 0 {
-        return;
-    }
-    let cap = current_num_threads();
-    let t = cap.min(n);
-    if t <= 1 {
-        body(0, n);
-        return;
-    }
-    let share = (cap / t).max(1);
-    let chunk = n.div_ceil(t);
-    std::thread::scope(|s| {
-        let body = &body;
-        for k in 1..t {
-            let lo = k * chunk;
-            if lo >= n {
-                break;
-            }
-            let hi = (lo + chunk).min(n);
-            s.spawn(move || {
-                let _guard = OverrideGuard::set(share);
-                body(lo, hi)
-            });
-        }
-        let _guard = OverrideGuard::set(share);
-        body(0, chunk.min(n));
-    });
 }
 
 /// An indexed parallel source: a length plus random access. All shim
@@ -241,9 +163,10 @@ pub trait ParallelIterator: Sized + Sync {
         Enumerate { base: self }
     }
 
-    /// Run `f` on every element, in parallel chunks.
+    /// Run `f` on every element, in dynamically scheduled parallel chunks.
     fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
-        run_chunked(self.par_len(), |lo, hi| {
+        let n = self.par_len();
+        pool::run_chunked_grain(n, pool::default_grain(n), |lo, hi| {
             for i in lo..hi {
                 f(self.at(i));
             }
@@ -301,8 +224,9 @@ pub trait ParallelIterator: Sized + Sync {
     }
 }
 
-/// Run `chunk(lo, hi)` over parallel chunks, returning the per-chunk
-/// results in chunk order.
+/// Run `chunk(lo, hi)` over dynamically claimed parallel chunks, returning
+/// the per-chunk results in chunk (= index) order regardless of which
+/// thread ran which chunk.
 fn fold_chunks<I, T, F>(it: &I, chunk: F) -> Vec<T>
 where
     I: ParallelIterator,
@@ -313,30 +237,16 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let cap = current_num_threads();
-    let t = cap.min(n);
-    if t <= 1 {
-        return vec![chunk(0, n)];
-    }
-    let share = (cap / t).max(1);
-    let size = n.div_ceil(t);
-    let nchunks = n.div_ceil(size);
+    let grain = pool::default_grain(n);
+    let nchunks = pool::chunk_count(n, grain);
     let mut out: Vec<MaybeUninit<T>> = (0..nchunks).map(|_| MaybeUninit::uninit()).collect();
     let ptr = OutPtr(out.as_mut_ptr());
-    std::thread::scope(|s| {
-        let chunk = &chunk;
-        let ptr = &ptr;
-        for k in 1..nchunks {
-            s.spawn(move || {
-                let _guard = OverrideGuard::set(share);
-                let lo = k * size;
-                let hi = (lo + size).min(n);
-                // SAFETY: chunk `k` writes only slot `k`.
-                unsafe { ptr.write(k, MaybeUninit::new(chunk(lo, hi))) };
-            });
-        }
-        let _guard = OverrideGuard::set(share);
-        unsafe { ptr.write(0, MaybeUninit::new(chunk(0, size.min(n)))) };
+    let ptr = &ptr;
+    pool::run_chunked_grain(n, grain, |lo, hi| {
+        // Chunk boundaries are grain-aligned, so the chunk id is lo/grain.
+        // SAFETY: each chunk id is claimed (and its slot written) exactly
+        // once.
+        unsafe { ptr.write(lo / grain, MaybeUninit::new(chunk(lo, hi))) };
     });
     // SAFETY: every slot was written exactly once above.
     out.into_iter()
@@ -372,7 +282,7 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
         let mut out: Vec<T> = Vec::with_capacity(n);
         let ptr = OutPtr(out.as_mut_ptr());
         let ptr = &ptr;
-        run_chunked(n, |lo, hi| {
+        pool::run_chunked_grain(n, pool::default_grain(n), |lo, hi| {
             for i in lo..hi {
                 // SAFETY: chunks write disjoint index ranges into reserved
                 // capacity; every index in 0..n is written exactly once.
@@ -540,14 +450,21 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 
 /// Mutable-slice parallel operations (`par_sort_unstable_by_key`).
 pub trait ParallelSliceMut<T: Send> {
-    /// Sort by key. The shim sorts sequentially — acceptable for the sort
-    /// sizes this workspace produces; the real rayon parallelizes it.
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Sort by key with a parallel merge sort on the current pool. Not
+    /// stable, matching rayon.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        sort::par_merge_sort_by(self, &|a: &T, b: &T| key(a).cmp(&key(b)));
     }
 }
 
@@ -624,7 +541,7 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let seen = pool.install(current_num_threads);
         assert_eq!(seen, 2);
-        assert!(current_num_threads() >= 1, "override restored");
+        assert!(current_num_threads() >= 1, "routing restored");
     }
 
     #[test]
@@ -635,17 +552,18 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallelism_respects_install_cap() {
+    fn install_routes_nested_parallelism_to_the_pool() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         pool.install(|| {
-            // Workers of a 4-way split get an even share of the cap, so a
-            // nested parallel op cannot fan out past it.
-            (0..4usize).into_par_iter().for_each(|_| {
-                assert!(current_num_threads() <= 4, "worker share exceeds cap");
+            // Unlike the cap-splitting of the old scoped executor, a real
+            // pool reports its full size everywhere inside it — workers
+            // included — because nested operations share the same workers
+            // rather than spawning their own.
+            (0..64usize).into_par_iter().for_each(|_| {
+                assert_eq!(current_num_threads(), 4, "workers inherit the pool");
             });
-            // join splits the cap between its branches.
             let (a, b) = join(current_num_threads, current_num_threads);
-            assert!(a >= 1 && b >= 1 && a + b <= 4, "join caps: {a} + {b}");
+            assert_eq!((a, b), (4, 4), "join branches run on the same pool");
         });
     }
 
@@ -656,5 +574,44 @@ mod tests {
         assert!(got.is_empty());
         let s: usize = (0..0).into_par_iter().map(|i| i).sum();
         assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 16
+        };
+        for n in [0usize, 1, 2, 1000, 50_000, 200_001] {
+            let mut xs: Vec<u64> = (0..n).map(|_| next() % 10_000).collect();
+            let mut want = xs.clone();
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            pool.install(|| xs.par_sort_unstable_by_key(|&x| x));
+            want.sort_unstable();
+            assert_eq!(xs, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn par_sort_presorted_and_reversed() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut asc: Vec<u32> = (0..100_000).collect();
+        pool.install(|| asc.par_sort_unstable_by_key(|&x| x));
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let mut desc: Vec<u32> = (0..100_000).rev().collect();
+        pool.install(|| desc.par_sort_unstable_by_key(|&x| x));
+        assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_sort_non_copy_payload() {
+        // String payloads exercise the exactly-once-drop discipline of the
+        // merge buffer.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut xs: Vec<String> = (0..20_000u32).rev().map(|i| format!("{i:08}")).collect();
+        pool.install(|| xs.par_sort_unstable_by_key(|s| s.clone()));
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(xs.len(), 20_000);
     }
 }

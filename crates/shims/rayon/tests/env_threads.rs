@@ -1,0 +1,29 @@
+//! `RAYON_NUM_THREADS` sizes the global pool.
+//!
+//! A single test in its own integration binary: the variable must be set
+//! before anything touches the global pool, and integration test files run
+//! as separate processes, so this is the one place the override can be
+//! exercised hermetically.
+
+use rayon::prelude::*;
+
+#[test]
+fn rayon_num_threads_overrides_global_pool_size() {
+    // Must precede any parallel call in this process.
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+
+    // The global pool actually runs work under the override.
+    let sum: usize = (0..200_000usize).into_par_iter().sum();
+    assert_eq!(sum, 200_000 * 199_999 / 2);
+
+    // Dedicated pools with an explicit size are unaffected...
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(5)
+        .build()
+        .unwrap();
+    assert_eq!(pool.current_num_threads(), 5);
+    // ...while unset builders inherit the env default, like real rayon.
+    let inherit = rayon::ThreadPoolBuilder::new().build().unwrap();
+    assert_eq!(inherit.current_num_threads(), 3);
+}

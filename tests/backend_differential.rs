@@ -116,3 +116,59 @@ fn degree_cap_parity() {
     );
     assert!(DynamicForest::link(&mut lct, 0, 4, 1).is_ok());
 }
+
+/// Executor stress: the pool must never change an answer. The LCT-vs-RC
+/// differential stream re-runs under dedicated 2- and 4-thread pools —
+/// every batch entry point in the RC forest then executes with real
+/// worker threads claiming chunks concurrently (on a 1-core host the pool
+/// is oversubscribed, which still exercises cross-thread handoff and the
+/// engine's atomic ancestor claims).
+#[test]
+fn lct_vs_rc_under_multithreaded_pools() {
+    for threads in [2usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("dedicated pool");
+        let (n, ops) = if cfg!(debug_assertions) {
+            (800, 6_000)
+        } else {
+            (2_000, 40_000)
+        };
+        let report = pool.install(|| {
+            let mut rc = RcForest::<StdAgg>::new(n);
+            let mut lct = LctForest::with_max_degree(n, Some(3));
+            assert_backends_agree(
+                &mut rc,
+                &mut lct,
+                stream_cfg(n, 0xD1F_9B0 + threads as u64, 64),
+                ops,
+            )
+        });
+        assert_eq!(report.ops, ops, "threads = {threads}");
+        assert!(report.queries > ops / 3, "threads = {threads}");
+    }
+}
+
+/// Same stress against the ground-truth naive oracle at 4 threads, with a
+/// larger weight space so aggregate paths (extrema witnesses, subtree
+/// sums) see non-trivial values.
+#[test]
+fn rc_vs_naive_under_multithreaded_pool() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("dedicated pool");
+    let (n, ops) = if cfg!(debug_assertions) {
+        (500, 4_000)
+    } else {
+        (900, 25_000)
+    };
+    let report = pool.install(|| {
+        let mut rc = RcForest::<StdAgg>::new(n);
+        let mut naive = NaiveStdForest::with_max_degree(n, Some(3));
+        assert_backends_agree(&mut rc, &mut naive, stream_cfg(n, 0xD1F_9B4, 100_000), ops)
+    });
+    assert_eq!(report.ops, ops);
+    assert!(report.rejected > 0, "error paths exercised under the pool");
+}

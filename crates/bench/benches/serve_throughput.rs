@@ -22,6 +22,7 @@ fn bench_serve(c: &mut Criterion) {
                 open_loop: false,
                 stream: default_stream(n, 7),
                 server: coalesced_policy(threads, window),
+                durability: None,
             })
             .ops
         })
@@ -35,6 +36,7 @@ fn bench_serve(c: &mut Criterion) {
                 open_loop: false,
                 stream: default_stream(n, 7),
                 server: ServeConfig::unbatched(),
+                durability: None,
             })
             .ops
         })

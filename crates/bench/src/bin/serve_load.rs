@@ -8,12 +8,13 @@
 use rc_bench::serve_driver::{coalesced_policy, default_stream, run_load, LoadResult, LoadSpec};
 use rc_bench::{scale, Table};
 use rc_gen::Arrival;
-use rc_serve::ServeConfig;
+use rc_serve::{ServeConfig, SyncPolicy};
 use std::fmt::Write as _;
 
 struct Row {
     mode: &'static str,
     loop_kind: &'static str,
+    durability: &'static str,
     r: LoadResult,
 }
 
@@ -30,10 +31,11 @@ fn main() {
     let threads_sweep: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= 8).collect();
     println!("# serve_load — n={n}, {ops_per_thread} ops/thread, window {window}");
     let t = Table::new(
-        "Coalesced epochs vs size-1 epochs (closed loop) + open-loop arrivals",
+        "Coalesced epochs vs size-1 epochs (closed loop) + open-loop arrivals + WAL",
         &[
             "mode",
             "loop",
+            "wal",
             "threads",
             "ops/sec",
             "mean batch",
@@ -57,11 +59,30 @@ fn main() {
             open_loop: false,
             stream: stream.clone(),
             server: coalesced_policy(threads, window),
+            durability: None,
         });
         rows.push(Row {
             mode: "coalesced",
             loop_kind: "closed",
+            durability: "none",
             r: coalesced,
+        });
+        // Coalesced + WAL (per-epoch fsync), closed loop: the durability
+        // overhead at the same batching policy.
+        let walled = run_load(&LoadSpec {
+            threads,
+            ops_per_thread,
+            window,
+            open_loop: false,
+            stream: stream.clone(),
+            server: coalesced_policy(threads, window),
+            durability: Some(SyncPolicy::PerEpoch),
+        });
+        rows.push(Row {
+            mode: "coalesced",
+            loop_kind: "closed",
+            durability: "wal_per_epoch",
+            r: walled,
         });
         // Forced size-1 epochs, closed loop.
         let size1 = run_load(&LoadSpec {
@@ -71,15 +92,17 @@ fn main() {
             open_loop: false,
             stream: stream.clone(),
             server: ServeConfig::unbatched(),
+            durability: None,
         });
         rows.push(Row {
             mode: "size1",
             loop_kind: "closed",
+            durability: "none",
             r: size1,
         });
         // Coalesced, open loop: Poisson arrivals at a rate the coalesced
         // server sustains (~60% of its closed-loop throughput per thread).
-        let closed_rate = rows[rows.len() - 2].r.ops_per_sec;
+        let closed_rate = rows[rows.len() - 3].r.ops_per_sec;
         let per_thread = (closed_rate * 0.6 / threads as f64).max(1_000.0);
         let mut open_stream = stream.clone();
         open_stream.arrival = Arrival::Steady {
@@ -92,16 +115,19 @@ fn main() {
             open_loop: true,
             stream: open_stream,
             server: coalesced_policy(threads, window),
+            durability: None,
         });
         rows.push(Row {
             mode: "coalesced",
             loop_kind: "open",
+            durability: "none",
             r: open,
         });
-        for row in rows.iter().rev().take(3).rev() {
+        for row in rows.iter().rev().take(4).rev() {
             t.row(&[
                 row.mode.into(),
                 row.loop_kind.into(),
+                row.durability.into(),
                 row.r.threads.to_string(),
                 format!("{:.0}", row.r.ops_per_sec),
                 format!("{:.1}", row.r.mean_batch),
@@ -115,22 +141,39 @@ fn main() {
         }
     }
 
-    // Acceptance metric: coalesced vs size-1 at the top thread count.
+    // Acceptance metrics: coalesced vs size-1, and the WAL tax, at the
+    // top thread count.
     let top = *threads_sweep.last().unwrap();
-    let tput = |mode: &str, loop_kind: &str| {
+    let tput = |mode: &str, loop_kind: &str, durability: &str| {
         rows.iter()
-            .find(|r| r.mode == mode && r.loop_kind == loop_kind && r.r.threads == top)
+            .find(|r| {
+                r.mode == mode
+                    && r.loop_kind == loop_kind
+                    && r.durability == durability
+                    && r.r.threads == top
+            })
             .map(|r| r.r.ops_per_sec)
             .unwrap_or(0.0)
     };
-    let speedup = tput("coalesced", "closed") / tput("size1", "closed").max(1e-9);
+    let speedup = tput("coalesced", "closed", "none") / tput("size1", "closed", "none").max(1e-9);
+    let wal_relative = tput("coalesced", "closed", "wal_per_epoch")
+        / tput("coalesced", "closed", "none").max(1e-9);
     let max_batch_top = rows
         .iter()
-        .find(|r| r.mode == "coalesced" && r.loop_kind == "closed" && r.r.threads == top)
+        .find(|r| {
+            r.mode == "coalesced"
+                && r.loop_kind == "closed"
+                && r.durability == "none"
+                && r.r.threads == top
+        })
         .map(|r| r.r.max_batch)
         .unwrap_or(0);
     println!(
         "\ncoalesced vs size-1 at {top} threads: {speedup:.2}x (max coalesced batch {max_batch_top})"
+    );
+    println!(
+        "WAL (per-epoch fsync) keeps {:.0}% of in-memory throughput",
+        wal_relative * 100.0
     );
 
     // ---- BENCH_serve.json ----
@@ -147,13 +190,15 @@ fn main() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"mode\": \"{}\", \"loop\": \"{}\", \"threads\": {}, \"ops\": {}, \
+            "    {{\"mode\": \"{}\", \"loop\": \"{}\", \"durability\": \"{}\", \
+             \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"epochs\": {}, \
              \"mean_batch\": {:.1}, \"max_batch\": {}, \"flushes\": {}, \
              \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
              \"error_responses\": {}}}{comma}",
             row.mode,
             row.loop_kind,
+            row.durability,
             row.r.threads,
             row.r.ops,
             row.r.elapsed.as_secs_f64(),
@@ -173,6 +218,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_coalesced_vs_size1_at_{top}_threads\": {speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"wal_per_epoch_relative_throughput_at_{top}_threads\": {wal_relative:.3},"
     );
     let _ = writeln!(
         json,

@@ -4,7 +4,7 @@
 //! this module.
 
 use rc_gen::{Arrival, OpMix, RequestStream, RequestStreamConfig};
-use rc_serve::{RcServe, Request, Response, ServeConfig, ServeForest};
+use rc_serve::{Durability, RcServe, Request, Response, ServeConfig, ServeForest, SyncPolicy};
 use std::time::{Duration, Instant};
 
 /// One load run's parameters.
@@ -23,6 +23,9 @@ pub struct LoadSpec {
     pub stream: RequestStreamConfig,
     /// Server batching policy.
     pub server: ServeConfig,
+    /// Run with a WAL under the given sync policy (a fresh store
+    /// directory per run, removed afterwards). `None` = in-memory.
+    pub durability: Option<SyncPolicy>,
 }
 
 /// Measured outcome of one load run.
@@ -76,13 +79,39 @@ pub fn coalesced_policy(threads: usize, window: usize) -> ServeConfig {
 /// server, drive it from `threads` clients, shut down, report.
 pub fn run_load(spec: &LoadSpec) -> LoadResult {
     let probe = RequestStream::new_partitioned(spec.stream.clone(), 0, spec.threads);
-    let forest = ServeForest::build_edges(
-        probe.num_vertices(),
-        &probe.initial_edges(),
-        rc_core::BuildOptions::default(),
-    )
-    .expect("generated forest is valid");
-    let server = RcServe::start(forest, spec.server.clone());
+    // With durability, the initial forest is installed as the bootstrap
+    // snapshot of a fresh store directory (start_durable builds it from
+    // the snapshot, so no separate throwaway build) — the timed section
+    // measures pure WAL overhead, not the initial snapshot write.
+    let store_dir = spec.durability.map(|sync| {
+        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rc-bench-wal-{}-{}",
+            std::process::id(),
+            RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir, sync)
+    });
+    let server = match &store_dir {
+        None => {
+            let forest = ServeForest::build_edges(
+                probe.num_vertices(),
+                &probe.initial_edges(),
+                rc_core::BuildOptions::default(),
+            )
+            .expect("generated forest is valid");
+            RcServe::start(forest, spec.server.clone())
+        }
+        Some((dir, sync)) => {
+            let boot =
+                rc_core::ForestState::from_edges(probe.num_vertices(), &probe.initial_edges());
+            let durability = Durability::new(dir, boot.n).sync_policy(*sync);
+            RcServe::start_durable(spec.server.clone(), durability, Some(&boot))
+                .expect("fresh durable store")
+                .0
+        }
+    };
 
     // Pre-generate every thread's request tape (and open-loop arrival
     // schedule) outside the timed section, so the measurement is the
@@ -155,6 +184,9 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
 
     let audit = server.client();
     server.shutdown();
+    if let Some((dir, _)) = &store_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     let stats = audit.stats();
     if std::env::var("RC_SERVE_DEBUG").is_ok() {
         for e in audit.epoch_history().iter().rev().take(8).rev() {

@@ -18,6 +18,7 @@
 use crate::aggregates::{EdgeRef, PathSummary, StdAgg, StdVertexWeight};
 use crate::forest::RcForest;
 use crate::naive::NaiveForest;
+use crate::state::ForestState;
 use crate::types::{ForestError, Vertex};
 
 /// A dynamic forest over `n` fixed vertices supporting edge insertion and
@@ -190,6 +191,36 @@ pub trait DynamicForest {
     fn batch_nearest_marked(&mut self, vs: &[Vertex]) -> Vec<Option<(u64, Vertex)>> {
         vs.iter().map(|&v| self.nearest_marked(v)).collect()
     }
+
+    // ---- state export / import (snapshots, cross-backend equality) ----
+
+    /// Export the complete logical state — edges with weights, vertex
+    /// weights, marks — as a canonical [`ForestState`].
+    ///
+    /// Canonical form means two backends hold the same forest iff their
+    /// exports are `==`, regardless of internal representation. This is
+    /// the extraction side of the durability layer's snapshots; the
+    /// restore side is [`ForestState::build_std_forest`] (batch build)
+    /// or [`import_state`](Self::import_state).
+    fn export_state(&self) -> ForestState;
+
+    /// Load `state` into this (empty, same-`n`) forest. Default: one
+    /// [`batch_link`](Self::batch_link) over the edge list (batch-native
+    /// backends take their parallel path) plus weight/mark updates.
+    fn import_state(&mut self, state: &ForestState) -> Result<(), ForestError> {
+        assert_eq!(self.num_vertices(), state.n, "import into same-n forest");
+        assert_eq!(self.num_edges(), 0, "import into an empty forest");
+        self.batch_link(&state.edges)?;
+        for (v, &w) in state.weights.iter().enumerate() {
+            if w != 0 {
+                self.set_vertex_weight(v as Vertex, w)?;
+            }
+        }
+        for &m in &state.marks {
+            self.set_mark(m, true)?;
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -318,6 +349,22 @@ impl DynamicForest for RcForest<StdAgg> {
 
     fn batch_nearest_marked(&mut self, vs: &[Vertex]) -> Vec<Option<(u64, Vertex)>> {
         RcForest::batch_nearest_marked(self, vs)
+    }
+
+    fn export_state(&self) -> ForestState {
+        let n = RcForest::num_vertices(self);
+        let mut state = ForestState {
+            n,
+            edges: self.edge_list(),
+            weights: (0..n as Vertex)
+                .map(|v| self.vertex_weight(v).weight)
+                .collect(),
+            marks: (0..n as Vertex)
+                .filter(|&v| self.vertex_weight(v).marked)
+                .collect(),
+        };
+        state.canonicalize();
+        state
     }
 }
 
@@ -530,6 +577,28 @@ impl DynamicForest for NaiveStdForest {
             return None;
         }
         self.forest.nearest_marked(v, &self.marked)
+    }
+
+    fn export_state(&self) -> ForestState {
+        let n = self.vweights.len();
+        let mut edges = Vec::new();
+        for u in 0..n as Vertex {
+            for v in self.forest.neighbors(u) {
+                if u < v {
+                    edges.push((u, v, *self.forest.edge_weight(u, v).expect("live edge")));
+                }
+            }
+        }
+        let mut state = ForestState {
+            n,
+            edges,
+            weights: self.vweights.clone(),
+            marks: (0..n as Vertex)
+                .filter(|&v| self.marked[v as usize])
+                .collect(),
+        };
+        state.canonicalize();
+        state
     }
 }
 

@@ -58,6 +58,7 @@ mod dynamic;
 mod forest;
 pub mod naive;
 pub mod queries;
+pub mod state;
 pub mod types;
 mod validate;
 
@@ -72,4 +73,5 @@ pub use backend::{DynamicForest, NaiveStdForest};
 pub use forest::{BuildOptions, ContractionMode, RcForest, VertexCluster};
 pub use queries::cpt::CompressedPathTree;
 pub use queries::engine::{MarkedSweep, SweepVals};
+pub use state::ForestState;
 pub use types::{ClusterId, ClusterKind, Event, ForestError, Vertex, MAX_DEGREE, NO_VERTEX};

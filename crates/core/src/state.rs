@@ -1,0 +1,223 @@
+//! Canonical full-forest state, for snapshots and cross-backend equality.
+//!
+//! [`ForestState`] captures everything the standard weight model tracks —
+//! edges with weights, additive vertex weights, and mark bits — in one
+//! *canonical* value: edges are normalized `u < v` and sorted, marks are a
+//! sorted id list. Canonical form is what makes the type useful beyond
+//! serialization: two backends hold the same logical forest iff their
+//! exports compare equal with `==`, which is exactly the check the
+//! crash-recovery differential harness needs.
+//!
+//! The type deliberately lives in `rc-core` (not the durability crate):
+//! [`DynamicForest::export_state`](crate::DynamicForest::export_state)
+//! produces it from any backend, and
+//! [`ForestState::build_std_forest`] restores it through the batch build —
+//! so both directions of a snapshot run through the parallel paths.
+
+use crate::aggregates::StdVertexWeight;
+use crate::forest::{BuildOptions, RcForest};
+use crate::types::{ForestError, Vertex};
+use crate::StdAgg;
+
+/// A full forest in the standard weight model, in canonical form.
+///
+/// Invariants (enforced by [`ForestState::canonicalize`] and checked by
+/// [`ForestState::validate`]):
+///
+/// * every edge is stored `(u, v, w)` with `u < v`, and the edge list is
+///   sorted lexicographically with no duplicates;
+/// * `weights.len() == n`;
+/// * `marks` is sorted, duplicate-free, and every id is `< n`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ForestState {
+    /// Number of vertices.
+    pub n: usize,
+    /// All edges, `u < v`, sorted.
+    pub edges: Vec<(Vertex, Vertex, u64)>,
+    /// Additive vertex weights, indexed by vertex id.
+    pub weights: Vec<u64>,
+    /// Marked vertex ids, sorted.
+    pub marks: Vec<Vertex>,
+}
+
+impl ForestState {
+    /// An edgeless, unweighted, unmarked state on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        ForestState {
+            n,
+            edges: Vec::new(),
+            weights: vec![0; n],
+            marks: Vec::new(),
+        }
+    }
+
+    /// A state assembled from raw parts (weights default to 0, no marks).
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex, u64)]) -> Self {
+        let mut s = ForestState {
+            n,
+            edges: edges.to_vec(),
+            weights: vec![0; n],
+            marks: Vec::new(),
+        };
+        s.canonicalize();
+        s
+    }
+
+    /// Normalize into canonical form: endpoints ordered `u < v`, edges and
+    /// marks sorted and deduplicated.
+    pub fn canonicalize(&mut self) {
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup_by_key(|e| (e.0, e.1));
+        self.marks.sort_unstable();
+        self.marks.dedup();
+    }
+
+    /// Check every canonical-form invariant plus id ranges. Returns a
+    /// human-readable reason on the first violation. Forest-ness
+    /// (acyclicity) is *not* checked here — the batch build rejects
+    /// cyclic edge sets with its usual [`ForestError`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.weights.len() != self.n {
+            return Err(format!(
+                "weights.len() {} != n {}",
+                self.weights.len(),
+                self.n
+            ));
+        }
+        for (i, &(u, v, _)) in self.edges.iter().enumerate() {
+            if u >= v {
+                return Err(format!("edge {i} ({u}, {v}) not normalized u < v"));
+            }
+            if v as usize >= self.n {
+                return Err(format!("edge {i} endpoint {v} out of range (n={})", self.n));
+            }
+            if i > 0 {
+                let p = self.edges[i - 1];
+                if (p.0, p.1) >= (u, v) {
+                    return Err(format!("edge list unsorted/duplicate at {i}"));
+                }
+            }
+        }
+        for (i, &m) in self.marks.iter().enumerate() {
+            if m as usize >= self.n {
+                return Err(format!("mark {m} out of range (n={})", self.n));
+            }
+            if i > 0 && self.marks[i - 1] >= m {
+                return Err(format!("marks unsorted/duplicate at {i}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The vertex-weight table as `(vertex, StdVertexWeight)` update
+    /// pairs, restricted to entries that differ from the default (so
+    /// restoring a mostly-default forest stays `O(non-default)`).
+    pub fn vertex_weight_updates(&self) -> Vec<(Vertex, StdVertexWeight)> {
+        let mut marked = vec![false; self.n];
+        for &m in &self.marks {
+            marked[m as usize] = true;
+        }
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(v, &w)| w != 0 || marked[v])
+            .map(|(v, &w)| {
+                (
+                    v as Vertex,
+                    StdVertexWeight {
+                        weight: w,
+                        marked: marked[v],
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Restore into a standard RC forest via the batch-parallel paths:
+    /// one parallel [`RcForest::build_edges`] over the edge list, then one
+    /// batched vertex-weight propagation for weights and marks.
+    ///
+    /// Edge problems (range, duplicates, cycles) surface through the
+    /// build's own [`ForestError`]s; out-of-range marks as
+    /// [`ForestError::VertexOutOfRange`]. `weights.len() == n` is a hard
+    /// invariant of the type (deserializers must
+    /// [`validate`](Self::validate) first) and is asserted.
+    pub fn build_std_forest(&self, opts: BuildOptions) -> Result<RcForest<StdAgg>, ForestError> {
+        assert_eq!(
+            self.weights.len(),
+            self.n,
+            "ForestState invariant: weights.len() == n (validate() decoded states)"
+        );
+        for &m in &self.marks {
+            if m as usize >= self.n {
+                return Err(ForestError::VertexOutOfRange { v: m, n: self.n });
+            }
+        }
+        let mut f = RcForest::<StdAgg>::build_edges(self.n, &self.edges, opts)?;
+        let vw = self.vertex_weight_updates();
+        if !vw.is_empty() {
+            f.update_vertex_weights(&vw)?;
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_normalizes_and_dedups() {
+        let mut s = ForestState {
+            n: 5,
+            edges: vec![(3, 1, 7), (0, 2, 5), (1, 3, 7)],
+            weights: vec![0; 5],
+            marks: vec![4, 2, 4],
+        };
+        s.canonicalize();
+        assert_eq!(s.edges, vec![(0, 2, 5), (1, 3, 7)]);
+        assert_eq!(s.marks, vec![2, 4]);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_each_violation() {
+        let ok = ForestState::from_edges(4, &[(0, 1, 1), (1, 2, 1)]);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.weights.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.edges.push((2, 9, 1));
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.edges[0] = (1, 0, 1);
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.marks = vec![3, 3];
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.marks = vec![9];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn build_std_forest_restores_weights_and_marks() {
+        let mut s = ForestState::from_edges(6, &[(0, 1, 10), (1, 2, 20), (3, 4, 5)]);
+        s.weights[2] = 99;
+        s.marks = vec![0, 4];
+        let f = s.build_std_forest(BuildOptions::default()).unwrap();
+        assert_eq!(f.num_edges(), 3);
+        assert_eq!(f.vertex_weight(2).weight, 99);
+        assert!(f.vertex_weight(4).marked && !f.vertex_weight(1).marked);
+        // Cyclic edge sets are rejected by the build, not validate().
+        let cyc = ForestState::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        assert!(cyc.validate().is_ok());
+        assert!(cyc.build_std_forest(BuildOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Crash-point generation for durability testing.
+//!
+//! A crash can cut a write-ahead log at *any* byte: cleanly between
+//! frames, inside a frame header, mid-payload, or before the file header
+//! is complete. [`truncation_offsets`] turns a file length into a
+//! deterministic, seeded set of truncation points that covers all of
+//! those regimes — the crash-injection differential harness truncates a
+//! copy of the log at each offset, recovers, and checks the recovered
+//! state against an oracle replay of the surviving prefix.
+
+use rc_parlay::rng::SplitMix64;
+
+/// Deterministic truncation offsets for a file of `len` bytes whose
+/// fixed header occupies the first `header` bytes.
+///
+/// The set always contains the adversarial boundary cases — `0` (file
+/// vanished), a cut *inside* the header, exactly `header` (empty but
+/// well-formed log), `len` (clean file, nothing lost) and the last few
+/// byte positions (torn final frame) — plus `random` interior offsets
+/// drawn uniformly from `(header, len)`, which land mid-frame with
+/// overwhelming probability. Offsets are sorted and deduplicated.
+pub fn truncation_offsets(len: u64, header: u64, random: usize, seed: u64) -> Vec<u64> {
+    let mut offsets = vec![0, len];
+    if header > 0 && header <= len {
+        offsets.push(header);
+        offsets.push(header / 2);
+    }
+    for back in 1..=3u64 {
+        offsets.push(len.saturating_sub(back).max(header.min(len)));
+    }
+    let mut rng = SplitMix64::new(seed ^ 0xC4A5_11ED);
+    if len > header + 1 {
+        let span = len - header - 1;
+        for _ in 0..random {
+            offsets.push(header + 1 + rng.next_below(span));
+        }
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_cover_boundaries_and_interior() {
+        let len = 10_000;
+        let header = 8;
+        let offs = truncation_offsets(len, header, 16, 42);
+        assert!(offs.contains(&0));
+        assert!(offs.contains(&(header / 2)), "mid-header cut");
+        assert!(offs.contains(&header), "empty-log cut");
+        assert!(offs.contains(&len), "clean-file cut");
+        assert!(offs.contains(&(len - 1)), "torn last byte");
+        assert!(offs.iter().all(|&o| o <= len));
+        assert!(offs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let interior = offs.iter().filter(|&&o| o > header && o < len - 3).count();
+        assert!(interior >= 12, "random interior cuts present: {interior}");
+    }
+
+    #[test]
+    fn offsets_are_deterministic_by_seed() {
+        assert_eq!(
+            truncation_offsets(5_000, 8, 8, 7),
+            truncation_offsets(5_000, 8, 8, 7)
+        );
+        assert_ne!(
+            truncation_offsets(5_000, 8, 8, 7),
+            truncation_offsets(5_000, 8, 8, 8)
+        );
+    }
+
+    #[test]
+    fn degenerate_lengths_do_not_panic() {
+        assert_eq!(truncation_offsets(0, 8, 4, 1), vec![0]);
+        let offs = truncation_offsets(8, 8, 4, 1);
+        assert!(offs.contains(&8) && offs.contains(&0));
+    }
+}

@@ -14,8 +14,10 @@
 use rc_parlay::rng::SplitMix64;
 use rc_parlay::shuffle::random_permutation;
 
+mod crash;
 mod replay;
 mod stream;
+pub use crash::truncation_offsets;
 pub use replay::{apply_op, assert_backends_agree, DifferentialReport, OpResponse};
 pub use stream::{
     Arrival, OpMix, RequestStream, RequestStreamConfig, StreamOp, Zipf, DEFAULT_CPT_TERMINALS,

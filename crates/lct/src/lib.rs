@@ -29,7 +29,9 @@
 //! exact [`ForestError`] agreement.
 
 use rc_core::aggregate::PathAggregate;
-use rc_core::{DynamicForest, EdgeRef, ForestError, MaxEdgeAgg, MinEdgeAgg, PathSummary, Vertex};
+use rc_core::{
+    DynamicForest, EdgeRef, ForestError, ForestState, MaxEdgeAgg, MinEdgeAgg, PathSummary, Vertex,
+};
 use std::collections::{BTreeSet, HashMap};
 
 const NIL: u32 = u32::MAX;
@@ -671,6 +673,27 @@ impl DynamicForest for LctForest {
             });
         }
         best
+    }
+
+    fn export_state(&self) -> ForestState {
+        // Pure bookkeeping reads — edge payloads, vertex-node weights and
+        // the marked set are all orientation-independent, so no splaying.
+        let edges = self
+            .edges
+            .values()
+            .map(|&e| {
+                let er = self.nodes[e as usize].edge.expect("edge node has payload");
+                (er.u, er.v, er.w)
+            })
+            .collect();
+        let mut state = ForestState {
+            n: self.n,
+            edges,
+            weights: self.nodes[..self.n].iter().map(|nd| nd.vweight).collect(),
+            marks: self.marked.iter().copied().collect(),
+        };
+        state.canonicalize();
+        state
     }
 }
 

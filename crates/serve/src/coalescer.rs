@@ -29,8 +29,9 @@
 use crate::agg::{ServeForest, ServeVertexWeight};
 use crate::histogram::{EpochStats, LatencyHistogram, ServeStats};
 use crate::request::{CptResult, Request, Response, ResponseHandle, Slot};
-use rc_core::{ForestError, NO_VERTEX};
+use rc_core::{DynamicForest, ForestError, ForestState, NO_VERTEX};
 use rc_parlay::hashtable::edge_key;
+use rc_store::{EpochRecord, FlushRecord, RecoveryReport, Store, StoreConfig, StoreError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -159,7 +160,43 @@ pub struct ServeClient {
 
 impl RcServe {
     /// Start serving `forest` under `cfg` on a dedicated worker thread.
+    /// State lives (and dies) in RAM; see [`RcServe::start_durable`] for
+    /// the crash-safe variant.
     pub fn start(forest: ServeForest, cfg: ServeConfig) -> RcServe {
+        Self::start_inner(forest, cfg, None, 0)
+    }
+
+    /// Start a **durable** server: open (or create) the store at
+    /// `durability`, recover the forest — newest valid snapshot + WAL
+    /// suffix replayed in epoch batches — and serve it with every
+    /// committed epoch appended to the WAL *before* its responses are
+    /// released. `bootstrap` seeds an empty store directory with an
+    /// initial forest (ignored once the directory has history).
+    ///
+    /// Durability level follows the store's [`rc_store::SyncPolicy`]:
+    /// per-epoch fsync makes every acknowledged update survive power
+    /// loss; interval/never trade that for latency. Clean
+    /// [`RcServe::shutdown`] always flushes and fsyncs the WAL tail,
+    /// whatever the policy.
+    pub fn start_durable(
+        cfg: ServeConfig,
+        durability: StoreConfig,
+        bootstrap: Option<&ForestState>,
+    ) -> Result<(RcServe, RecoveryReport), StoreError> {
+        let recovered = Store::open_with_bootstrap(durability, bootstrap)?;
+        let first_epoch = recovered.report.last_epoch;
+        Ok((
+            Self::start_inner(recovered.forest, cfg, Some(recovered.store), first_epoch),
+            recovered.report,
+        ))
+    }
+
+    fn start_inner(
+        forest: ServeForest,
+        cfg: ServeConfig,
+        store: Option<Store>,
+        first_epoch: u64,
+    ) -> RcServe {
         let shared = Arc::new(Shared {
             shards: (0..cfg.shards.max(1))
                 .map(|_| Mutex::new(Vec::new()))
@@ -178,7 +215,7 @@ impl RcServe {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("rc-serve-epoch".into())
-            .spawn(move || Worker::new(worker_shared).run(forest))
+            .spawn(move || Worker::new(worker_shared, store, first_epoch).run(forest))
             .expect("spawn rc-serve worker");
         RcServe {
             shared,
@@ -355,15 +392,30 @@ fn epoch_history_of(shared: &Shared) -> Vec<EpochStats> {
 struct Worker {
     shared: Arc<Shared>,
     epoch: u64,
+    /// The durability store, when this server was started with
+    /// [`RcServe::start_durable`].
+    store: Option<Store>,
 }
 
 impl Worker {
-    fn new(shared: Arc<Shared>) -> Self {
-        Worker { shared, epoch: 0 }
+    fn new(shared: Arc<Shared>, store: Option<Store>, first_epoch: u64) -> Self {
+        Worker {
+            shared,
+            epoch: first_epoch,
+            store,
+        }
     }
 
     fn run(mut self, mut forest: ServeForest) -> ServeForest {
         loop {
+            if self.shared.qlen.load(Ordering::SeqCst) == 0 {
+                // About to sleep: under interval sync, fsync the dirty
+                // tail now — otherwise an idle lull after a burst would
+                // leave it volatile far past the configured interval.
+                if let Some(store) = &mut self.store {
+                    let _ = store.idle_sync();
+                }
+            }
             if !self.wait_for_epoch() && self.shared.qlen.load(Ordering::SeqCst) == 0 {
                 break; // shutdown with an empty queue
             }
@@ -372,9 +424,33 @@ impl Worker {
             if batch.is_empty() {
                 continue;
             }
-            self.process_epoch(&mut forest, batch, queue_depth);
+            if !self.process_epoch(&mut forest, batch, queue_depth) {
+                // Durability failed: every queued request is answered
+                // Rejected (never left hanging), then the worker stops.
+                self.reject_drain();
+                break;
+            }
+        }
+        if let Some(store) = self.store.take() {
+            // Clean shutdown must not lose an acknowledged epoch: flush
+            // and fsync whatever tail the sync policy left pending.
+            store.close().expect("flush + fsync WAL on shutdown");
         }
         forest
+    }
+
+    /// After a durability failure: stop accepting and resolve every
+    /// queued request as `Rejected`, so no client blocks forever on a
+    /// slot the dead worker would never fill. (Requests that race the
+    /// `accepting` flip are reclaimed and rejected by their submitter —
+    /// the same closing argument as `RcServe::shutdown`.)
+    fn reject_drain(&self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        while self.shared.qlen.load(Ordering::SeqCst) > 0 {
+            for p in self.drain() {
+                p.slot.fill(Response::Rejected);
+            }
+        }
     }
 
     /// Sleep until there is work, then linger per policy. Returns `false`
@@ -455,19 +531,77 @@ impl Worker {
         merged
     }
 
-    fn process_epoch(&mut self, forest: &mut ServeForest, batch: Vec<Pending>, queue_depth: usize) {
+    /// Serve one epoch. Returns `false` when durability failed — the
+    /// epoch's requests have then all been answered `Rejected` and the
+    /// caller must stop the loop (the in-memory forest may be ahead of
+    /// the durable state, so continuing to serve would acknowledge reads
+    /// of updates that were never persisted).
+    fn process_epoch(
+        &mut self,
+        forest: &mut ServeForest,
+        batch: Vec<Pending>,
+        queue_depth: usize,
+    ) -> bool {
         self.epoch += 1;
         let (mut updates, mut queries): (Vec<Pending>, Vec<Pending>) =
             batch.into_iter().partition(|p| p.request.is_update());
 
         // ---- update phase ----
         let t0 = Instant::now();
-        let mut phase = UpdatePhase::default();
+        let mut phase = UpdatePhase::with_journal(self.store.is_some());
         let mut update_results: Vec<Result<(), ForestError>> = Vec::with_capacity(updates.len());
         for p in &updates {
             update_results.push(phase.admit(forest, &p.request));
         }
         phase.flush(forest);
+        // Durability barrier: the epoch's committed batches reach the WAL
+        // *before* any response slot fills, so an acknowledged update is
+        // always at least written (and fsynced under per-epoch sync).
+        let mut store_failed = false;
+        if let Some(store) = &mut self.store {
+            let journal = phase.take_journal();
+            if !journal.is_empty() {
+                let rec = EpochRecord {
+                    epoch: self.epoch,
+                    flushes: journal,
+                };
+                if let Err(e) = store.append_epoch(&rec) {
+                    // An environmental I/O failure (disk full, dir gone)
+                    // must not panic the worker with response slots
+                    // unfilled — that would hang every blocked client.
+                    // The failed append was rolled back, so nothing of
+                    // this epoch is durable: reject it and signal stop.
+                    eprintln!(
+                        "rc-serve: epoch {}: WAL append failed: {e}; \
+                         rejecting requests and stopping",
+                        self.epoch
+                    );
+                    drop(self.store.take()); // best-effort flush of the consistent prefix
+                    for p in updates.iter().chain(queries.iter()) {
+                        p.slot.fill(Response::Rejected);
+                    }
+                    return false;
+                }
+                if store.wants_compaction() {
+                    // Unlike a failed append, a failed compaction is not
+                    // a loss for *this* epoch — it is already durable in
+                    // the WAL, so its responses go out normally. But the
+                    // store may now be half-truncated (the WAL poisons
+                    // itself in that case), so serving further epochs
+                    // could acknowledge updates that can never persist:
+                    // finish this epoch, then stop.
+                    if let Err(e) = store.compact(&forest.export_state()) {
+                        eprintln!(
+                            "rc-serve: epoch {}: WAL compaction failed: {e}; \
+                             finishing this epoch, then stopping",
+                            self.epoch
+                        );
+                        store_failed = true;
+                        drop(self.store.take()); // poison-aware Drop: no stray writes
+                    }
+                }
+            }
+        }
         let update_ns = t0.elapsed().as_nanos() as u64;
         let flushes = phase.flushes;
         for (p, r) in updates.iter().zip(&update_results) {
@@ -533,6 +667,7 @@ impl Worker {
                 });
             }
         }
+        !store_failed
     }
 }
 
@@ -561,9 +696,24 @@ struct UpdatePhase {
     /// to confirm (exactly like pending cuts do).
     uf_stale: bool,
     flushes: usize,
+    /// When durable: every committed flush's batch groups, in commit
+    /// order — exactly what the WAL persists for batch replay.
+    journal: Option<Vec<FlushRecord>>,
 }
 
 impl UpdatePhase {
+    /// An empty phase, journaling committed flushes iff `durable`.
+    fn with_journal(durable: bool) -> Self {
+        UpdatePhase {
+            journal: durable.then(Vec::new),
+            ..Default::default()
+        }
+    }
+
+    /// The journaled flush records (empty unless journaling was on).
+    fn take_journal(&mut self) -> Vec<FlushRecord> {
+        self.journal.take().unwrap_or_default()
+    }
     fn find(&mut self, x: u32) -> u32 {
         let p = *self.uf.get(&x).unwrap_or(&x);
         if p == x {
@@ -765,18 +915,32 @@ impl UpdatePhase {
                 .batch_update_unchecked(&self.links, &self.cuts)
                 .expect("pre-validated epoch links+cuts");
         }
-        if !self.eweights.is_empty() {
-            let ew: Vec<(u32, u32, u64)> = self.eweights.values().copied().collect();
+        let ew: Vec<(u32, u32, u64)> = self.eweights.values().copied().collect();
+        if !ew.is_empty() {
             forest
                 .update_edge_weights(&ew)
                 .expect("pre-validated edge weights");
         }
-        if !self.vweights.is_empty() {
-            let vw: Vec<(u32, ServeVertexWeight)> =
-                self.vweights.iter().map(|(&v, &w)| (v, w)).collect();
+        let vw: Vec<(u32, ServeVertexWeight)> =
+            self.vweights.iter().map(|(&v, &w)| (v, w)).collect();
+        if !vw.is_empty() {
             forest
                 .update_vertex_weights(&vw)
                 .expect("in-range vertex weights");
+        }
+        if let Some(journal) = &mut self.journal {
+            // The committed batches move into the journal instead of
+            // being re-collected/cloned — the clears below then only
+            // reset the already-emptied vectors.
+            journal.push(FlushRecord {
+                cuts: std::mem::take(&mut self.cuts),
+                links: std::mem::take(&mut self.links),
+                eweights: ew,
+                vweights: vw
+                    .into_iter()
+                    .map(|(v, w)| (v, w.weight, w.marked))
+                    .collect(),
+            });
         }
         self.links.clear();
         self.link_idx.clear();

@@ -43,6 +43,16 @@
 //! the `serve_load` driver in `rc-bench` measures the coalescing speedup
 //! against it and records the trajectory in `BENCH_serve.json`.
 //!
+//! # Durability (optional)
+//!
+//! [`RcServe::start_durable`] puts an `rc-store` WAL + snapshot store
+//! under the epoch loop: each committed epoch's update batches are
+//! appended (and, per [`SyncPolicy`], fsynced) *before* the epoch's
+//! responses are released, the log compacts into parallel snapshots once
+//! it outgrows a threshold, and restart recovers by batch-replaying the
+//! WAL suffix over the newest snapshot. Clean shutdown always flushes the
+//! WAL tail. See the README's "Durability" section.
+//!
 //! # Quick start
 //!
 //! ```
@@ -70,6 +80,10 @@ mod request;
 pub use agg::{PathSummary, ServeAgg, ServeForest, ServeVertexWeight};
 pub use coalescer::{LogEntry, RcServe, ServeClient, ServeConfig};
 pub use histogram::{EpochStats, LatencyHistogram, LatencySummary, ServeStats};
+/// Durability knobs, re-exported from `rc-store`: pass a [`Durability`]
+/// to [`RcServe::start_durable`] to put a WAL + snapshot store under the
+/// epoch loop (see the "Durability" section of the README).
+pub use rc_store::{RecoveryReport, StoreConfig as Durability, StoreError, SyncPolicy};
 pub use request::{CptResult, Request, Response, ResponseHandle};
 
 #[cfg(test)]
@@ -336,6 +350,183 @@ mod tests {
             c.call(Request::Connected { u: 0, v: 1 }),
             Response::Rejected
         );
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("rc-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_server_recovers_after_restart() {
+        use rc_core::{DynamicForest, ForestState};
+        let dir = durable_dir("restart");
+        let boot = ForestState::from_edges(10, &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]);
+        let want = {
+            let (server, report) =
+                RcServe::start_durable(quick_cfg(), Durability::new(&dir, 10), Some(&boot))
+                    .unwrap();
+            assert_eq!(report.replayed_epochs, 0, "fresh store");
+            let c = server.client();
+            assert_eq!(
+                c.call(Request::Cut { u: 1, v: 2 }),
+                Response::Updated(Ok(()))
+            );
+            assert_eq!(
+                c.call(Request::Link { u: 0, v: 9, w: 7 }),
+                Response::Updated(Ok(()))
+            );
+            assert_eq!(c.call(Request::Mark { v: 3 }), Response::Updated(Ok(())));
+            assert_eq!(
+                c.call(Request::UpdateEdgeWeight { u: 0, v: 1, w: 50 }),
+                Response::Updated(Ok(()))
+            );
+            server.shutdown().export_state()
+        };
+        // A new process: recover and serve the identical forest.
+        let (server, report) =
+            RcServe::start_durable(quick_cfg(), Durability::new(&dir, 10), Some(&boot)).unwrap();
+        assert!(report.replayed_epochs > 0, "WAL suffix replayed");
+        let c = server.client();
+        assert_eq!(
+            c.call(Request::PathSum { u: 9, v: 1 }),
+            Response::Sum(Some(57))
+        );
+        assert_eq!(
+            c.call(Request::Connected { u: 0, v: 3 }),
+            Response::Bool(false)
+        );
+        assert_eq!(
+            c.call(Request::NearestMarked { v: 2 }),
+            Response::Near(Some((3, 3)))
+        );
+        assert_eq!(server.shutdown().export_state(), want);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clean_shutdown_flushes_wal_tail_under_never_sync() {
+        // Pins the shutdown fix: with SyncPolicy::Never the WAL tail sits
+        // in a user-space buffer — shutdown must flush + fsync it, so a
+        // cleanly stopped server never loses acknowledged epochs.
+        use rc_core::DynamicForest;
+        let dir = durable_dir("flush-tail");
+        {
+            let (server, _) = RcServe::start_durable(
+                quick_cfg(),
+                Durability::new(&dir, 6).sync_policy(SyncPolicy::Never),
+                None,
+            )
+            .unwrap();
+            let c = server.client();
+            for v in 1..6u32 {
+                // Chain links: small epochs, all buffered under Never.
+                assert_eq!(
+                    c.call(Request::Link {
+                        u: v - 1,
+                        v,
+                        w: v as u64
+                    }),
+                    Response::Updated(Ok(()))
+                );
+            }
+            server.shutdown();
+        }
+        let (server, report) = RcServe::start_durable(
+            quick_cfg(),
+            Durability::new(&dir, 6).sync_policy(SyncPolicy::Never),
+            None,
+        )
+        .unwrap();
+        assert!(report.replayed_epochs > 0);
+        let forest = server.shutdown();
+        assert_eq!(forest.num_edges(), 5, "every acknowledged link survived");
+        assert_eq!(DynamicForest::path_sum(&mut { forest }, 0, 5), Some(15));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn durability_failure_rejects_instead_of_hanging() {
+        // When a WAL append fails mid-service (injected ENOSPC), every
+        // outstanding and subsequent request must resolve — as Rejected —
+        // rather than hang on a dead worker, and recovery must see
+        // exactly the epochs acknowledged before the failure.
+        use rc_core::DynamicForest;
+        let dir = durable_dir("wal-fail");
+        let mut durability = Durability::new(&dir, 8);
+        durability.fail_appends_after = 2;
+        let (server, _) =
+            RcServe::start_durable(ServeConfig::unbatched(), durability, None).unwrap();
+        let c = server.client();
+        // Two epochs append durably...
+        assert_eq!(
+            c.call(Request::Link { u: 0, v: 1, w: 5 }),
+            Response::Updated(Ok(()))
+        );
+        assert_eq!(
+            c.call(Request::Link { u: 1, v: 2, w: 6 }),
+            Response::Updated(Ok(()))
+        );
+        // ...the third hits the injected failure: Rejected, not a hang.
+        let h = c.submit(Request::Link { u: 2, v: 3, w: 7 });
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Some(Response::Rejected),
+            "request must resolve, never hang"
+        );
+        // Everything after the failure is rejected too (queries included).
+        assert_eq!(
+            c.call(Request::Connected { u: 0, v: 1 }),
+            Response::Rejected
+        );
+        server.shutdown();
+        // Recovery sees exactly the two acknowledged epochs.
+        let (server, report) =
+            RcServe::start_durable(ServeConfig::default(), Durability::new(&dir, 8), None).unwrap();
+        assert_eq!(report.replayed_epochs, 2);
+        let forest = server.shutdown();
+        assert_eq!(
+            forest.export_state().edges,
+            vec![(0, 1, 5), (1, 2, 6)],
+            "acknowledged prefix, nothing more"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn durable_compaction_bounds_the_log() {
+        use rc_core::DynamicForest;
+        let dir = durable_dir("compaction");
+        let cfg = || Durability::new(&dir, 64).compact_threshold(512);
+        let want = {
+            let (server, _) = RcServe::start_durable(quick_cfg(), cfg(), None).unwrap();
+            let c = server.client();
+            for round in 0..40u32 {
+                let v = round % 63;
+                if round >= 63 || round % 2 == 0 {
+                    let _ = c.call(Request::Link {
+                        u: v,
+                        v: v + 1,
+                        w: round as u64 + 1,
+                    });
+                } else {
+                    let _ = c.call(Request::UpdateVertexWeight { v, w: round as u64 });
+                }
+            }
+            server.shutdown().export_state()
+        };
+        // The log was compacted (snapshot + truncate) at least once, and
+        // recovery from snapshot + short suffix is exact.
+        let wal = std::fs::metadata(dir.join(rc_store::WAL_FILE))
+            .unwrap()
+            .len();
+        assert!(wal < 2_048, "wal stayed bounded, got {wal} bytes");
+        let snaps = rc_store::snapshot::list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), 1, "exactly the newest snapshot retained");
+        let (server, _) = RcServe::start_durable(quick_cfg(), cfg(), None).unwrap();
+        assert_eq!(server.shutdown().export_state(), want);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Binary encoding of WAL epoch records and snapshot payloads.
+//!
+//! Fixed-width little-endian fields throughout — no varints, so every
+//! record has a position computable from counts alone. That is what lets
+//! the snapshot encoder fill the edge and weight sections **in parallel**
+//! (disjoint `memcpy`s into one preallocated buffer via
+//! `rc_parlay::parallel_for`) and keeps decode single-pass with explicit
+//! bounds checks (a truncated or bit-flipped payload decodes to
+//! `Err(DecodeError)`, never a panic — the crash-injection harness feeds
+//! this decoder arbitrary prefixes).
+
+use rc_core::{ForestState, Vertex};
+
+/// One committed flush of the serve tier's update phase: the exact batch
+/// groups the coalescer handed the forest, in commit order. Replaying the
+/// groups in this order (cuts, links, edge weights, vertex weights)
+/// reproduces the flush's state transition through the same batch entry
+/// points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlushRecord {
+    /// Edges deleted by this flush.
+    pub cuts: Vec<(Vertex, Vertex)>,
+    /// Edges inserted by this flush (admission proved them acyclic even
+    /// before the cuts, so cut-then-link replay is exact).
+    pub links: Vec<(Vertex, Vertex, u64)>,
+    /// Edge reweights (distinct edges — order within the group is free).
+    pub eweights: Vec<(Vertex, Vertex, u64)>,
+    /// Vertex weight + mark writes (distinct vertices).
+    pub vweights: Vec<(Vertex, u64, bool)>,
+}
+
+impl FlushRecord {
+    /// Does this flush commit anything?
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+            && self.links.is_empty()
+            && self.eweights.is_empty()
+            && self.vweights.is_empty()
+    }
+
+    /// Total ops across the four groups.
+    pub fn len(&self) -> usize {
+        self.cuts.len() + self.links.len() + self.eweights.len() + self.vweights.len()
+    }
+}
+
+/// One WAL frame: an epoch's committed updates as its flush sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// The (monotone) epoch number.
+    pub epoch: u64,
+    /// Flushes in commit order; most epochs have exactly one.
+    pub flushes: Vec<FlushRecord>,
+}
+
+impl EpochRecord {
+    /// Total ops across all flushes.
+    pub fn ops(&self) -> usize {
+        self.flushes.iter().map(FlushRecord::len).sum()
+    }
+}
+
+/// A structurally invalid payload (truncated, oversized count, trailing
+/// garbage). Contains a human-readable reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// primitive readers
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        let s = self
+            .buf
+            .get(self.at..self.at + n)
+            .ok_or_else(|| DecodeError(format!("truncated reading {what} at {}", self.at)))?;
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// A count word, bounded by what could possibly fit in the remaining
+    /// bytes at `elem_bytes` per element — the bound is what makes the
+    /// downstream `Vec::with_capacity(count)` safe: a corrupt (but
+    /// checksum-colliding) count word must produce `Err`, not a
+    /// multi-GiB reservation and an abort.
+    fn count(&mut self, what: &str, elem_bytes: usize) -> Result<usize, DecodeError> {
+        let c = self.u32(what)? as usize;
+        if c > (self.buf.len() - self.at) / elem_bytes.max(1) {
+            return Err(DecodeError(format!("count {c} for {what} exceeds payload")));
+        }
+        Ok(c)
+    }
+
+    fn done(&self, what: &str) -> Result<(), DecodeError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// epoch records
+// ---------------------------------------------------------------------
+
+/// Encode an epoch record as a WAL frame payload.
+pub fn encode_epoch(rec: &EpochRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + rec.ops() * 17);
+    out.extend_from_slice(&rec.epoch.to_le_bytes());
+    out.extend_from_slice(&(rec.flushes.len() as u32).to_le_bytes());
+    for f in &rec.flushes {
+        out.extend_from_slice(&(f.cuts.len() as u32).to_le_bytes());
+        for &(u, v) in &f.cuts {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(f.links.len() as u32).to_le_bytes());
+        for &(u, v, w) in &f.links {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(f.eweights.len() as u32).to_le_bytes());
+        for &(u, v, w) in &f.eweights {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(f.vweights.len() as u32).to_le_bytes());
+        for &(v, w, marked) in &f.vweights {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+            out.push(marked as u8);
+        }
+    }
+    out
+}
+
+/// Decode an epoch record from a WAL frame payload.
+pub fn decode_epoch(payload: &[u8]) -> Result<EpochRecord, DecodeError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64("epoch")?;
+    // A flush record is at least its four count words.
+    let nflushes = r.count("flush count", 16)?;
+    let mut flushes = Vec::with_capacity(nflushes);
+    for _ in 0..nflushes {
+        let mut f = FlushRecord::default();
+        for _ in 0..r.count("cuts", 8)? {
+            f.cuts.push((r.u32("cut u")?, r.u32("cut v")?));
+        }
+        for _ in 0..r.count("links", 16)? {
+            f.links
+                .push((r.u32("link u")?, r.u32("link v")?, r.u64("link w")?));
+        }
+        for _ in 0..r.count("eweights", 16)? {
+            f.eweights
+                .push((r.u32("ew u")?, r.u32("ew v")?, r.u64("ew w")?));
+        }
+        for _ in 0..r.count("vweights", 13)? {
+            let v = r.u32("vw v")?;
+            let w = r.u64("vw w")?;
+            let m = r.take(1, "vw mark")?[0];
+            if m > 1 {
+                return Err(DecodeError(format!("mark byte {m} not a bool")));
+            }
+            f.vweights.push((v, w, m == 1));
+        }
+        flushes.push(f);
+    }
+    r.done("epoch record")?;
+    Ok(EpochRecord { epoch, flushes })
+}
+
+// ---------------------------------------------------------------------
+// snapshot payloads
+// ---------------------------------------------------------------------
+
+const EDGE_BYTES: usize = 16; // u32 + u32 + u64
+const WEIGHT_BYTES: usize = 8;
+
+/// Encode `(epoch, state)` as a snapshot payload. The edge and weight
+/// sections are fixed-stride, so they are written by disjoint parallel
+/// chunks — extraction and restore both ride the parallel paths.
+pub fn encode_snapshot(epoch: u64, state: &ForestState) -> Vec<u8> {
+    // The weight section is sized by `n` but filled by `weights.len()`
+    // unchecked raw-pointer writes — the type invariant must hold
+    // *before* the parallel fill, not as a debug-only afterthought.
+    assert_eq!(
+        state.weights.len(),
+        state.n,
+        "ForestState invariant: weights.len() == n"
+    );
+    let edges_at = 8 + 8 + 4;
+    let weights_at = edges_at + state.edges.len() * EDGE_BYTES;
+    let marks_at = weights_at + state.weights.len() * WEIGHT_BYTES + 4;
+    let total = marks_at + state.marks.len() * 4;
+    let mut out = vec![0u8; total];
+    out[0..8].copy_from_slice(&epoch.to_le_bytes());
+    out[8..16].copy_from_slice(&(state.n as u64).to_le_bytes());
+    out[16..20].copy_from_slice(&(state.edges.len() as u32).to_le_bytes());
+    {
+        // Parallel fill of the two big sections: each index owns one
+        // fixed-width slot, so the writes are disjoint.
+        let edge_section = as_send_ptr(&mut out[edges_at..weights_at]);
+        let edges = &state.edges;
+        rc_parlay::parallel_for(edges.len(), |i| {
+            let (u, v, w) = edges[i];
+            let mut rec = [0u8; EDGE_BYTES];
+            rec[0..4].copy_from_slice(&u.to_le_bytes());
+            rec[4..8].copy_from_slice(&v.to_le_bytes());
+            rec[8..16].copy_from_slice(&w.to_le_bytes());
+            // SAFETY: slot `i` is a private 16-byte range of the section.
+            unsafe { edge_section.write_at(i * EDGE_BYTES, &rec) }
+        });
+    }
+    {
+        let weight_section = as_send_ptr(&mut out[weights_at..weights_at + state.n * WEIGHT_BYTES]);
+        let weights = &state.weights;
+        rc_parlay::parallel_for(weights.len(), |i| {
+            let b = weights[i].to_le_bytes();
+            // SAFETY: slot `i` is a private 8-byte range of the section.
+            unsafe { weight_section.write_at(i * WEIGHT_BYTES, &b) }
+        });
+    }
+    let mut at = weights_at + state.n * WEIGHT_BYTES;
+    out[at..at + 4].copy_from_slice(&(state.marks.len() as u32).to_le_bytes());
+    at += 4;
+    for &m in &state.marks {
+        out[at..at + 4].copy_from_slice(&m.to_le_bytes());
+        at += 4;
+    }
+    debug_assert_eq!(at, total);
+    out
+}
+
+/// A raw pointer wrapper that is `Sync` so parallel chunks can write
+/// disjoint ranges of one buffer.
+struct SendPtr(*mut u8);
+unsafe impl Sync for SendPtr {}
+unsafe impl Send for SendPtr {}
+
+impl SendPtr {
+    /// Copy `src` to `offset` bytes past the base pointer.
+    ///
+    /// # Safety
+    /// `offset..offset + src.len()` must be in bounds of the wrapped
+    /// buffer and not concurrently written by any other caller.
+    unsafe fn write_at(&self, offset: usize, src: &[u8]) {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), self.0.add(offset), src.len());
+    }
+}
+
+fn as_send_ptr(s: &mut [u8]) -> SendPtr {
+    SendPtr(s.as_mut_ptr())
+}
+
+/// Decode a snapshot payload back to `(epoch, state)`. The state is
+/// additionally [`ForestState::validate`]d, so a decoded snapshot is
+/// always canonical.
+pub fn decode_snapshot(payload: &[u8]) -> Result<(u64, ForestState), DecodeError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64("snapshot epoch")?;
+    let n64 = r.u64("n")?;
+    if n64 > u32::MAX as u64 {
+        return Err(DecodeError(format!("n {n64} exceeds the vertex id space")));
+    }
+    let n = n64 as usize;
+    let nedges = r.count("edge count", EDGE_BYTES)?;
+    let mut edges = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        edges.push((r.u32("edge u")?, r.u32("edge v")?, r.u64("edge w")?));
+    }
+    let wbytes = r.take(n * WEIGHT_BYTES, "weights")?;
+    let weights: Vec<u64> = wbytes
+        .chunks_exact(WEIGHT_BYTES)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let nmarks = r.count("mark count", 4)?;
+    let mut marks = Vec::with_capacity(nmarks);
+    for _ in 0..nmarks {
+        marks.push(r.u32("mark")?);
+    }
+    r.done("snapshot")?;
+    let state = ForestState {
+        n,
+        edges,
+        weights,
+        marks,
+    };
+    state.validate().map_err(DecodeError)?;
+    Ok((epoch, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_epoch() -> EpochRecord {
+        EpochRecord {
+            epoch: 42,
+            flushes: vec![
+                FlushRecord {
+                    cuts: vec![(1, 2), (3, 4)],
+                    links: vec![(5, 6, 77)],
+                    eweights: vec![(0, 1, u64::MAX)],
+                    vweights: vec![(9, 3, true), (2, 0, false)],
+                },
+                FlushRecord {
+                    links: vec![(1, 2, 9)],
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn epoch_records_round_trip() {
+        let rec = sample_epoch();
+        let bytes = encode_epoch(&rec);
+        assert_eq!(decode_epoch(&bytes).unwrap(), rec);
+        assert_eq!(rec.ops(), 7);
+        // Empty record.
+        let empty = EpochRecord {
+            epoch: 0,
+            flushes: vec![],
+        };
+        assert_eq!(decode_epoch(&encode_epoch(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn epoch_decode_rejects_every_truncation() {
+        let bytes = encode_epoch(&sample_epoch());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_epoch(&bytes[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_epoch(&trailing).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let mut state = ForestState::from_edges(100, &[(0, 1, 5), (1, 2, 9), (50, 99, 1)]);
+        state.weights[3] = 1234;
+        state.marks = vec![0, 50];
+        let bytes = encode_snapshot(7, &state);
+        let (epoch, got) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(got, state);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncations_and_bad_counts() {
+        let state = ForestState::from_edges(10, &[(0, 1, 5)]);
+        let bytes = encode_snapshot(1, &state);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Non-canonical payloads are rejected by validate: edge (1, 0).
+        let mut bad = ForestState::from_edges(10, &[(0, 1, 5)]);
+        bad.edges[0] = (1, 0, 5);
+        assert!(decode_snapshot(&encode_snapshot(1, &bad)).is_err());
+    }
+
+    #[test]
+    fn large_snapshot_parallel_sections_are_exact() {
+        // Big enough that parallel_for actually chunks.
+        let n = 60_000u32;
+        let edges: Vec<(u32, u32, u64)> = (0..n - 1)
+            .map(|i| (i, i + 1, (i as u64).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        let mut state = ForestState::from_edges(n as usize, &edges);
+        for v in 0..n as usize {
+            state.weights[v] = (v as u64) << 17;
+        }
+        state.marks = (0..n).step_by(97).collect();
+        let bytes = encode_snapshot(3, &state);
+        let (_, got) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(got, state);
+    }
+}

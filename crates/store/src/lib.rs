@@ -1,0 +1,60 @@
+//! `rc-store` — durability for the serve tier: a checksummed epoch WAL,
+//! parallel snapshots, batch-replay recovery, and log compaction.
+//!
+//! Every forest in this workspace lives in RAM; this crate is what makes
+//! a process restart survivable. The design leans on the paper's core
+//! observation — batch operations amortize far better than single ops —
+//! by making *recovery itself* a batch-parallel workload:
+//!
+//! * the WAL persists each committed epoch as one frame holding the
+//!   exact batch groups the coalescer committed
+//!   ([`EpochRecord`]/[`FlushRecord`]), so replay goes through
+//!   `batch_cut`/`batch_link` and the batched weight updates — the same
+//!   `O(k log(1 + n/k))` paths that serve live traffic;
+//! * snapshots serialize a canonical [`rc_core::ForestState`] (extracted
+//!   via [`rc_core::DynamicForest::export_state`]) with the big sections
+//!   encoded by parallel chunks, and restore through the parallel batch
+//!   build ([`rc_core::ForestState::build_std_forest`]);
+//! * recovery = newest valid snapshot + the WAL suffix, with torn tails
+//!   (crash mid-write) detected by length/checksum framing and cut off.
+//!
+//! The write path is governed by [`SyncPolicy`] — per-epoch fsync for
+//! full durability, interval fsync, or none — and [`Store::compact`]
+//! bounds the log (and therefore recovery time) by folding it into a
+//! fresh snapshot once it passes a size threshold.
+//!
+//! `rc-serve` integrates this as an optional `Durability` config: epoch
+//! commit appends to the WAL *before* responses are released, so every
+//! acknowledged update is at least written (and, under per-epoch sync,
+//! durable) by the time the client sees its answer.
+//!
+//! ```
+//! use rc_store::{Store, StoreConfig, EpochRecord, FlushRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("rc-store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let recovered = Store::open(StoreConfig::new(&dir, 4)).unwrap();
+//! assert_eq!(recovered.forest.num_edges(), 0);
+//! let mut store = recovered.store;
+//! store.append_epoch(&EpochRecord {
+//!     epoch: 1,
+//!     flushes: vec![FlushRecord { links: vec![(0, 1, 7)], ..Default::default() }],
+//! }).unwrap();
+//! store.close().unwrap();
+//!
+//! // A later process recovers the committed state by batch replay.
+//! let recovered = Store::open(StoreConfig::new(&dir, 4)).unwrap();
+//! assert!(recovered.forest.has_edge(0, 1));
+//! assert_eq!(recovered.report.replayed_epochs, 1);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+pub mod codec;
+pub mod frame;
+pub mod snapshot;
+mod store;
+pub mod wal;
+
+pub use codec::{DecodeError, EpochRecord, FlushRecord};
+pub use store::{Recovered, RecoveryReport, Store, StoreConfig, StoreError, StoreForest};
+pub use wal::{SyncPolicy, Wal, WalOpen, WAL_FILE};

@@ -1,0 +1,192 @@
+//! Snapshot files: one checksummed [`ForestState`] per file.
+//!
+//! A snapshot is the magic header followed by a single
+//! [`frame`](crate::frame)-encoded payload
+//! ([`codec::encode_snapshot`](crate::codec::encode_snapshot)). Files are
+//! written to a temp name, fsynced, then atomically renamed into
+//! `snap-<epoch>.rcsnap` — a reader never observes a half-written
+//! snapshot, and a crash mid-write leaves only a stale `.tmp` that is
+//! swept on open. Recovery takes the newest file that decodes and
+//! checksums cleanly, falling back to older ones (a torn rename target is
+//! just skipped).
+
+use crate::codec::{decode_snapshot, encode_snapshot};
+use crate::frame::{decode_frame, encode_frame};
+use crate::wal::sync_parent_dir;
+use rc_core::ForestState;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file (includes a format version).
+pub const SNAP_MAGIC: [u8; 8] = *b"RCSNAP\x00\x01";
+
+/// `snap-<epoch, zero-padded>.rcsnap`; zero-padding makes lexicographic
+/// order equal epoch order.
+pub fn snapshot_file_name(epoch: u64) -> String {
+    format!("snap-{epoch:020}.rcsnap")
+}
+
+/// Parse an epoch out of a snapshot file name.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".rcsnap")?
+        .parse()
+        .ok()
+}
+
+/// Serialize `state` as the snapshot for `epoch` and atomically install
+/// it in `dir`. Returns the final path. The state is validated first —
+/// a non-canonical state would otherwise be written only to be rejected
+/// by its own decoder at recovery time.
+pub fn write_snapshot(dir: &Path, epoch: u64, state: &ForestState) -> std::io::Result<PathBuf> {
+    state.validate().map_err(|why| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("refusing to snapshot a non-canonical state: {why}"),
+        )
+    })?;
+    let payload = encode_snapshot(epoch, state);
+    let mut bytes = Vec::with_capacity(SNAP_MAGIC.len() + payload.len() + 16);
+    bytes.extend_from_slice(&SNAP_MAGIC);
+    encode_frame(&mut bytes, &payload);
+    let final_path = dir.join(snapshot_file_name(epoch));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
+    {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_parent_dir(&final_path)?;
+    Ok(final_path)
+}
+
+/// Read and fully validate one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<(u64, ForestState), String> {
+    let raw = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    if raw.len() < SNAP_MAGIC.len() || raw[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(format!("{}: bad snapshot magic", path.display()));
+    }
+    let (payload, end) = decode_frame(&raw, SNAP_MAGIC.len())
+        .ok_or_else(|| format!("{}: frame checksum/length invalid", path.display()))?;
+    if end != raw.len() {
+        return Err(format!("{}: trailing bytes after snapshot", path.display()));
+    }
+    decode_snapshot(payload).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// All snapshot epochs present in `dir`, newest first.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(epoch) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            out.push((epoch, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(e, _)| std::cmp::Reverse(e));
+    Ok(out)
+}
+
+/// Load the newest snapshot in `dir` that validates, skipping corrupt
+/// ones. Also sweeps stale `.tmp` leftovers from crashed writes.
+pub fn load_latest(dir: &Path) -> std::io::Result<Option<(u64, ForestState)>> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".tmp"))
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+    for (epoch, path) in list_snapshots(dir)? {
+        if let Ok((snap_epoch, state)) = read_snapshot(&path) {
+            // The file name is advisory; the payload's epoch is
+            // authoritative (and checksummed).
+            let _ = epoch;
+            return Ok(Some((snap_epoch, state)));
+        }
+    }
+    Ok(None)
+}
+
+/// Delete every snapshot strictly older than `keep_epoch`.
+pub fn remove_older_than(dir: &Path, keep_epoch: u64) -> std::io::Result<()> {
+    for (epoch, path) in list_snapshots(dir)? {
+        if epoch < keep_epoch {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rc-store-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_state() -> ForestState {
+        let mut s = ForestState::from_edges(50, &[(0, 1, 3), (1, 2, 4), (10, 20, 5)]);
+        s.weights[7] = 70;
+        s.marks = vec![1, 20];
+        s
+    }
+
+    #[test]
+    fn write_then_load_latest() {
+        let dir = tmp_dir("rt");
+        write_snapshot(&dir, 10, &sample_state()).unwrap();
+        let mut newer = sample_state();
+        newer.weights[7] = 71;
+        write_snapshot(&dir, 25, &newer).unwrap();
+        let (epoch, state) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 25);
+        assert_eq!(state, newer);
+        remove_older_than(&dir, 25).unwrap();
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        write_snapshot(&dir, 1, &sample_state()).unwrap();
+        let newest = write_snapshot(&dir, 2, &sample_state()).unwrap();
+        // Flip a payload byte in the newest file.
+        let mut raw = std::fs::read(&newest).unwrap();
+        let at = raw.len() - 3;
+        raw[at] ^= 0xFF;
+        std::fs::write(&newest, raw).unwrap();
+        let (epoch, state) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(state, sample_state());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_and_ignored() {
+        let dir = tmp_dir("tmp-sweep");
+        write_snapshot(&dir, 3, &sample_state()).unwrap();
+        let stale = dir.join(format!("{}.tmp", snapshot_file_name(9)));
+        std::fs::write(&stale, b"half-written").unwrap();
+        let (epoch, _) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 3);
+        assert!(!stale.exists(), "stale tmp swept");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let dir = tmp_dir("empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,545 @@
+//! The durability orchestrator: snapshot + WAL + batch-replay recovery.
+//!
+//! A store directory holds one [`Wal`] (`wal.rclog`) and zero or more
+//! snapshot files. The lifecycle mirrors the serve tier's epochs:
+//!
+//! 1. **Append** — each committed epoch's update batches go to the WAL
+//!    *before* the epoch's responses are released.
+//! 2. **Compact** — once the log outgrows
+//!    [`StoreConfig::compact_bytes`], the current forest state is
+//!    written as a fresh snapshot and the log is truncated.
+//! 3. **Recover** — [`Store::open`] loads the newest valid snapshot,
+//!    restores it through the batch build
+//!    ([`ForestState::build_std_forest`]), and replays the WAL suffix in
+//!    epoch-sized batches (`batch_cut` / `batch_link` / batched weight
+//!    updates per flush) — recovery itself is a batch-parallel workload,
+//!    exactly the regime the paper's batch bounds favor.
+
+use crate::codec::EpochRecord;
+use crate::snapshot;
+use crate::wal::{SyncPolicy, Wal, WAL_FILE};
+use rc_core::{BuildOptions, ForestError, ForestState, RcForest, StdAgg, StdVertexWeight};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The standard forest the store persists (the serve tier's forest type).
+pub type StoreForest = RcForest<StdAgg>;
+
+/// Durability configuration for one store directory.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Directory holding the WAL and snapshots (created if absent).
+    pub dir: PathBuf,
+    /// Vertex count used when the directory is empty (an existing
+    /// snapshot's `n` is authoritative thereafter).
+    pub n: usize,
+    /// When WAL bytes must reach the disk (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Compact (snapshot + truncate) once the WAL exceeds this many
+    /// bytes. `u64::MAX` disables compaction.
+    pub compact_bytes: u64,
+    /// Options for rebuilds during recovery.
+    pub build: BuildOptions,
+    /// Fault injection for tests: appends fail (with `ENOSPC`-style
+    /// errors) once this many have succeeded. `u64::MAX` = never. Hidden
+    /// from docs; exists so the serve tier's failure path — reject, never
+    /// hang — can be pinned end-to-end without a real full disk.
+    #[doc(hidden)]
+    pub fail_appends_after: u64,
+}
+
+impl StoreConfig {
+    /// Per-epoch-fsync durability in `dir` over `n` vertices, 8 MiB
+    /// compaction threshold.
+    pub fn new(dir: impl Into<PathBuf>, n: usize) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            n,
+            sync: SyncPolicy::PerEpoch,
+            compact_bytes: 8 << 20,
+            build: BuildOptions::default(),
+            fail_appends_after: u64::MAX,
+        }
+    }
+
+    /// Replace the sync policy.
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Replace the compaction threshold.
+    pub fn compact_threshold(mut self, bytes: u64) -> Self {
+        self.compact_bytes = bytes;
+        self
+    }
+
+    /// Interval-fsync shorthand.
+    pub fn sync_interval(self, every: Duration) -> Self {
+        self.sync_policy(SyncPolicy::Interval(every))
+    }
+}
+
+/// Anything that can go wrong opening or operating a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The on-disk state is internally inconsistent (a WAL suffix that
+    /// does not apply to the snapshot it follows).
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What [`Store::open`] found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot recovery started from (0 = none/bootstrap).
+    pub snapshot_epoch: u64,
+    /// WAL epochs replayed on top of the snapshot.
+    pub replayed_epochs: u64,
+    /// Update ops across those epochs.
+    pub replayed_ops: u64,
+    /// Torn-tail bytes discarded from the WAL.
+    pub truncated_bytes: u64,
+    /// Highest epoch in the recovered state.
+    pub last_epoch: u64,
+}
+
+/// An open store plus the recovered forest.
+pub struct Recovered {
+    /// The ready-to-append store.
+    pub store: Store,
+    /// The forest as of the last durable epoch.
+    pub forest: StoreForest,
+    /// Recovery statistics.
+    pub report: RecoveryReport,
+}
+
+/// An open durability store (see the module docs).
+pub struct Store {
+    cfg: StoreConfig,
+    wal: Wal,
+    last_epoch: u64,
+    appends: u64,
+}
+
+impl Store {
+    /// Open `cfg.dir` (creating it if needed), recover the forest, and
+    /// return the store positioned to append the next epoch.
+    pub fn open(cfg: StoreConfig) -> Result<Recovered, StoreError> {
+        Self::open_with_bootstrap(cfg, None)
+    }
+
+    /// Like [`Store::open`], but when the directory holds no state yet,
+    /// install `bootstrap` as the epoch-0 snapshot first — the durable
+    /// way to start serving a pre-built forest.
+    pub fn open_with_bootstrap(
+        cfg: StoreConfig,
+        bootstrap: Option<&ForestState>,
+    ) -> Result<Recovered, StoreError> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let mut snap = snapshot::load_latest(&cfg.dir)?;
+        if snap.is_none() {
+            if let Some(state) = bootstrap {
+                snapshot::write_snapshot(&cfg.dir, 0, state)?;
+                snap = Some((0, state.clone()));
+            }
+        }
+        let opened = Wal::open(&cfg.dir.join(WAL_FILE), cfg.sync)?;
+        let (snapshot_epoch, base) = snap.unwrap_or_else(|| (0, ForestState::empty(cfg.n)));
+        // The log's frames apply on top of the snapshot it was compacted
+        // against. If that snapshot (or a newer one) is gone — e.g. the
+        // sole snapshot file rotted after compaction deleted the older
+        // ones — replaying the suffix against an older base would
+        // *silently* produce the wrong forest. Refuse loudly instead.
+        if snapshot_epoch < opened.base_epoch {
+            return Err(StoreError::Corrupt(format!(
+                "WAL was compacted against snapshot epoch {} but the newest \
+                 readable snapshot is epoch {snapshot_epoch} — the base \
+                 snapshot is missing or corrupt",
+                opened.base_epoch
+            )));
+        }
+        let mut forest = base
+            .build_std_forest(cfg.build)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot does not build: {e}")))?;
+        let mut report = RecoveryReport {
+            snapshot_epoch,
+            truncated_bytes: opened.truncated_bytes,
+            last_epoch: snapshot_epoch,
+            ..Default::default()
+        };
+        for rec in &opened.records {
+            // Frames the last compaction made redundant (crash between
+            // snapshot install and truncation) are skipped, not re-applied.
+            if rec.epoch <= snapshot_epoch {
+                continue;
+            }
+            replay_epoch(&mut forest, rec)
+                .map_err(|e| StoreError::Corrupt(format!("epoch {}: {e}", rec.epoch)))?;
+            report.replayed_epochs += 1;
+            report.replayed_ops += rec.ops() as u64;
+            report.last_epoch = rec.epoch;
+        }
+        Ok(Recovered {
+            store: Store {
+                last_epoch: report.last_epoch,
+                cfg,
+                wal: opened.wal,
+                appends: 0,
+            },
+            forest,
+            report,
+        })
+    }
+
+    /// Append one committed epoch. Epochs must be strictly monotone.
+    ///
+    /// On an I/O error the append is rolled back (buffer discarded, file
+    /// truncated to the pre-append watermark, best effort) so the failed
+    /// epoch can never resurface at recovery as if it had been
+    /// acknowledged — the caller must treat the epoch as *not* durable.
+    pub fn append_epoch(&mut self, rec: &EpochRecord) -> std::io::Result<()> {
+        assert!(
+            rec.epoch > self.last_epoch,
+            "epoch {} appended after {}",
+            rec.epoch,
+            self.last_epoch
+        );
+        if self.appends >= self.cfg.fail_appends_after {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected append failure (fail_appends_after)",
+            ));
+        }
+        let before = self.wal.bytes();
+        if let Err(e) = self.wal.append(rec) {
+            self.wal.rollback_to(before);
+            return Err(e);
+        }
+        self.appends += 1;
+        self.last_epoch = rec.epoch;
+        Ok(())
+    }
+
+    /// Has the WAL outgrown the compaction threshold?
+    pub fn wants_compaction(&self) -> bool {
+        self.wal.bytes() > self.cfg.compact_bytes
+    }
+
+    /// Write `state` (the forest as of the last appended epoch) as a
+    /// fresh snapshot, truncate the WAL, and drop older snapshots.
+    pub fn compact(&mut self, state: &ForestState) -> Result<(), StoreError> {
+        // Order matters for crash safety: the snapshot must be durable
+        // before the WAL frames it supersedes disappear (and before the
+        // base-epoch marker claims it exists).
+        self.wal.sync()?;
+        snapshot::write_snapshot(&self.cfg.dir, self.last_epoch, state)?;
+        self.wal.truncate_to_empty(self.last_epoch)?;
+        snapshot::remove_older_than(&self.cfg.dir, self.last_epoch)?;
+        Ok(())
+    }
+
+    /// Flush + fsync the WAL now, regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Idle hook (see [`Wal::idle_sync`]): under `Interval` sync, fsync
+    /// the dirty tail when traffic pauses so the documented "lose at most
+    /// the last interval" bound holds across idle periods too.
+    pub fn idle_sync(&mut self) -> std::io::Result<()> {
+        self.wal.idle_sync()
+    }
+
+    /// Current WAL size in bytes (buffered bytes included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Highest epoch this store has durably seen.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.cfg.dir
+    }
+
+    /// The configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.wal.sync_policy()
+    }
+
+    /// Flush + fsync + close. Clean shutdown never loses an acknowledged
+    /// epoch, whatever the sync policy.
+    pub fn close(self) -> std::io::Result<()> {
+        self.wal.close()
+    }
+}
+
+/// Re-apply one epoch's committed batches through the same batch entry
+/// points the serve tier used. Within a flush, cuts precede links: the
+/// coalescer admitted every link without relying on the epoch's pending
+/// cuts (cut-dependent links forced an earlier flush, landing them in a
+/// later record), so links stay valid after the cuts are applied.
+fn replay_epoch(forest: &mut StoreForest, rec: &EpochRecord) -> Result<(), ForestError> {
+    for f in &rec.flushes {
+        if !f.cuts.is_empty() {
+            forest.batch_cut(&f.cuts)?;
+        }
+        if !f.links.is_empty() {
+            forest.batch_link(&f.links)?;
+        }
+        if !f.eweights.is_empty() {
+            forest.update_edge_weights(&f.eweights)?;
+        }
+        if !f.vweights.is_empty() {
+            let vw: Vec<(u32, StdVertexWeight)> = f
+                .vweights
+                .iter()
+                .map(|&(v, weight, marked)| (v, StdVertexWeight { weight, marked }))
+                .collect();
+            forest.update_vertex_weights(&vw)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FlushRecord;
+    use rc_core::DynamicForest;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rc-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn link_epoch(epoch: u64, links: &[(u32, u32, u64)]) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            flushes: vec![FlushRecord {
+                links: links.to_vec(),
+                ..Default::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn fresh_store_recovers_empty_then_replays_appends() {
+        let dir = tmp_dir("fresh");
+        let cfg = StoreConfig::new(&dir, 8);
+        let r = Store::open(cfg.clone()).unwrap();
+        assert_eq!(r.forest.num_edges(), 0);
+        assert_eq!(r.report, RecoveryReport::default());
+        let mut store = r.store;
+        store
+            .append_epoch(&link_epoch(1, &[(0, 1, 5), (1, 2, 6)]))
+            .unwrap();
+        store
+            .append_epoch(&EpochRecord {
+                epoch: 3,
+                flushes: vec![FlushRecord {
+                    cuts: vec![(0, 1)],
+                    links: vec![(2, 3, 7)],
+                    eweights: vec![(1, 2, 60)],
+                    vweights: vec![(3, 9, true)],
+                }],
+            })
+            .unwrap();
+        store.close().unwrap();
+
+        let r = Store::open(cfg).unwrap();
+        assert_eq!(r.report.replayed_epochs, 2);
+        assert_eq!(r.report.replayed_ops, 6);
+        assert_eq!(r.report.last_epoch, 3);
+        let mut f = r.forest;
+        assert!(!f.has_edge(0, 1));
+        assert_eq!(f.edge_weight(1, 2), Some(&60));
+        assert_eq!(DynamicForest::nearest_marked(&mut f, 2), Some((7, 3)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bootstrap_installs_epoch_zero_snapshot_once() {
+        let dir = tmp_dir("bootstrap");
+        let cfg = StoreConfig::new(&dir, 5);
+        let state = ForestState::from_edges(5, &[(0, 1, 9), (1, 2, 8)]);
+        let r = Store::open_with_bootstrap(cfg.clone(), Some(&state)).unwrap();
+        assert_eq!(r.forest.num_edges(), 2);
+        let mut store = r.store;
+        store.append_epoch(&link_epoch(1, &[(3, 4, 1)])).unwrap();
+        store.close().unwrap();
+        // A second bootstrap with different state is ignored: the
+        // directory already has history.
+        let other = ForestState::empty(5);
+        let r = Store::open_with_bootstrap(cfg, Some(&other)).unwrap();
+        assert_eq!(r.forest.num_edges(), 3);
+        assert_eq!(r.report.snapshot_epoch, 0);
+        assert_eq!(r.report.replayed_epochs, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_truncates_wal_and_survives_recovery() {
+        let dir = tmp_dir("compact");
+        let cfg = StoreConfig::new(&dir, 100).compact_threshold(256);
+        let mut r = Store::open(cfg.clone()).unwrap();
+        let mut epoch = 0;
+        let mut compactions = 0;
+        for i in 0..50u32 {
+            epoch += 1;
+            r.store
+                .append_epoch(&link_epoch(epoch, &[(i, i + 1, i as u64 + 1)]))
+                .unwrap();
+            replay_epoch(
+                &mut r.forest,
+                &link_epoch(epoch, &[(i, i + 1, i as u64 + 1)]),
+            )
+            .unwrap();
+            if r.store.wants_compaction() {
+                r.store.compact(&r.forest.export_state()).unwrap();
+                compactions += 1;
+            }
+        }
+        assert!(compactions >= 2, "threshold small enough to compact");
+        assert!(r.store.wal_bytes() < 512);
+        let want = r.forest.export_state();
+        r.store.close().unwrap();
+
+        let recovered = Store::open(cfg).unwrap();
+        assert_eq!(recovered.forest.export_state(), want);
+        assert_eq!(recovered.report.last_epoch, epoch);
+        // Only the newest snapshot is retained.
+        assert_eq!(snapshot::list_snapshots(&dir).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn wal_suffix_older_than_snapshot_is_skipped() {
+        // Crash between snapshot install and WAL truncation: frames ≤ the
+        // snapshot epoch remain but must not be re-applied.
+        let dir = tmp_dir("skip");
+        let cfg = StoreConfig::new(&dir, 10);
+        let mut r = Store::open(cfg.clone()).unwrap();
+        r.store.append_epoch(&link_epoch(1, &[(0, 1, 5)])).unwrap();
+        replay_epoch(&mut r.forest, &link_epoch(1, &[(0, 1, 5)])).unwrap();
+        // Snapshot installed but WAL deliberately *not* truncated.
+        snapshot::write_snapshot(&dir, 1, &r.forest.export_state()).unwrap();
+        r.store.append_epoch(&link_epoch(2, &[(1, 2, 6)])).unwrap();
+        r.store.close().unwrap();
+
+        let recovered = Store::open(cfg).unwrap();
+        assert_eq!(recovered.report.snapshot_epoch, 1);
+        assert_eq!(recovered.report.replayed_epochs, 1, "only epoch 2");
+        assert!(recovered.forest.has_edge(0, 1) && recovered.forest.has_edge(1, 2));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended after")]
+    fn non_monotone_epochs_are_rejected() {
+        let dir = tmp_dir("monotone");
+        let mut r = Store::open(StoreConfig::new(&dir, 4)).unwrap();
+        r.store.append_epoch(&link_epoch(2, &[(0, 1, 1)])).unwrap();
+        let _ = r.store.append_epoch(&link_epoch(2, &[(1, 2, 1)]));
+    }
+
+    #[test]
+    fn missing_base_snapshot_is_corrupt_not_silent() {
+        // Compaction deletes older snapshots; if the lone remaining
+        // snapshot later rots, the WAL suffix must NOT be replayed on an
+        // empty base — the base-epoch marker makes this loud.
+        let dir = tmp_dir("lost-snapshot");
+        let cfg = StoreConfig::new(&dir, 50).compact_threshold(64);
+        let mut r = Store::open(cfg.clone()).unwrap();
+        for i in 0..8u32 {
+            let rec = link_epoch(i as u64 + 1, &[(i, i + 1, 9)]);
+            r.store.append_epoch(&rec).unwrap();
+            replay_epoch(&mut r.forest, &rec).unwrap();
+        }
+        r.store.compact(&r.forest.export_state()).unwrap();
+        r.store
+            .append_epoch(&link_epoch(20, &[(20, 21, 1)]))
+            .unwrap();
+        r.store.close().unwrap();
+        // Rot the sole snapshot.
+        let (_, snap_path) = snapshot::list_snapshots(&dir).unwrap().pop().unwrap();
+        let mut raw = std::fs::read(&snap_path).unwrap();
+        let at = raw.len() - 2;
+        raw[at] ^= 0xFF;
+        std::fs::write(&snap_path, raw).unwrap();
+        match Store::open(cfg) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("missing or corrupt"), "{msg}")
+            }
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("silently recovered without the base snapshot"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_preserves_the_prefix() {
+        // A frame that only half-reaches the file (simulated by writing
+        // the torn bytes directly) must not resurface; appends after a
+        // rollback land cleanly.
+        let dir = tmp_dir("rollback");
+        let mut r = Store::open(StoreConfig::new(&dir, 8)).unwrap();
+        r.store.append_epoch(&link_epoch(1, &[(0, 1, 1)])).unwrap();
+        let before = r.store.wal_bytes();
+        r.store.wal.rollback_to(before); // no-op rollback at the watermark
+        assert_eq!(r.store.wal_bytes(), before);
+        r.store.append_epoch(&link_epoch(2, &[(1, 2, 1)])).unwrap();
+        r.store.close().unwrap();
+        let rec = Store::open(StoreConfig::new(&dir, 8)).unwrap();
+        assert_eq!(rec.report.replayed_epochs, 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn inconsistent_wal_is_reported_corrupt() {
+        // A WAL whose ops cannot apply to the snapshot (cut of a missing
+        // edge) must surface as Corrupt, not silently diverge.
+        let dir = tmp_dir("corrupt");
+        let cfg = StoreConfig::new(&dir, 4);
+        let mut r = Store::open(cfg.clone()).unwrap();
+        r.store
+            .append_epoch(&EpochRecord {
+                epoch: 1,
+                flushes: vec![FlushRecord {
+                    cuts: vec![(0, 1)], // never linked
+                    ..Default::default()
+                }],
+            })
+            .unwrap();
+        r.store.close().unwrap();
+        match Store::open(cfg) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("epoch 1"), "{msg}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("expected Corrupt, got a recovered store"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

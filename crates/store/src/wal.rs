@@ -1,0 +1,533 @@
+//! The write-ahead log: one append-only file of epoch frames.
+//!
+//! Layout: a 16-byte header (magic + the *base epoch* the log was last
+//! compacted against), then [`frame`](crate::frame)-encoded
+//! [`EpochRecord`]s. Opening scans the file, keeps the longest valid
+//! frame prefix, **physically truncates** any torn tail (a crash mid
+//! write leaves a half frame — standard WAL recovery), and positions
+//! appends after the last valid frame. The base epoch lets recovery
+//! refuse a log whose base snapshot is missing or corrupt instead of
+//! silently replaying the suffix against the wrong state.
+//!
+//! # Sync policy
+//!
+//! [`SyncPolicy`] is the durability/latency dial of the serve tier:
+//!
+//! * [`PerEpoch`](SyncPolicy::PerEpoch) — `write` + `fsync` before the
+//!   epoch's responses are released: an acknowledged update survives
+//!   power loss. Highest latency.
+//! * [`Interval`](SyncPolicy::Interval) — `write` on every append (the
+//!   OS has the bytes; a *process* crash loses nothing acknowledged),
+//!   `fsync` at most once per interval: power loss can lose the last
+//!   interval's epochs. Interval fsyncs piggyback on appends, so a
+//!   driver that goes idle must call [`Wal::idle_sync`] (the serve
+//!   worker does, before sleeping) — otherwise the final burst stays
+//!   volatile for as long as traffic is quiet.
+//! * [`Never`](SyncPolicy::Never) — appends accumulate in a user-space
+//!   buffer flushed by size (and always on close): minimal overhead, a
+//!   crash can lose everything since the last size-triggered flush.
+//!
+//! Every policy flushes *and* fsyncs on [`Wal::close`] — clean shutdown
+//! never loses an acknowledged epoch.
+
+use crate::codec::{decode_epoch, encode_epoch, EpochRecord};
+use crate::frame::{encode_frame, scan_frames};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening every WAL file (includes a format version).
+pub const WAL_MAGIC: [u8; 8] = *b"RCWLOG\x00\x02";
+
+/// Full header: magic + the *base epoch* (`u64` LE) — the epoch of the
+/// snapshot the log was last compacted against. Recovery refuses a log
+/// whose base epoch has no surviving snapshot ≥ it: replaying a suffix
+/// against an older (or missing) base would silently diverge.
+pub const WAL_HEADER: usize = WAL_MAGIC.len() + 8;
+
+/// File name of the log inside a store directory.
+pub const WAL_FILE: &str = "wal.rclog";
+
+/// Buffered bytes that force a flush under [`SyncPolicy::Never`].
+const NEVER_FLUSH_BYTES: usize = 64 << 10;
+
+/// When to push WAL bytes toward the disk (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `write` + `fsync` on every epoch append.
+    PerEpoch,
+    /// `write` on every append, `fsync` at most once per interval.
+    Interval(Duration),
+    /// Buffer in user space; flush by size and on close only.
+    Never,
+}
+
+/// Outcome of opening (and recovering) a WAL file.
+pub struct WalOpen {
+    /// The ready-to-append log.
+    pub wal: Wal,
+    /// Every epoch record in the valid prefix, in file order.
+    pub records: Vec<EpochRecord>,
+    /// Bytes of torn tail discarded (0 on a clean file).
+    pub truncated_bytes: u64,
+    /// Snapshot epoch this log's frames apply on top of (0 for a log
+    /// that was never compacted).
+    pub base_epoch: u64,
+}
+
+/// An open write-ahead log (see the module docs).
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Logical length: header + every appended frame (including bytes
+    /// still in `buf`).
+    bytes: u64,
+    sync: SyncPolicy,
+    buf: Vec<u8>,
+    last_fsync: Instant,
+    /// Bytes written to the file since the last fsync.
+    dirty: bool,
+    /// A truncation failed partway: the physical file layout no longer
+    /// matches the accounting, so any further write could land at a
+    /// bogus offset and masquerade as valid frames. All writes refuse.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`, recover the valid
+    /// prefix and truncate any torn tail.
+    ///
+    /// A frame that passes its checksum but fails epoch decoding is
+    /// treated like a torn tail: the scan stops and the file is truncated
+    /// there. (Checksums make this vanishingly unlikely without real
+    /// corruption; recovering the prefix beats refusing to start.) A file
+    /// cut *inside* the 16-byte header is a torn creation or a log whose
+    /// every frame is gone — either way nothing is recoverable from it,
+    /// so it restarts empty with base epoch 0.
+    pub fn open(path: &Path, sync: SyncPolicy) -> std::io::Result<WalOpen> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        if raw.len() < WAL_HEADER {
+            let magic_prefix = WAL_MAGIC.len().min(raw.len());
+            if raw[..magic_prefix] != WAL_MAGIC[..magic_prefix] {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not an rc-store WAL (bad magic)", path.display()),
+                ));
+            }
+            return Self::fresh(file, path, sync, raw.len() as u64);
+        }
+        if raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not an rc-store WAL (bad magic)", path.display()),
+            ));
+        }
+        let base_epoch = u64::from_le_bytes(raw[WAL_MAGIC.len()..WAL_HEADER].try_into().unwrap());
+        // One pass: decode frames, tracking the end offset of the last
+        // frame that decoded cleanly (a checksum-valid frame whose payload
+        // fails decoding cuts the prefix there, like a torn tail).
+        let mut records = Vec::new();
+        let mut valid_end = WAL_HEADER as u64;
+        let mut decode_failed = false;
+        scan_frames(&raw, WAL_HEADER, |payload| {
+            if decode_failed {
+                return;
+            }
+            match decode_epoch(payload) {
+                Ok(rec) => {
+                    records.push(rec);
+                    valid_end += (crate::frame::FRAME_HEADER + payload.len()) as u64;
+                }
+                Err(_) => decode_failed = true,
+            }
+        });
+        let truncated_bytes = raw.len() as u64 - valid_end;
+        if truncated_bytes > 0 {
+            file.set_len(valid_end)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok(WalOpen {
+            wal: Wal {
+                file,
+                path: path.to_path_buf(),
+                bytes: valid_end,
+                sync,
+                buf: Vec::new(),
+                last_fsync: Instant::now(),
+                dirty: false,
+                poisoned: false,
+            },
+            records,
+            truncated_bytes,
+            base_epoch,
+        })
+    }
+
+    /// (Re)initialize `file` as an empty log with base epoch 0.
+    fn fresh(
+        mut file: File,
+        path: &Path,
+        sync: SyncPolicy,
+        truncated_bytes: u64,
+    ) -> std::io::Result<WalOpen> {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&0u64.to_le_bytes())?;
+        file.sync_all()?;
+        sync_parent_dir(path)?;
+        Ok(WalOpen {
+            wal: Wal {
+                file,
+                path: path.to_path_buf(),
+                bytes: WAL_HEADER as u64,
+                sync,
+                buf: Vec::new(),
+                last_fsync: Instant::now(),
+                dirty: false,
+                poisoned: false,
+            },
+            records: Vec::new(),
+            truncated_bytes,
+            base_epoch: 0,
+        })
+    }
+
+    /// Append one epoch record and apply the sync policy. On return under
+    /// [`SyncPolicy::PerEpoch`] the record is on disk; under `Interval`
+    /// it is in the OS; under `Never` it may still be buffered.
+    pub fn append(&mut self, rec: &EpochRecord) -> std::io::Result<()> {
+        self.poison_check()?;
+        let payload = encode_epoch(rec);
+        let before = self.buf.len();
+        encode_frame(&mut self.buf, &payload);
+        self.bytes += (self.buf.len() - before) as u64;
+        match self.sync {
+            SyncPolicy::PerEpoch => {
+                self.flush_buf()?;
+                self.fsync()?;
+            }
+            SyncPolicy::Interval(every) => {
+                self.flush_buf()?;
+                if self.dirty && self.last_fsync.elapsed() >= every {
+                    self.fsync()?;
+                }
+            }
+            SyncPolicy::Never => {
+                if self.buf.len() >= NEVER_FLUSH_BYTES {
+                    self.flush_buf()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Logical size in bytes (header + frames, buffered included) — the
+    /// compaction trigger.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The configured policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn poison_check(&self) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "WAL poisoned by a partially failed truncation; no further writes",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Write buffered frames to the file.
+    fn flush_buf(&mut self) -> std::io::Result<()> {
+        self.poison_check()?;
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> std::io::Result<()> {
+        if self.dirty {
+            self.file.sync_all()?;
+            self.dirty = false;
+            self.last_fsync = Instant::now();
+        }
+        Ok(())
+    }
+
+    /// Flush buffers and fsync now, regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.flush_buf()?;
+        self.fsync()
+    }
+
+    /// Has a failed truncation made this log unwritable?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Best-effort rollback to a previous [`Wal::bytes`] watermark after
+    /// a failed append: discard buffered bytes and truncate the file so
+    /// the half-written (or durability-ambiguous) frame cannot resurface
+    /// at recovery as if it had been acknowledged. Errors are swallowed —
+    /// the caller is already on a failure path, and a leftover partial
+    /// frame is still cut by the torn-tail scan.
+    pub fn rollback_to(&mut self, bytes: u64) {
+        // Under `Never`, `bytes` (a logical watermark) can exceed the
+        // physical file: acknowledged-but-buffered epochs die with the
+        // discarded buffer, exactly as the policy's crash contract allows.
+        self.buf.clear();
+        let file_keep = match self.file.metadata() {
+            Ok(m) => m.len().min(bytes),
+            Err(_) => return, // fd unusable; torn-tail scan cleans up later
+        };
+        if self.file.set_len(file_keep).is_ok() {
+            let _ = self.file.seek(SeekFrom::Start(file_keep));
+            let _ = self.file.sync_all();
+        }
+        self.bytes = file_keep;
+        self.dirty = false;
+    }
+
+    /// Drop every frame (after the snapshot for `base_epoch` made them
+    /// redundant): truncate back to the header, record the new base
+    /// epoch, fsync. The caller must have made that snapshot durable
+    /// *first* — the base epoch is what lets recovery detect a log whose
+    /// base snapshot has gone missing.
+    pub fn truncate_to_empty(&mut self, base_epoch: u64) -> std::io::Result<()> {
+        self.poison_check()?;
+        self.buf.clear();
+        // Any failure below leaves the file layout out of step with the
+        // accounting (cursor inside the header, stale length): poison the
+        // log so no later write can land at a bogus offset and surface at
+        // recovery as a valid frame. The caller must stop serving.
+        let result = (|| -> std::io::Result<()> {
+            self.file.set_len(WAL_HEADER as u64)?;
+            self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+            self.file.write_all(&base_epoch.to_le_bytes())?;
+            self.file.seek(SeekFrom::Start(WAL_HEADER as u64))?;
+            self.file.sync_all()?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.poisoned = true;
+            return result;
+        }
+        self.bytes = WAL_HEADER as u64;
+        self.dirty = false;
+        self.last_fsync = Instant::now();
+        Ok(())
+    }
+
+    /// Idle hook for [`SyncPolicy::Interval`]: fsync any dirty tail now
+    /// that no traffic is arriving (interval fsyncs otherwise only
+    /// piggyback on appends, which would leave the final burst volatile
+    /// for as long as the queue stays empty). No-op for other policies —
+    /// `PerEpoch` is never dirty, `Never` opts out of fsync by design.
+    pub fn idle_sync(&mut self) -> std::io::Result<()> {
+        if matches!(self.sync, SyncPolicy::Interval(_)) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush + fsync + close. Clean shutdown must come through here (or
+    /// [`Wal::sync`]) so no acknowledged tail stays buffered; `Drop` also
+    /// flushes best-effort.
+    pub fn close(mut self) -> std::io::Result<()> {
+        self.sync()
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if !self.poisoned {
+            let _ = self.flush_buf();
+            let _ = self.fsync();
+        }
+    }
+}
+
+/// fsync the parent directory so a freshly created file's directory entry
+/// is durable (no-op if the parent cannot be opened — e.g. on platforms
+/// without directory fds).
+pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FlushRecord;
+
+    fn rec(epoch: u64, links: &[(u32, u32, u64)]) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            flushes: vec![FlushRecord {
+                links: links.to_vec(),
+                ..Default::default()
+            }],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rc-store-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::PerEpoch).unwrap().wal;
+        for e in 1..=5u64 {
+            wal.append(&rec(e, &[(e as u32, e as u32 + 1, e)])).unwrap();
+        }
+        wal.close().unwrap();
+        let opened = Wal::open(&path, SyncPolicy::PerEpoch).unwrap();
+        assert_eq!(opened.truncated_bytes, 0);
+        assert_eq!(
+            opened.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_byte_offset() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::PerEpoch).unwrap().wal;
+        wal.append(&rec(1, &[(0, 1, 7)])).unwrap();
+        let keep = std::fs::metadata(&path).unwrap().len();
+        wal.append(&rec(2, &[(1, 2, 8), (3, 4, 9)])).unwrap();
+        wal.close().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in keep..full.len() as u64 {
+            let p = dir.join(format!("cut-{cut}.rclog"));
+            std::fs::write(&p, &full[..cut as usize]).unwrap();
+            let opened = Wal::open(&p, SyncPolicy::PerEpoch).unwrap();
+            assert_eq!(opened.records.len(), 1, "cut {cut}");
+            assert_eq!(opened.records[0].epoch, 1);
+            assert_eq!(opened.truncated_bytes, cut - keep);
+            assert_eq!(std::fs::metadata(&p).unwrap().len(), keep, "cut {cut}");
+            drop(opened);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn appends_resume_after_torn_tail_recovery() {
+        let dir = tmp_dir("resume");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::PerEpoch).unwrap().wal;
+        wal.append(&rec(1, &[(0, 1, 7)])).unwrap();
+        wal.close().unwrap();
+        // Simulate a torn write.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0xAB; 5]);
+        std::fs::write(&path, &raw).unwrap();
+        let mut opened = Wal::open(&path, SyncPolicy::PerEpoch).unwrap();
+        assert_eq!(opened.truncated_bytes, 5);
+        opened.wal.append(&rec(2, &[(1, 2, 8)])).unwrap();
+        opened.wal.close().unwrap();
+        let reread = Wal::open(&path, SyncPolicy::PerEpoch).unwrap();
+        assert_eq!(
+            reread.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn never_policy_buffers_until_close() {
+        let dir = tmp_dir("never");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap().wal;
+        wal.append(&rec(1, &[(0, 1, 7)])).unwrap();
+        // Nothing past the header reached the file yet...
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), WAL_HEADER as u64);
+        assert!(wal.bytes() > WAL_HEADER as u64);
+        // ...but close flushes the pending tail.
+        wal.close().unwrap();
+        let opened = Wal::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncate_to_empty_resets_for_compaction() {
+        let dir = tmp_dir("compact");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::PerEpoch).unwrap().wal;
+        for e in 1..=3 {
+            wal.append(&rec(e, &[(0, 1, e)])).unwrap();
+        }
+        wal.truncate_to_empty(3).unwrap();
+        assert_eq!(wal.bytes(), WAL_HEADER as u64);
+        wal.append(&rec(4, &[(0, 1, 4)])).unwrap();
+        wal.close().unwrap();
+        let opened = Wal::open(&path, SyncPolicy::PerEpoch).unwrap();
+        assert_eq!(
+            opened.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![4]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_header_recovers_as_empty() {
+        let dir = tmp_dir("torn-header");
+        let path = dir.join(WAL_FILE);
+        let mut full_header = WAL_MAGIC.to_vec();
+        full_header.extend_from_slice(&7u64.to_le_bytes());
+        for cut in 0..WAL_HEADER {
+            std::fs::write(&path, &full_header[..cut]).unwrap();
+            let opened = Wal::open(&path, SyncPolicy::PerEpoch).unwrap();
+            assert!(opened.records.is_empty(), "cut {cut}");
+            assert_eq!(opened.truncated_bytes, cut as u64);
+            drop(opened);
+        }
+        // A non-prefix short file is still foreign.
+        std::fs::write(&path, b"XYZ").unwrap();
+        assert!(Wal::open(&path, SyncPolicy::PerEpoch).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let dir = tmp_dir("foreign");
+        let path = dir.join(WAL_FILE);
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(Wal::open(&path, SyncPolicy::PerEpoch).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -19,8 +19,8 @@
 use crate::TernaryForest;
 use rc_core::aggregate::{ClusterAggregate, GroupPathAggregate, PathAggregate, SubtreeAggregate};
 use rc_core::{
-    DynamicForest, EdgeRef, ForestError, NearestMarkedAgg, NearestMarkedAggregate, PathSummary,
-    StdAgg, StdVertexWeight, Vertex,
+    DynamicForest, EdgeRef, ForestError, ForestState, NearestMarkedAgg, NearestMarkedAggregate,
+    PathSummary, StdAgg, StdVertexWeight, Vertex,
 };
 
 /// The ternary backend forest: arbitrary degree, every query family.
@@ -288,6 +288,33 @@ impl DynamicForest for TernaryStdForest {
 
     fn batch_nearest_marked(&mut self, vs: &[Vertex]) -> Vec<Option<(u64, Vertex)>> {
         TernaryForest::batch_nearest_marked(self, vs)
+    }
+
+    fn export_state(&self) -> ForestState {
+        let n = TernaryForest::num_vertices(self);
+        // Real edges are the inner edges carrying `Some` weights (chain
+        // edges are `None`); cross-edge endpoints are dummies, mapped back
+        // to their owning real vertices. Weights and marks live on the
+        // real inner ids directly.
+        let edges = self
+            .inner()
+            .edge_list()
+            .into_iter()
+            .filter_map(|(u, v, w)| w.map(|w| (self.owner_of(u), self.owner_of(v), w)))
+            .collect();
+        let inner = self.inner();
+        let mut state = ForestState {
+            n,
+            edges,
+            weights: (0..n as Vertex)
+                .map(|v| inner.vertex_weight(v).weight)
+                .collect(),
+            marks: (0..n as Vertex)
+                .filter(|&v| inner.vertex_weight(v).marked)
+                .collect(),
+        };
+        state.canonicalize();
+        state
     }
 }
 

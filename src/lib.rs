@@ -11,12 +11,13 @@
 
 pub use rc_core::*;
 pub use rc_gen::{
-    apply_op, assert_backends_agree, paper_configs, Arrival, ChainDist, DifferentialReport,
-    ForestGenConfig, GeneratedForest, OpMix, OpResponse, RequestStream, RequestStreamConfig,
-    StreamOp,
+    apply_op, assert_backends_agree, paper_configs, truncation_offsets, Arrival, ChainDist,
+    DifferentialReport, ForestGenConfig, GeneratedForest, OpMix, OpResponse, RequestStream,
+    RequestStreamConfig, StreamOp,
 };
 pub use rc_lct::LctForest;
 pub use rc_msf::{kruskal, BatchStats, IncrementalMsf, UnionFind};
 pub use rc_parlay as parlay;
 pub use rc_serve as serve;
+pub use rc_store as store;
 pub use rc_ternary::{TernaryForest, TernaryStdForest};

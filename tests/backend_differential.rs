@@ -172,3 +172,89 @@ fn rc_vs_naive_under_multithreaded_pool() {
     assert_eq!(report.ops, ops);
     assert!(report.rejected > 0, "error paths exercised under the pool");
 }
+
+/// State export round-trips on every backend: drive a backend through a
+/// seeded stream, `export_state`, load the export into a fresh instance
+/// of the same backend, and demand (a) the re-export is identical and
+/// (b) both answer a probe battery across the query families alike.
+/// Exports are canonical, so (a) is plain `==`.
+#[test]
+fn export_state_round_trips_on_every_backend() {
+    use rcforest::{apply_op, RequestStream};
+
+    fn churn<B: DynamicForest>(f: &mut B, n: usize, seed: u64) {
+        let mut stream = RequestStream::new(stream_cfg(n, seed, 1 << 20));
+        f.batch_link(&stream.initial_edges())
+            .expect("initial build");
+        for op in stream.ops(1_500) {
+            apply_op(f, &op);
+        }
+    }
+
+    fn probe<A: DynamicForest, B: DynamicForest>(a: &mut A, b: &mut B, n: u32) {
+        for i in 0..64u32 {
+            let (u, v, r) = (i * 7 % n, (i * 13 + 1) % n, (i * 29 + 3) % n);
+            assert_eq!(a.connected(u, v), b.connected(u, v), "connected {u},{v}");
+            assert_eq!(a.path_sum(u, v), b.path_sum(u, v), "path_sum {u},{v}");
+            assert_eq!(
+                a.path_extrema(u, v),
+                b.path_extrema(u, v),
+                "extrema {u},{v}"
+            );
+            assert_eq!(a.lca(u, v, r), b.lca(u, v, r), "lca {u},{v},{r}");
+            assert_eq!(a.subtree_sum(u, v), b.subtree_sum(u, v), "subtree {u},{v}");
+            assert_eq!(a.nearest_marked(u), b.nearest_marked(u), "near {u}");
+        }
+    }
+
+    fn round_trip<B: DynamicForest>(original: &mut B, fresh: &mut B, n: usize) {
+        let state = original.export_state();
+        state.validate().expect("canonical export");
+        fresh.import_state(&state).expect("import of valid state");
+        assert_eq!(
+            fresh.export_state(),
+            state,
+            "{}: import → export not identity",
+            original.backend_name()
+        );
+        probe(original, fresh, n as u32);
+    }
+
+    let n = 300;
+    let seed = 0x57A7E;
+
+    let mut rc = RcForest::<StdAgg>::new(n);
+    churn(&mut rc, n, seed);
+    round_trip(&mut rc, &mut RcForest::<StdAgg>::new(n), n);
+
+    let mut nv = NaiveStdForest::with_max_degree(n, Some(3));
+    churn(&mut nv, n, seed);
+    round_trip(&mut nv, &mut NaiveStdForest::with_max_degree(n, Some(3)), n);
+
+    let mut lct = LctForest::with_max_degree(n, Some(3));
+    churn(&mut lct, n, seed);
+    round_trip(&mut lct, &mut LctForest::with_max_degree(n, Some(3)), n);
+
+    let mut tern = TernaryStdForest::new_std(n);
+    churn(&mut tern, n, seed);
+    round_trip(&mut tern, &mut TernaryStdForest::new_std(n), n);
+
+    // The same stream produced the same logical state everywhere except
+    // the uncapped ternary backend (it accepts degree-overflow links the
+    // capped ones reject) — canonical exports make that comparable too.
+    assert_eq!(rc.export_state(), nv.export_state(), "rc vs naive state");
+    assert_eq!(rc.export_state(), lct.export_state(), "rc vs lct state");
+
+    // And a cross-backend restore: an RC export imports into a fresh LCT
+    // (caps are compatible: RC states are degree-≤3 by construction).
+    let mut lct2 = LctForest::with_max_degree(n, Some(3));
+    lct2.import_state(&rc.export_state()).expect("cross import");
+    assert_eq!(lct2.export_state(), rc.export_state());
+
+    // ForestState::build_std_forest is the snapshot-restore path.
+    let rebuilt = rc
+        .export_state()
+        .build_std_forest(rcforest::BuildOptions::default())
+        .expect("state is a valid forest");
+    assert_eq!(DynamicForest::export_state(&rebuilt), rc.export_state());
+}

@@ -1,11 +1,15 @@
-//! `rc-serve` load driver: coalesced vs forced size-1 epochs across a
-//! thread sweep, closed- and open-loop, writing `BENCH_serve.json` so the
-//! serving-throughput trajectory is tracked across PRs.
+//! `rc-serve` load driver: pipelined vs coalesced vs forced size-1
+//! epochs across a thread sweep (closed loop), plus an offered-load sweep
+//! (open loop) tracing the latency-vs-load curve per mode, writing
+//! `BENCH_serve.json` so the serving-throughput trajectory is tracked
+//! across PRs.
 //!
 //! Scale via `RC_BENCH_SCALE` (`tiny` for CI smoke, `large` for a full
 //! machine); `RC_SERVE_OUT` overrides the output path.
 
-use rc_bench::serve_driver::{coalesced_policy, default_stream, run_load, LoadResult, LoadSpec};
+use rc_bench::serve_driver::{
+    coalesced_policy, default_stream, pipelined_policy, run_load, LoadResult, LoadSpec,
+};
 use rc_bench::{scale, Table};
 use rc_gen::Arrival;
 use rc_serve::{ServeConfig, SyncPolicy};
@@ -15,6 +19,8 @@ struct Row {
     mode: &'static str,
     loop_kind: &'static str,
     durability: &'static str,
+    /// Open-loop offered load in ops/sec (0 for closed loop).
+    offered: f64,
     r: LoadResult,
 }
 
@@ -29,14 +35,21 @@ fn main() {
         _ => (20_000, 6_000, 1_024),
     };
     let threads_sweep: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= 8).collect();
-    println!("# serve_load — n={n}, {ops_per_thread} ops/thread, window {window}");
+    let machine_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "# serve_load — n={n}, {ops_per_thread} ops/thread, window {window}, \
+         machine parallelism {machine_parallelism}"
+    );
     let t = Table::new(
-        "Coalesced epochs vs size-1 epochs (closed loop) + open-loop arrivals + WAL",
+        "Pipelined vs coalesced vs size-1 epochs (closed loop) + WAL + offered-load sweep",
         &[
             "mode",
             "loop",
             "wal",
             "threads",
+            "offered/s",
             "ops/sec",
             "mean batch",
             "max batch",
@@ -47,11 +60,32 @@ fn main() {
             "errors",
         ],
     );
+    let print_row = |t: &Table, row: &Row| {
+        t.row(&[
+            row.mode.into(),
+            row.loop_kind.into(),
+            row.durability.into(),
+            row.r.threads.to_string(),
+            if row.offered > 0.0 {
+                format!("{:.0}", row.offered)
+            } else {
+                "-".into()
+            },
+            format!("{:.0}", row.r.ops_per_sec),
+            format!("{:.1}", row.r.mean_batch),
+            row.r.max_batch.to_string(),
+            row.r.epochs.to_string(),
+            format!("{:.1}", row.r.p50_us),
+            format!("{:.1}", row.r.p95_us),
+            format!("{:.1}", row.r.p99_us),
+            row.r.error_responses.to_string(),
+        ]);
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     for &threads in &threads_sweep {
         let stream = default_stream(n, 42 + threads as u64);
-        // Coalesced, closed loop.
+        // Coalesced (strict alternation), closed loop — the baseline.
         let coalesced = run_load(&LoadSpec {
             threads,
             ops_per_thread,
@@ -65,7 +99,26 @@ fn main() {
             mode: "coalesced",
             loop_kind: "closed",
             durability: "none",
+            offered: 0.0,
             r: coalesced,
+        });
+        // Pipelined (depth 1), closed loop — epoch E's query phase
+        // overlaps epoch E+1's update phase.
+        let pipelined = run_load(&LoadSpec {
+            threads,
+            ops_per_thread,
+            window,
+            open_loop: false,
+            stream: stream.clone(),
+            server: pipelined_policy(threads, window),
+            durability: None,
+        });
+        rows.push(Row {
+            mode: "pipelined",
+            loop_kind: "closed",
+            durability: "none",
+            offered: 0.0,
+            r: pipelined,
         });
         // Coalesced + WAL (per-epoch fsync), closed loop: the durability
         // overhead at the same batching policy.
@@ -82,6 +135,7 @@ fn main() {
             mode: "coalesced",
             loop_kind: "closed",
             durability: "wal_per_epoch",
+            offered: 0.0,
             r: walled,
         });
         // Forced size-1 epochs, closed loop.
@@ -98,52 +152,64 @@ fn main() {
             mode: "size1",
             loop_kind: "closed",
             durability: "none",
+            offered: 0.0,
             r: size1,
         });
-        // Coalesced, open loop: Poisson arrivals at a rate the coalesced
-        // server sustains (~60% of its closed-loop throughput per thread).
-        let closed_rate = rows[rows.len() - 3].r.ops_per_sec;
-        let per_thread = (closed_rate * 0.6 / threads as f64).max(1_000.0);
+        for row in rows.iter().rev().take(4).rev() {
+            print_row(&t, row);
+        }
+    }
+
+    // Offered-load sweep at the top thread count: open-loop Poisson
+    // arrivals at 30/60/90% of the coalesced closed-loop throughput, for
+    // both modes — the latency-vs-offered-load curve that shows where the
+    // overlap pays (the update-phase shadow leaves the pipelined server
+    // headroom the alternating one spends blocked).
+    let top = *threads_sweep.last().unwrap();
+    let closed_rate = rows
+        .iter()
+        .find(|r| {
+            r.mode == "coalesced"
+                && r.loop_kind == "closed"
+                && r.durability == "none"
+                && r.r.threads == top
+        })
+        .map(|r| r.r.ops_per_sec)
+        .unwrap_or(0.0);
+    let stream = default_stream(n, 42 + top as u64);
+    for &frac in &[0.3f64, 0.6, 0.9] {
+        let offered = (closed_rate * frac).max(1_000.0);
+        let per_thread = offered / top as f64;
         let mut open_stream = stream.clone();
         open_stream.arrival = Arrival::Steady {
             mean_gap_ns: (1e9 / per_thread) as u64,
         };
-        let open = run_load(&LoadSpec {
-            threads,
-            ops_per_thread,
-            window,
-            open_loop: true,
-            stream: open_stream,
-            server: coalesced_policy(threads, window),
-            durability: None,
-        });
-        rows.push(Row {
-            mode: "coalesced",
-            loop_kind: "open",
-            durability: "none",
-            r: open,
-        });
-        for row in rows.iter().rev().take(4).rev() {
-            t.row(&[
-                row.mode.into(),
-                row.loop_kind.into(),
-                row.durability.into(),
-                row.r.threads.to_string(),
-                format!("{:.0}", row.r.ops_per_sec),
-                format!("{:.1}", row.r.mean_batch),
-                row.r.max_batch.to_string(),
-                row.r.epochs.to_string(),
-                format!("{:.1}", row.r.p50_us),
-                format!("{:.1}", row.r.p95_us),
-                format!("{:.1}", row.r.p99_us),
-                row.r.error_responses.to_string(),
-            ]);
+        for (mode, server) in [
+            ("coalesced", coalesced_policy(top, window)),
+            ("pipelined", pipelined_policy(top, window)),
+        ] {
+            let r = run_load(&LoadSpec {
+                threads: top,
+                ops_per_thread,
+                window,
+                open_loop: true,
+                stream: open_stream.clone(),
+                server,
+                durability: None,
+            });
+            rows.push(Row {
+                mode,
+                loop_kind: "open",
+                durability: "none",
+                offered,
+                r,
+            });
+            print_row(&t, rows.last().unwrap());
         }
     }
 
-    // Acceptance metrics: coalesced vs size-1, and the WAL tax, at the
-    // top thread count.
-    let top = *threads_sweep.last().unwrap();
+    // Acceptance metrics: pipelined vs coalesced, coalesced vs size-1,
+    // and the WAL tax, at the top thread count.
     let tput = |mode: &str, loop_kind: &str, durability: &str| {
         rows.iter()
             .find(|r| {
@@ -156,6 +222,8 @@ fn main() {
             .unwrap_or(0.0)
     };
     let speedup = tput("coalesced", "closed", "none") / tput("size1", "closed", "none").max(1e-9);
+    let overlap =
+        tput("pipelined", "closed", "none") / tput("coalesced", "closed", "none").max(1e-9);
     let wal_relative = tput("coalesced", "closed", "wal_per_epoch")
         / tput("coalesced", "closed", "none").max(1e-9);
     let max_batch_top = rows
@@ -172,6 +240,10 @@ fn main() {
         "\ncoalesced vs size-1 at {top} threads: {speedup:.2}x (max coalesced batch {max_batch_top})"
     );
     println!(
+        "pipelined vs coalesced at {top} threads: {overlap:.2}x \
+         (machine parallelism {machine_parallelism})"
+    );
+    println!(
         "WAL (per-epoch fsync) keeps {:.0}% of in-memory throughput",
         wal_relative * 100.0
     );
@@ -185,13 +257,14 @@ fn main() {
     let _ = writeln!(json, "  \"ops_per_thread\": {ops_per_thread},");
     let _ = writeln!(json, "  \"window\": {window},");
     let _ = writeln!(json, "  \"mix\": \"query_heavy\",");
+    let _ = writeln!(json, "  \"machine_parallelism\": {machine_parallelism},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "    {{\"mode\": \"{}\", \"loop\": \"{}\", \"durability\": \"{}\", \
-             \"threads\": {}, \"ops\": {}, \
+             \"threads\": {}, \"offered_ops_per_sec\": {:.1}, \"ops\": {}, \
              \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"epochs\": {}, \
              \"mean_batch\": {:.1}, \"max_batch\": {}, \"flushes\": {}, \
              \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
@@ -200,6 +273,7 @@ fn main() {
             row.loop_kind,
             row.durability,
             row.r.threads,
+            row.offered,
             row.r.ops,
             row.r.elapsed.as_secs_f64(),
             row.r.ops_per_sec,
@@ -218,6 +292,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_coalesced_vs_size1_at_{top}_threads\": {speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pipelined_vs_coalesced_at_{top}_threads\": {overlap:.3},"
     );
     let _ = writeln!(
         json,

@@ -88,6 +88,17 @@ pub trait DynamicForest {
     /// structures). Workload generators use it to shape valid streams.
     fn max_degree(&self) -> Option<usize>;
 
+    /// Cheap monotone version stamp: advances at least once per
+    /// successful state-changing operation and never otherwise, so two
+    /// equal reads bracket an unchanged forest. This is the plumbing MVCC
+    /// consumers (the serve tier's pipelined epochs) use to tag published
+    /// read-only handles without hashing state. Backends that do not
+    /// track versions return `0`; consumers must treat `0` as "no
+    /// information", never as "unchanged".
+    fn version(&self) -> u64 {
+        0
+    }
+
     // ---- updates ----
 
     /// Insert edge `{u, v}` with weight `w`.
@@ -244,6 +255,10 @@ impl DynamicForest for RcForest<StdAgg> {
         Some(crate::types::MAX_DEGREE)
     }
 
+    fn version(&self) -> u64 {
+        RcForest::version(self)
+    }
+
     fn link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
         RcForest::batch_link(self, &[(u, v, w)])
     }
@@ -385,6 +400,7 @@ pub struct NaiveStdForest {
     vweights: Vec<u64>,
     marked: Vec<bool>,
     cap: Option<usize>,
+    version: u64,
 }
 
 impl NaiveStdForest {
@@ -401,6 +417,7 @@ impl NaiveStdForest {
             vweights: vec![0; n],
             marked: vec![false; n],
             cap,
+            version: 0,
         }
     }
 
@@ -462,6 +479,10 @@ impl DynamicForest for NaiveStdForest {
         self.cap
     }
 
+    fn version(&self) -> u64 {
+        self.version
+    }
+
     fn link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
         self.range_check(u)?;
         self.range_check(v)?;
@@ -482,6 +503,7 @@ impl DynamicForest for NaiveStdForest {
             return Err(ForestError::WouldCreateCycle { u, v });
         }
         self.forest.link(u, v, w).expect("checked link");
+        self.version += 1;
         Ok(())
     }
 
@@ -492,6 +514,7 @@ impl DynamicForest for NaiveStdForest {
             return Err(ForestError::MissingEdge { u, v });
         }
         self.forest.cut(u, v).expect("checked cut");
+        self.version += 1;
         Ok(())
     }
 
@@ -501,18 +524,21 @@ impl DynamicForest for NaiveStdForest {
         }
         self.forest.cut(u, v).expect("exists");
         self.forest.link(u, v, w).expect("relink");
+        self.version += 1;
         Ok(())
     }
 
     fn set_vertex_weight(&mut self, v: Vertex, w: u64) -> Result<(), ForestError> {
         self.range_check(v)?;
         self.vweights[v as usize] = w;
+        self.version += 1;
         Ok(())
     }
 
     fn set_mark(&mut self, v: Vertex, marked: bool) -> Result<(), ForestError> {
         self.range_check(v)?;
         self.marked[v as usize] = marked;
+        self.version += 1;
         Ok(())
     }
 

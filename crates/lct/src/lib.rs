@@ -104,6 +104,9 @@ pub struct LctForest {
     marked: BTreeSet<Vertex>,
     n: usize,
     cap: Option<usize>,
+    /// Monotone stamp for [`DynamicForest::version`]: bumped once per
+    /// successful mutation.
+    version: u64,
     /// Reusable root-to-node path buffer for `splay`'s flip push-down.
     splay_scratch: Vec<u32>,
 }
@@ -125,6 +128,7 @@ impl LctForest {
             marked: BTreeSet::new(),
             n,
             cap,
+            version: 0,
             splay_scratch: Vec::new(),
         }
     }
@@ -534,12 +538,16 @@ impl DynamicForest for LctForest {
         self.cap
     }
 
+    fn version(&self) -> u64 {
+        self.version
+    }
+
     fn link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
-        self.do_link(u, v, w)
+        self.do_link(u, v, w).inspect(|()| self.version += 1)
     }
 
     fn cut(&mut self, u: Vertex, v: Vertex) -> Result<(), ForestError> {
-        self.do_cut(u, v)
+        self.do_cut(u, v).inspect(|()| self.version += 1)
     }
 
     fn set_edge_weight(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
@@ -553,6 +561,7 @@ impl DynamicForest for LctForest {
         let er = self.nodes[e as usize].edge.as_mut().expect("edge node");
         er.w = w;
         self.pull(e);
+        self.version += 1;
         Ok(())
     }
 
@@ -563,6 +572,7 @@ impl DynamicForest for LctForest {
         self.access(v);
         self.nodes[v as usize].vweight = w;
         self.pull(v);
+        self.version += 1;
         Ok(())
     }
 
@@ -575,6 +585,7 @@ impl DynamicForest for LctForest {
         } else {
             self.marked.remove(&v);
         }
+        self.version += 1;
         Ok(())
     }
 

@@ -1,0 +1,133 @@
+//! Shared read-only query execution: one batch call per family, over an
+//! `&`-forest.
+//!
+//! Both halves of the pipelined coalescer run queries through this module
+//! — the epoch worker (inline, strict-alternation mode) and the query
+//! executor thread (pipelined mode, against a published immutable
+//! version) — as do client-held [`crate::Snapshot`]s. Everything here
+//! takes the forest by shared reference: the RC forest's batch query
+//! entry points are `&self` (scratch comes from an internal pool), which
+//! is exactly what lets a non-owning executor sweep version E while the
+//! worker mutates the live forest for epoch E+1.
+
+use crate::agg::ServeForest;
+use crate::request::{CptResult, Request, Response};
+use rc_core::NO_VERTEX;
+
+/// Answer a slice of requests against `forest`, grouping queries by
+/// family into one batch call each. Update requests answer
+/// [`Response::Rejected`]: this executor is read-only by construction
+/// (the coalescer never routes updates here; snapshots may).
+pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Vec<Response> {
+    let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+
+    let mut conn: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut repr: (Vec<u32>, Vec<usize>) = Default::default();
+    let mut path: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut subtree: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut lca: (Vec<(u32, u32, u32)>, Vec<usize>) = Default::default();
+    let mut bottleneck: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
+    let mut near: (Vec<u32>, Vec<usize>) = Default::default();
+
+    for (i, req) in requests.iter().enumerate() {
+        match req {
+            Request::Connected { u, v } => {
+                conn.0.push((*u, *v));
+                conn.1.push(i);
+            }
+            Request::Representative { v } => {
+                repr.0.push(*v);
+                repr.1.push(i);
+            }
+            Request::PathSum { u, v } => {
+                path.0.push((*u, *v));
+                path.1.push(i);
+            }
+            Request::SubtreeSum { v, parent } => {
+                subtree.0.push((*v, *parent));
+                subtree.1.push(i);
+            }
+            Request::Lca { u, v, r } => {
+                lca.0.push((*u, *v, *r));
+                lca.1.push(i);
+            }
+            Request::Bottleneck { u, v } => {
+                bottleneck.0.push((*u, *v));
+                bottleneck.1.push(i);
+            }
+            Request::NearestMarked { v } => {
+                near.0.push(*v);
+                near.1.push(i);
+            }
+            Request::Cpt { terminals } => {
+                let cpt = forest.compressed_path_tree(terminals);
+                responses[i] = Some(Response::Cpt(CptResult {
+                    vertices: cpt.vertices,
+                    edges: cpt.edges,
+                }));
+            }
+            _ => responses[i] = Some(Response::Rejected),
+        }
+    }
+
+    if !conn.0.is_empty() {
+        for (ans, &i) in forest.batch_connected(&conn.0).into_iter().zip(&conn.1) {
+            responses[i] = Some(Response::Bool(ans));
+        }
+    }
+    if !repr.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_find_representatives(&repr.0)
+            .into_iter()
+            .zip(&repr.1)
+        {
+            responses[i] = Some(Response::Vertex((ans != NO_VERTEX).then_some(ans)));
+        }
+    }
+    if !path.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_path_aggregate(&path.0)
+            .into_iter()
+            .zip(&path.1)
+        {
+            responses[i] = Some(Response::Sum(ans.map(|p| p.sum)));
+        }
+    }
+    if !subtree.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_subtree_aggregate(&subtree.0)
+            .into_iter()
+            .zip(&subtree.1)
+        {
+            responses[i] = Some(Response::Sum(ans));
+        }
+    }
+    if !lca.0.is_empty() {
+        for (ans, &i) in forest.batch_lca(&lca.0).into_iter().zip(&lca.1) {
+            responses[i] = Some(Response::Vertex(ans));
+        }
+    }
+    if !bottleneck.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_path_extrema(&bottleneck.0)
+            .into_iter()
+            .zip(&bottleneck.1)
+        {
+            responses[i] = Some(Response::Extrema(ans));
+        }
+    }
+    if !near.0.is_empty() {
+        for (ans, &i) in forest
+            .batch_nearest_marked(&near.0)
+            .into_iter()
+            .zip(&near.1)
+        {
+            responses[i] = Some(Response::Near(ans));
+        }
+    }
+
+    responses
+        .into_iter()
+        .map(|r| r.expect("every query family answered"))
+        .collect()
+}

@@ -2,15 +2,45 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const BUCKETS: usize = 64;
+/// 8 exact sub-8ns buckets + 4 sub-buckets per octave for exponents
+/// 3..=63: `8 + 61 * 4 = 252`.
+const BUCKETS: usize = 252;
 
-/// Concurrent latency histogram over power-of-two nanosecond buckets
-/// (bucket `i` holds samples in `[2^i, 2^(i+1))`). Recording is a single
-/// relaxed `fetch_add`; percentiles are computed from a snapshot.
+/// Concurrent log-linear latency histogram: each power-of-two octave
+/// splits into 4 linear sub-buckets (values below 8 ns are exact), so a
+/// reported percentile overshoots the true value by at most 25% — where
+/// plain power-of-two buckets are off by up to 2x and collapse nearby
+/// percentiles onto the same bound. Recording is a single relaxed
+/// `fetch_add`; percentiles are computed from a snapshot.
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
+}
+
+/// Bucket index of `ns`: identity below 8; otherwise the octave
+/// (`e = floor(log2 ns)`) selects a group of 4 and the two bits below
+/// the leading bit select the sub-bucket.
+fn bucket_of(ns: u64) -> usize {
+    if ns < 8 {
+        return ns as usize;
+    }
+    let e = 63 - ns.leading_zeros() as usize;
+    let sub = ((ns >> (e - 2)) & 3) as usize;
+    8 + (e - 3) * 4 + sub
+}
+
+/// Inclusive upper bound of bucket `i` — the value `summary` reports
+/// when a percentile lands there. Pessimistic (every sample in the
+/// bucket is `<=` it) and tight to 25%.
+fn bucket_upper(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let e = 3 + (i - 8) / 4;
+    let sub = ((i - 8) % 4) as u128;
+    let bound = (1u128 << e) + (sub + 1) * (1u128 << (e - 2)) - 1;
+    bound.min(u64::MAX as u128) as u64
 }
 
 impl Default for LatencyHistogram {
@@ -26,8 +56,7 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Record one sample.
     pub fn record(&self, ns: u64) {
-        let idx = (63 - ns.max(1).leading_zeros()) as usize;
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -51,7 +80,7 @@ impl LatencyHistogram {
                 acc += c;
                 if acc >= target {
                     // Upper bound of the bucket: pessimistic but stable.
-                    return (2u128.pow(i as u32 + 1) - 1).min(u64::MAX as u128) as u64;
+                    return bucket_upper(i);
                 }
             }
             u64::MAX
@@ -66,14 +95,15 @@ impl LatencyHistogram {
     }
 }
 
-/// Percentile snapshot of a [`LatencyHistogram`] (bucket upper bounds).
+/// Percentile snapshot of a [`LatencyHistogram`] (bucket upper bounds,
+/// within 25% of the true value).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencySummary {
     /// Number of recorded samples.
     pub count: u64,
     /// Exact mean (from the running sum, not the buckets).
     pub mean_ns: u64,
-    /// Median, 95th and 99th percentile (log-bucket resolution).
+    /// Median, 95th and 99th percentile (quarter-octave resolution).
     pub p50_ns: u64,
     /// 95th percentile.
     pub p95_ns: u64,
@@ -103,6 +133,10 @@ pub struct EpochStats {
     pub query_ns: u64,
     /// Forest version stamp after the epoch committed.
     pub version_after: u64,
+    /// MVCC version the epoch's queries observed: the last state-changing
+    /// epoch in pipelined mode (`<=` this epoch), the epoch itself under
+    /// strict alternation.
+    pub snapshot_version: u64,
 }
 
 /// Aggregate server statistics.
@@ -220,6 +254,64 @@ mod tests {
             "p99 rank 100/101 is slow, got {}",
             s.p99_ns
         );
+    }
+
+    #[test]
+    fn quarter_octave_buckets_separate_same_octave_percentiles() {
+        // The regression that motivated the rewrite: 2.4 ms and 3.9 ms
+        // share the [2^21, 2^22) octave, so power-of-two buckets report
+        // both p50 and p99 as 4194303 ns. Quarter-octave sub-buckets
+        // must keep them apart.
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(2_400_000);
+        }
+        for _ in 0..10 {
+            h.record(3_900_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50_ns, 2_621_439, "p50 in [2^21, 2^21 + 2^19)");
+        assert_eq!(s.p99_ns, 4_194_303, "p99 in [2^21 + 3*2^19, 2^22)");
+        assert!(s.p50_ns < s.p99_ns, "same-octave percentiles separated");
+    }
+
+    #[test]
+    fn bucket_bounds_are_pinned() {
+        // Boundary pins for the index/bound math: exact below 8 ns,
+        // then 4 sub-buckets per octave.
+        for ns in 0..8u64 {
+            assert_eq!(bucket_of(ns), ns as usize);
+            assert_eq!(bucket_upper(ns as usize), ns);
+        }
+        // First octave group: [8,10) [10,12) [12,14) [14,16).
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_upper(8), 9);
+        assert_eq!(bucket_of(10), 9);
+        assert_eq!(bucket_of(15), 11);
+        assert_eq!(bucket_upper(11), 15);
+        // 1000 ns sits in [896, 1024) — upper bound 1023.
+        assert_eq!(bucket_upper(bucket_of(1_000)), 1_023);
+        // 5000 ns sits in [4096, 5120) — upper bound 5119.
+        assert_eq!(bucket_upper(bucket_of(5_000)), 5_119);
+        // Top bucket clamps to u64::MAX instead of overflowing 2^64.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn reported_bound_within_25_percent_of_sample() {
+        // The design guarantee: a percentile overshoots the true sample
+        // value by at most 25% (and never undershoots).
+        let mut ns = 1u64;
+        while ns < u64::MAX / 3 {
+            let upper = bucket_upper(bucket_of(ns));
+            assert!(upper >= ns, "upper {upper} < sample {ns}");
+            assert!(
+                (upper as u128) <= (ns as u128) * 5 / 4,
+                "upper {upper} overshoots {ns} by more than 25%"
+            );
+            ns = ns.saturating_mul(7) / 3 + 1; // irregular stride across octaves
+        }
     }
 
     #[test]

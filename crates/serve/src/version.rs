@@ -1,0 +1,133 @@
+//! MVCC version publication: immutable, version-stamped forest handles.
+//!
+//! The pipelined coalescer never lets queries touch the live forest.
+//! After an epoch's update phase commits, the worker *publishes* an
+//! immutable [`PublishedVersion`] — a whole `ServeForest` stamped with
+//! the epoch whose committed state it reflects — into the server's
+//! [`VersionTable`]. The query executor sweeps against that handle while
+//! the worker already mutates the live forest for the next epoch, and
+//! clients can pin the same handles as [`Snapshot`]s for consistent
+//! point-in-time multi-query reads.
+//!
+//! # Version lifecycle
+//!
+//! ```text
+//! live forest ──commit E──▶ publish(version = E) ──▶ table (newest first)
+//!      ▲                        │                        │ retention
+//!      │                        ▼                        ▼ window full
+//!  catch-up ◀── reclaim ◀── evicted Arc (once every pin drops)
+//!  (replay FlushRecords E+1..E', republish as E')
+//! ```
+//!
+//! Versions are identified by **epoch number**: version `E` is the forest
+//! state after epoch `E`'s updates committed. Epochs that change nothing
+//! reuse the previous version id, so two equal stamps always mean
+//! identical state. Buffers cycle: an evicted version whose pins have all
+//! dropped is caught up by replaying the journaled `FlushRecord` batches
+//! of the intervening epochs (the same batch groups the WAL persists) and
+//! republished — the worker only falls back to a full `O(n)` clone of the
+//! live forest when no reclaimable buffer exists.
+
+use crate::agg::ServeForest;
+use crate::exec::answer_requests;
+use crate::request::{Request, Response};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// An immutable forest stamped with the epoch whose committed state it
+/// holds. Shared read-only: queries run over `&ServeForest`.
+pub(crate) struct PublishedVersion {
+    pub(crate) version: u64,
+    pub(crate) forest: ServeForest,
+}
+
+/// The retained published versions, newest last. Readers pin entries via
+/// `Arc`; the worker publishes and reclaims evicted buffers.
+#[derive(Default)]
+pub(crate) struct VersionTable {
+    inner: Mutex<VecDeque<Arc<PublishedVersion>>>,
+}
+
+impl VersionTable {
+    /// Publish `v` as the newest version, retaining at most `retain`
+    /// entries. Returns the evicted handles so the caller can recycle
+    /// their buffers once every outstanding pin drops.
+    pub(crate) fn publish(
+        &self,
+        v: Arc<PublishedVersion>,
+        retain: usize,
+    ) -> Vec<Arc<PublishedVersion>> {
+        let mut t = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            t.back().is_none_or(|b| b.version < v.version),
+            "published versions are strictly increasing"
+        );
+        t.push_back(v);
+        let mut evicted = Vec::new();
+        while t.len() > retain.max(1) {
+            evicted.push(t.pop_front().expect("len checked"));
+        }
+        evicted
+    }
+
+    /// The newest published version, if any epoch has published yet.
+    pub(crate) fn latest(&self) -> Option<Arc<PublishedVersion>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .back()
+            .cloned()
+    }
+
+    /// The retained version with exactly this stamp, if not yet evicted.
+    pub(crate) fn at(&self, version: u64) -> Option<Arc<PublishedVersion>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|p| p.version == version)
+            .cloned()
+    }
+}
+
+/// A pinned, consistent point-in-time view of the served forest.
+///
+/// Obtained from [`RcServe::snapshot_latest`](crate::RcServe::snapshot_latest)
+/// / [`snapshot_at`](crate::RcServe::snapshot_at) (or their
+/// [`ServeClient`](crate::ServeClient) equivalents). All queries through
+/// one snapshot observe exactly the state committed by epoch
+/// [`version`](Snapshot::version) — updates racing in the epoch loop are
+/// invisible. Holding a snapshot keeps its forest buffer alive (and out
+/// of the worker's recycle pool) until dropped; it stays valid across —
+/// and after — server shutdown.
+pub struct Snapshot {
+    pub(crate) inner: Arc<PublishedVersion>,
+}
+
+impl Snapshot {
+    /// The epoch whose committed state this snapshot holds.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// Direct shared access to the pinned forest (for batch entry points
+    /// beyond the request surface).
+    pub fn forest(&self) -> &ServeForest {
+        &self.inner.forest
+    }
+
+    /// Answer one query against the pinned state. Update requests answer
+    /// [`Response::Rejected`]: snapshots are read-only.
+    pub fn query(&self, request: &Request) -> Response {
+        answer_requests(&self.inner.forest, &[request])
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answer many queries against the pinned state, batch-grouped by
+    /// family — the multi-query consistency the snapshot exists for.
+    pub fn query_many(&self, requests: &[Request]) -> Vec<Response> {
+        let refs: Vec<&Request> = requests.iter().collect();
+        answer_requests(&self.inner.forest, &refs)
+    }
+}

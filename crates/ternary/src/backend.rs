@@ -173,6 +173,10 @@ impl DynamicForest for TernaryStdForest {
         None
     }
 
+    fn version(&self) -> u64 {
+        self.inner().version()
+    }
+
     fn link(&mut self, u: Vertex, v: Vertex, w: u64) -> Result<(), ForestError> {
         TernaryForest::batch_link(self, &[(u, v, Some(w))])
     }

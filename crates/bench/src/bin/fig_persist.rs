@@ -46,6 +46,13 @@ struct WalRow {
     policy: &'static str,
     ops_per_sec: f64,
     p99_us: f64,
+    /// `wal_fsync_ns` p99 from the run's metrics snapshot (0 when the
+    /// policy never fsyncs inside the run).
+    fsync_p99_us: f64,
+    /// `store_append_ns` p99: serialize + buffered write per epoch.
+    append_p99_us: f64,
+    fsyncs: u64,
+    append_bytes: u64,
 }
 
 /// §1: serve throughput with and without the WAL.
@@ -63,7 +70,14 @@ fn wal_overhead(n: usize, ops_per_thread: usize) -> Vec<WalRow> {
     ];
     let t = Table::new(
         "WAL overhead (coalesced, closed loop, update-heavy mix)",
-        &["durability", "ops/sec", "p99 us", "relative"],
+        &[
+            "durability",
+            "ops/sec",
+            "p99 us",
+            "relative",
+            "fsync p99 us",
+            "append p99 us",
+        ],
     );
     // Untimed warmup so the first measured row is not paying cold-cache /
     // first-allocation costs the later rows skip.
@@ -91,16 +105,32 @@ fn wal_overhead(n: usize, ops_per_thread: usize) -> Vec<WalRow> {
         if durability.is_none() {
             baseline = r.ops_per_sec;
         }
+        let fsync_p99_us = r
+            .snapshot
+            .histogram("wal_fsync_ns")
+            .map(|s| s.p99_ns as f64 / 1e3)
+            .unwrap_or(0.0);
+        let append_p99_us = r
+            .snapshot
+            .histogram("store_append_ns")
+            .map(|s| s.p99_ns as f64 / 1e3)
+            .unwrap_or(0.0);
         t.row(&[
             name.into(),
             format!("{:.0}", r.ops_per_sec),
             format!("{:.1}", r.p99_us),
             format!("{:.2}", r.ops_per_sec / baseline.max(1e-9)),
+            format!("{:.1}", fsync_p99_us),
+            format!("{:.1}", append_p99_us),
         ]);
         rows.push(WalRow {
             policy: name,
             ops_per_sec: r.ops_per_sec,
             p99_us: r.p99_us,
+            fsync_p99_us,
+            append_p99_us,
+            fsyncs: r.snapshot.counter("wal_fsyncs_total").unwrap_or(0),
+            append_bytes: r.snapshot.counter("store_append_bytes_total").unwrap_or(0),
         });
     }
     rows
@@ -304,11 +334,16 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"durability\": \"{}\", \"ops_per_sec\": {:.1}, \"p99_us\": {:.1}, \
-             \"relative\": {:.4}}}{comma}",
+             \"relative\": {:.4}, \"fsync_p99_us\": {:.3}, \"append_p99_us\": {:.3}, \
+             \"fsyncs\": {}, \"append_bytes\": {}}}{comma}",
             r.policy,
             r.ops_per_sec,
             r.p99_us,
             r.ops_per_sec / wal_rows[0].ops_per_sec.max(1e-9),
+            r.fsync_p99_us,
+            r.append_p99_us,
+            r.fsyncs,
+            r.append_bytes,
         );
     }
     let _ = writeln!(json, "  ],");

@@ -248,6 +248,35 @@ fn main() {
         wal_relative * 100.0
     );
 
+    // Telemetry acceptance: the pipelined run's flight-recorder phase
+    // breakdown should account for >= 90% of recorded epoch wall time —
+    // otherwise the instrumentation is missing a phase.
+    let find_top = |mode: &str, durability: &str| {
+        rows.iter().find(|r| {
+            r.mode == mode
+                && r.loop_kind == "closed"
+                && r.durability == durability
+                && r.r.threads == top
+        })
+    };
+    let pipelined_top = find_top("pipelined", "none").expect("pipelined top row exists");
+    let walled_top = find_top("coalesced", "wal_per_epoch").expect("walled top row exists");
+    let fsync_p99_us = walled_top
+        .r
+        .snapshot
+        .histogram("wal_fsync_ns")
+        .map(|s| s.p99_ns as f64 / 1e3)
+        .unwrap_or(0.0);
+    println!(
+        "pipelined phase coverage at {top} threads: {:.1}% \
+         (backpressure {:.1} ms, handoff {:.1} ms over {} recorded epochs); \
+         WAL fsync p99 {fsync_p99_us:.1} us",
+        pipelined_top.r.phase_coverage * 100.0,
+        pipelined_top.r.phase.backpressure_ns as f64 / 1e6,
+        pipelined_top.r.phase.handoff_ns as f64 / 1e6,
+        pipelined_top.r.phase.epochs,
+    );
+
     // ---- BENCH_serve.json ----
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -268,7 +297,8 @@ fn main() {
              \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"epochs\": {}, \
              \"mean_batch\": {:.1}, \"max_batch\": {}, \"flushes\": {}, \
              \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
-             \"error_responses\": {}}}{comma}",
+             \"error_responses\": {}, \"phase_coverage\": {:.4}, \
+             \"backpressure_ms\": {:.3}, \"handoff_ms\": {:.3}}}{comma}",
             row.mode,
             row.loop_kind,
             row.durability,
@@ -286,6 +316,9 @@ fn main() {
             row.r.p99_us,
             row.r.mean_us,
             row.r.error_responses,
+            row.r.phase_coverage,
+            row.r.phase.backpressure_ns as f64 / 1e6,
+            row.r.phase.handoff_ns as f64 / 1e6,
         );
     }
     let _ = writeln!(json, "  ],");
@@ -303,8 +336,52 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"max_coalesced_batch_at_{top}_threads\": {max_batch_top}"
+        "  \"max_coalesced_batch_at_{top}_threads\": {max_batch_top},"
     );
+    // Full telemetry for the pipelined closed-loop run at the top thread
+    // count: the per-phase breakdown of where epoch wall time went, plus
+    // the complete metrics snapshot (phase histograms, stall counters,
+    // pool counters when compiled in). The fsync p99 comes from the WAL
+    // run at the same thread count — the in-memory runs never fsync.
+    let p = &pipelined_top.r.phase;
+    let _ = writeln!(json, "  \"telemetry\": {{");
+    let _ = writeln!(json, "    \"mode\": \"pipelined\",");
+    let _ = writeln!(json, "    \"threads\": {top},");
+    let _ = writeln!(json, "    \"recorded_epochs\": {},", p.epochs);
+    let _ = writeln!(
+        json,
+        "    \"phase_coverage\": {:.4},",
+        pipelined_top.r.phase_coverage
+    );
+    let _ = writeln!(json, "    \"phase_totals_ns\": {{");
+    let _ = writeln!(json, "      \"drain\": {},", p.drain_ns);
+    let _ = writeln!(json, "      \"admit\": {},", p.admit_ns);
+    let _ = writeln!(json, "      \"commit\": {},", p.commit_ns);
+    let _ = writeln!(json, "      \"wal\": {},", p.wal_ns);
+    let _ = writeln!(json, "      \"publish\": {},", p.publish_ns);
+    let _ = writeln!(json, "      \"backpressure\": {},", p.backpressure_ns);
+    let _ = writeln!(json, "      \"handoff\": {},", p.handoff_ns);
+    let _ = writeln!(json, "      \"query\": {},", p.query_ns);
+    let _ = writeln!(json, "      \"respond\": {},", p.respond_ns);
+    let _ = writeln!(json, "      \"wall\": {}", p.wall_ns);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"family_ns\": {{");
+    for (i, name) in rc_serve::FAMILY_NAMES.iter().enumerate() {
+        let comma = if i + 1 == rc_serve::FAMILY_NAMES.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "      \"{name}\": {}{comma}", p.family_ns[i]);
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"wal_fsync_p99_us\": {fsync_p99_us:.3},");
+    let _ = writeln!(
+        json,
+        "    \"snapshot\": {}",
+        pipelined_top.r.snapshot.to_json()
+    );
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     let out = std::env::var("RC_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

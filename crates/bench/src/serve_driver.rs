@@ -4,7 +4,10 @@
 //! this module.
 
 use rc_gen::{Arrival, OpMix, RequestStream, RequestStreamConfig};
-use rc_serve::{Durability, RcServe, Request, Response, ServeConfig, ServeForest, SyncPolicy};
+use rc_serve::{
+    Durability, MetricsSnapshot, PhaseTotals, RcServe, Request, Response, ServeConfig, ServeForest,
+    SyncPolicy,
+};
 use std::time::{Duration, Instant};
 
 /// One load run's parameters.
@@ -44,6 +47,16 @@ pub struct LoadResult {
     pub p95_us: f64,
     pub p99_us: f64,
     pub mean_us: f64,
+    /// Full registry snapshot taken after shutdown: serve phase
+    /// histograms, store/WAL counters when durable, pool counters when
+    /// the `pool-metrics` feature is on.
+    pub snapshot: MetricsSnapshot,
+    /// Per-phase wall-time totals summed over every flight-recorder
+    /// trace the run retained (the last `flight_capacity` epochs).
+    pub phase: PhaseTotals,
+    /// [`PhaseTotals::coverage`]: fraction of recorded epoch wall time
+    /// the phase spans account for.
+    pub phase_coverage: f64,
 }
 
 /// The default serving workload: a query-heavy mix over a Zipf-skewed
@@ -200,6 +213,11 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         let _ = std::fs::remove_dir_all(dir);
     }
     let stats = audit.stats();
+    // Telemetry reads are direct shared-state accessors, valid after
+    // shutdown — by which point every epoch's trace has been published.
+    let snapshot = audit.metrics_snapshot();
+    let phase = PhaseTotals::from_traces(&audit.flight_dump());
+    let phase_coverage = phase.coverage();
     if std::env::var("RC_SERVE_DEBUG").is_ok() {
         for e in audit.epoch_history().iter().rev().take(8).rev() {
             eprintln!(
@@ -229,5 +247,8 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         p95_us: stats.latency.p95_ns as f64 / 1e3,
         p99_us: stats.latency.p99_ns as f64 / 1e3,
         mean_us: stats.latency.mean_ns as f64 / 1e3,
+        snapshot,
+        phase,
+        phase_coverage,
     }
 }

@@ -1,4 +1,9 @@
-//! Lock-free log-bucketed latency histogram + per-epoch instrumentation.
+//! Lock-free log-bucketed histogram, shared across the stack.
+//!
+//! Promoted out of `rc-serve` (which re-exports it as `LatencyHistogram`)
+//! so every subsystem — the coalescer, the query executor, the WAL —
+//! records into the same bucket layout and per-thread/per-family
+//! histograms can be [`merge`](Histogram::merge)d into one snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -6,13 +11,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// 3..=63: `8 + 61 * 4 = 252`.
 const BUCKETS: usize = 252;
 
-/// Concurrent log-linear latency histogram: each power-of-two octave
-/// splits into 4 linear sub-buckets (values below 8 ns are exact), so a
-/// reported percentile overshoots the true value by at most 25% — where
-/// plain power-of-two buckets are off by up to 2x and collapse nearby
+/// Concurrent log-linear histogram: each power-of-two octave splits into
+/// 4 linear sub-buckets (values below 8 are exact), so a reported
+/// percentile overshoots the true value by at most 25% — where plain
+/// power-of-two buckets are off by up to 2x and collapse nearby
 /// percentiles onto the same bound. Recording is a single relaxed
-/// `fetch_add`; percentiles are computed from a snapshot.
-pub struct LatencyHistogram {
+/// `fetch_add`; percentiles are computed from a snapshot. Values are
+/// nanoseconds everywhere in this workspace, but the bucket math is
+/// unit-agnostic.
+#[derive(Debug)]
+pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
@@ -43,9 +51,9 @@ fn bucket_upper(i: usize) -> u64 {
     bound.min(u64::MAX as u128) as u64
 }
 
-impl Default for LatencyHistogram {
+impl Default for Histogram {
     fn default() -> Self {
-        LatencyHistogram {
+        Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
@@ -53,7 +61,7 @@ impl Default for LatencyHistogram {
     }
 }
 
-impl LatencyHistogram {
+impl Histogram {
     /// Record one sample.
     pub fn record(&self, ns: u64) {
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
@@ -61,8 +69,35 @@ impl LatencyHistogram {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-wise saturating merge of `other` into `self`, so
+    /// per-thread or per-family histograms can be aggregated into one
+    /// snapshot. Because both sides share the bucket layout, a merged
+    /// percentile is exactly the percentile a single histogram fed the
+    /// pooled samples would report — bounding the true pooled-sample
+    /// percentile from above by at most 25% (the bucket guarantee).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let merged_sum = self
+            .sum_ns
+            .load(Ordering::Relaxed)
+            .saturating_add(other.sum_ns.load(Ordering::Relaxed));
+        self.sum_ns.store(merged_sum, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot for reporting.
-    pub fn summary(&self) -> LatencySummary {
+    pub fn summary(&self) -> HistogramSummary {
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -85,8 +120,9 @@ impl LatencyHistogram {
             }
             u64::MAX
         };
-        LatencySummary {
+        HistogramSummary {
             count,
+            sum_ns,
             mean_ns: sum_ns.checked_div(count).unwrap_or(0),
             p50_ns: pct(0.50),
             p95_ns: pct(0.95),
@@ -95,69 +131,22 @@ impl LatencyHistogram {
     }
 }
 
-/// Percentile snapshot of a [`LatencyHistogram`] (bucket upper bounds,
-/// within 25% of the true value).
+/// Percentile snapshot of a [`Histogram`] (bucket upper bounds, within
+/// 25% of the true value).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LatencySummary {
+pub struct HistogramSummary {
     /// Number of recorded samples.
     pub count: u64,
+    /// Running sum of all samples (may wrap for extreme totals).
+    pub sum_ns: u64,
     /// Exact mean (from the running sum, not the buckets).
     pub mean_ns: u64,
-    /// Median, 95th and 99th percentile (quarter-octave resolution).
+    /// Median (quarter-octave resolution).
     pub p50_ns: u64,
     /// 95th percentile.
     pub p95_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
-}
-
-/// Instrumentation of one drained epoch.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct EpochStats {
-    /// Epoch ordinal (1-based).
-    pub epoch: u64,
-    /// Requests drained into this epoch.
-    pub batch: usize,
-    /// Queue depth observed at drain time (before capping).
-    pub queue_depth: usize,
-    /// Update requests (including rejected ones).
-    pub updates: usize,
-    /// Query requests.
-    pub queries: usize,
-    /// Sub-batch flushes forced by in-epoch conflicts (1 = fully
-    /// coalesced update phase).
-    pub flushes: usize,
-    /// Wall time of the update phase.
-    pub update_ns: u64,
-    /// Wall time of the query phase.
-    pub query_ns: u64,
-    /// Forest version stamp after the epoch committed.
-    pub version_after: u64,
-    /// MVCC version the epoch's queries observed: the last state-changing
-    /// epoch in pipelined mode (`<=` this epoch), the epoch itself under
-    /// strict alternation.
-    pub snapshot_version: u64,
-}
-
-/// Aggregate server statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ServeStats {
-    /// Epochs committed.
-    pub epochs: u64,
-    /// Requests served.
-    pub ops: u64,
-    /// Update requests served.
-    pub updates: u64,
-    /// Query requests served.
-    pub queries: u64,
-    /// Total sub-batch flushes across all epochs.
-    pub flushes: u64,
-    /// Mean epoch batch size.
-    pub mean_batch: f64,
-    /// Largest epoch batch.
-    pub max_batch: usize,
-    /// End-to-end request latency (submit → response).
-    pub latency: LatencySummary,
 }
 
 #[cfg(test)]
@@ -166,7 +155,7 @@ mod tests {
 
     #[test]
     fn percentiles_land_in_buckets() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         for _ in 0..90 {
             h.record(1_000); // bucket [512, 1024)
         }
@@ -182,21 +171,21 @@ mod tests {
 
     #[test]
     fn empty_histogram() {
-        let s = LatencyHistogram::default().summary();
+        let s = Histogram::default().summary();
         assert_eq!(s.count, 0);
         assert_eq!(s.p99_ns, 0);
     }
 
     #[test]
     fn zero_ns_sample_is_clamped() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         h.record(0);
         assert_eq!(h.summary().count, 1);
     }
 
     #[test]
     fn single_sample_pins_every_percentile() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         h.record(5_000); // bucket [4096, 8192)
         let s = h.summary();
         assert_eq!(s.count, 1);
@@ -210,7 +199,7 @@ mod tests {
     fn bucket_saturation_at_u64_max() {
         // u64::MAX lands in the top bucket; its reported upper bound must
         // clamp to u64::MAX instead of overflowing 2^64.
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         h.record(u64::MAX);
         h.record(u64::MAX - 1);
         let s = h.summary();
@@ -226,7 +215,7 @@ mod tests {
         // With fewer than 100 samples, ceil(count * 0.99) == count, so
         // p99 must sit in the slowest sample's bucket — one outlier among
         // two samples is "the p99".
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         h.record(1_000); // [512, 1024)
         h.record(1 << 30); // [2^30, 2^31)
         let s = h.summary();
@@ -235,7 +224,7 @@ mod tests {
         // Rank boundary: with 99 fast + 1 slow the ceil-rank p99 target
         // is rank 99 — still the fast bucket; a second slow sample pushes
         // rank 100 of 101 into the slow bucket.
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         for _ in 0..99 {
             h.record(1_000);
         }
@@ -258,11 +247,11 @@ mod tests {
 
     #[test]
     fn quarter_octave_buckets_separate_same_octave_percentiles() {
-        // The regression that motivated the rewrite: 2.4 ms and 3.9 ms
-        // share the [2^21, 2^22) octave, so power-of-two buckets report
-        // both p50 and p99 as 4194303 ns. Quarter-octave sub-buckets
-        // must keep them apart.
-        let h = LatencyHistogram::default();
+        // The regression that motivated the quarter-octave layout: 2.4 ms
+        // and 3.9 ms share the [2^21, 2^22) octave, so power-of-two
+        // buckets report both p50 and p99 as 4194303 ns. Quarter-octave
+        // sub-buckets must keep them apart.
+        let h = Histogram::default();
         for _ in 0..90 {
             h.record(2_400_000);
         }
@@ -316,12 +305,88 @@ mod tests {
 
     #[test]
     fn percentile_ordering_is_monotone() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         for i in 1..=1_000u64 {
             h.record(i * 1_000);
         }
         let s = h.summary();
         assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
         assert!(s.mean_ns > 0);
+    }
+
+    /// Deterministic xorshift so the merge property test needs no RNG dep.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn merge_equals_pooled_histogram() {
+        // Merging k part-histograms must be indistinguishable from one
+        // histogram fed every sample.
+        let mut seed = 0x5EED_CAFE_u64;
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::default()).collect();
+        let pooled = Histogram::default();
+        for i in 0..10_000u64 {
+            // Cap at 2^48 so the pooled running sum cannot wrap.
+            let v = xorshift(&mut seed) >> (16 + i % 48);
+            parts[(i % 4) as usize].record(v);
+            pooled.record(v);
+        }
+        let merged = Histogram::default();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.summary(), pooled.summary());
+    }
+
+    #[test]
+    fn merged_percentiles_bound_pooled_sample_percentiles() {
+        // Property: for a random split of random samples into per-thread
+        // histograms, each merged percentile is >= the exact pooled-sample
+        // percentile and overshoots it by at most 25% (+7 absolute slack
+        // for the exact sub-8 buckets' integer boundaries).
+        let mut seed = 0xD15EA5E_u64;
+        for round in 0..20 {
+            let k = 2 + (round % 5) as usize;
+            let parts: Vec<Histogram> = (0..k).map(|_| Histogram::default()).collect();
+            let n = 500 + (round * 137) as usize;
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| xorshift(&mut seed) % (1u64 << (10 + round % 30)))
+                .collect();
+            for (i, &s) in samples.iter().enumerate() {
+                parts[i % k].record(s);
+            }
+            let merged = Histogram::default();
+            for p in &parts {
+                merged.merge(p);
+            }
+            let s = merged.summary();
+            samples.sort_unstable();
+            for (q, got) in [(0.50, s.p50_ns), (0.95, s.p95_ns), (0.99, s.p99_ns)] {
+                let rank = ((n as f64) * q).ceil().max(1.0) as usize;
+                let exact = samples[rank - 1];
+                assert!(got >= exact, "round {round}: q{q} {got} < exact {exact}");
+                assert!(
+                    (got as u128) <= (exact as u128) * 5 / 4 + 7,
+                    "round {round}: q{q} {got} overshoots exact {exact}"
+                );
+            }
+            assert_eq!(s.count, n as u64);
+        }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping_sum() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(u64::MAX - 10);
+        b.record(u64::MAX - 10);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, u64::MAX, "merge saturates the running sum");
     }
 }

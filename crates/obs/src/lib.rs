@@ -1,0 +1,28 @@
+//! # rc-obs — observability for the rcforest stack
+//!
+//! Zero-dependency metrics and tracing shared by rc-serve, rc-store,
+//! the bench harness, and the work-stealing pool shim:
+//!
+//! - [`Histogram`] — the concurrent quarter-octave latency histogram
+//!   (promoted from rc-serve), with [`Histogram::merge`] for
+//!   aggregating per-thread or per-family histograms.
+//! - [`MetricsRegistry`] — named counters/gauges/histograms with
+//!   lock-free recording, point-in-time [`MetricsSnapshot`]s, and
+//!   Prometheus-text / JSON exports.
+//! - [`FlightRecorder`] — a fixed-capacity lock-free ring of
+//!   [`EpochTrace`] records attributing each epoch's wall time to its
+//!   phases (drain, admission, commit, WAL, publish, back-pressure,
+//!   query fan-out per family, respond), dumpable on demand and on
+//!   worker failure.
+//!
+//! Everything here is `std`-only and allocation-free on the record
+//! paths; see the README "Observability" section for the metric-name
+//! table and measured overhead.
+
+mod histogram;
+mod registry;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{EpochTrace, FlightRecorder, PhaseTotals, RecycleOutcome, FAMILY_NAMES};

@@ -1,0 +1,443 @@
+//! Named metrics registry: counters, gauges, and shared histograms with
+//! point-in-time snapshots and Prometheus/JSON exports.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSummary};
+
+/// Monotonic counter. Increments are single relaxed `fetch_add`s, so a
+/// counter on a hot path costs one uncontended atomic RMW.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge (queue depths, in-flight epochs, bytes
+/// on disk).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    metric: Metric,
+}
+
+/// Value of one metric at snapshot time. Integer-only (histograms
+/// surface as their percentile summary) so snapshots stay `Eq` and can
+/// travel through the serve request/response types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram percentile summary.
+    Histogram(HistogramSummary),
+}
+
+/// Point-in-time copy of every registered metric, in registration
+/// order. Produced by [`MetricsRegistry::snapshot`]; exportable as
+/// Prometheus text exposition or JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in registration order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name, if registered as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4). Counters and gauges
+    /// become single samples with `# TYPE` headers; histograms become
+    /// `summary` metrics with `quantile` labels plus `_sum`/`_count`
+    /// series, all in nanoseconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram(s) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (q, v) in [("0.5", s.p50_ns), ("0.95", s.p95_ns), ("0.99", s.p99_ns)] {
+                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", s.sum_ns));
+                    out.push_str(&format!("{name}_count {}\n", s.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object keyed by metric name. Counters and gauges are plain
+    /// numbers; histograms are objects with `count`, `sum_ns`,
+    /// `mean_ns`, `p50_ns`, `p95_ns`, `p99_ns`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape_json(name)));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(s) => out.push_str(&format!(
+                    "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    s.count, s.sum_ns, s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Registry of named metrics. Registration takes a short lock;
+/// recording through the returned `Arc` handles is lock-free, so hot
+/// paths register once at startup and hold the handle.
+///
+/// Names follow Prometheus conventions (`snake_case`, `_total` suffix
+/// for counters, `_ns` for durations). Re-registering a name returns
+/// the existing handle; registering it as a different kind panics —
+/// that is a wiring bug, not a runtime condition.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register_with<T, F, G>(&self, name: &str, extract: F, fresh: G) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: FnOnce() -> Metric,
+    {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return extract(&e.metric)
+                .unwrap_or_else(|| panic!("metric {name} already registered with another kind"));
+        }
+        let metric = fresh();
+        let handle = extract(&metric).unwrap();
+        entries.push(Entry {
+            name: name.to_string(),
+            metric,
+        });
+        handle
+    }
+
+    /// Get or register a counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.register_with(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or register a gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.register_with(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get or register a histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.register_with(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Attach an existing histogram handle under `name` — used when a
+    /// subsystem (e.g. rc-store) creates its metrics before the owning
+    /// registry exists. Panics if `name` is taken by a different handle.
+    pub fn attach_histogram(&self, name: &str, h: Arc<Histogram>) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Histogram(existing) if Arc::ptr_eq(existing, &h) => return,
+                _ => panic!("metric {name} already registered with another handle"),
+            }
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            metric: Metric::Histogram(h),
+        });
+    }
+
+    /// Attach an existing counter handle under `name` (see
+    /// [`attach_histogram`](Self::attach_histogram)).
+    pub fn attach_counter(&self, name: &str, c: Arc<Counter>) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Counter(existing) if Arc::ptr_eq(existing, &c) => return,
+                _ => panic!("metric {name} already registered with another handle"),
+            }
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            metric: Metric::Counter(c),
+        });
+    }
+
+    /// Attach an existing gauge handle under `name` (see
+    /// [`attach_histogram`](Self::attach_histogram)).
+    pub fn attach_gauge(&self, name: &str, g: Arc<Gauge>) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Gauge(existing) if Arc::ptr_eq(existing, &g) => return,
+                _ => panic!("metric {name} already registered with another handle"),
+            }
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            metric: Metric::Gauge(g),
+        });
+    }
+
+    /// Point-in-time snapshot of every registered metric, in
+    /// registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().unwrap();
+        MetricsSnapshot {
+            metrics: entries
+                .iter()
+                .map(|e| {
+                    let value = match &e.metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    };
+                    (e.name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("len", &entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("serve_epochs_total");
+        let g = reg.gauge("serve_queue_depth");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve_epochs_total"), Some(5));
+        assert_eq!(snap.gauge("serve_queue_depth"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn reregistration_returns_same_handle() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x_total"), Some(2));
+        assert_eq!(reg.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn attach_existing_handles() {
+        let reg = MetricsRegistry::new();
+        let h = Arc::new(Histogram::default());
+        h.record(1_000);
+        reg.attach_histogram("wal_fsync_ns", h.clone());
+        reg.attach_histogram("wal_fsync_ns", h); // same handle: idempotent
+        let c = Arc::new(Counter::default());
+        c.add(3);
+        reg.attach_counter("wal_appends_total", c);
+        let g = Arc::new(Gauge::default());
+        g.set(-4);
+        reg.attach_gauge("wal_dirty", g);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("wal_fsync_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("wal_appends_total"), Some(3));
+        assert_eq!(snap.gauge("wal_dirty"), Some(-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "another handle")]
+    fn attach_conflicting_handle_panics() {
+        let reg = MetricsRegistry::new();
+        reg.attach_counter("x", Arc::new(Counter::default()));
+        reg.attach_counter("x", Arc::new(Counter::default()));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("epochs_total").add(12);
+        reg.gauge("depth").set(-3);
+        let h = reg.histogram("latency_ns");
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE epochs_total counter\nepochs_total 12\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -3\n"));
+        assert!(text.contains("# TYPE latency_ns summary\n"));
+        assert!(text.contains("latency_ns{quantile=\"0.5\"} "));
+        assert!(text.contains("latency_ns{quantile=\"0.99\"} "));
+        assert!(text.contains("latency_ns_sum 100000\n"));
+        assert!(text.contains("latency_ns_count 100\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            value.parse::<i64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn json_export_is_wellformed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(1);
+        reg.gauge("b").set(-2);
+        reg.histogram("c_ns").record(500);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"b\":-2"));
+        assert!(json.contains("\"c_ns\":{\"count\":1,"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,458 @@
+//! Epoch flight recorder: a fixed-capacity lock-free ring of
+//! [`EpochTrace`] records.
+//!
+//! The serve worker records one trace per epoch; the query executor
+//! stamps the query-side fields of the same epoch from another thread.
+//! Recording never blocks and never allocates — each slot is a seqlock
+//! (sequence word + plain cell), writers claim a slot with a single CAS
+//! and readers retry a copy if a writer raced them. A dump returns the
+//! newest `capacity` traces in epoch order, safe to call from any
+//! thread at any time, including from failure paths while the worker
+//! is mid-record.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the pipelined publish path obtained the version buffer for an
+/// epoch (see `ensure_published` in rc-serve).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecycleOutcome {
+    /// Queries ran inline, or the version was already published.
+    #[default]
+    None,
+    /// A retired buffer was caught up via `FlushRecord` replay.
+    CaughtUp,
+    /// No buffer was recyclable; the forest was cloned.
+    Cloned,
+}
+
+/// Query families timed individually during the fan-out phase. Indexes
+/// [`EpochTrace::family_ns`] / [`EpochTrace::family_counts`].
+pub const FAMILY_NAMES: [&str; 8] = [
+    "conn",
+    "repr",
+    "path",
+    "subtree",
+    "lca",
+    "bottleneck",
+    "near",
+    "cpt",
+];
+
+/// Per-epoch phase timings and sizes. `Copy` with no heap so the
+/// flight-recorder ring can publish it through a seqlock.
+///
+/// The phases partition an epoch's wall time in dispatch order: drain →
+/// admission → commit propagation (flushes) → WAL append → version
+/// publish → back-pressure wait → (handoff) → query fan-out → respond.
+/// Under pipelining the handoff/query/respond fields are stamped by the
+/// query executor after the worker has already recorded the update-side
+/// fields; `epoch_wall_ns` is stamped by whichever side finishes the
+/// epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochTrace {
+    /// Epoch number (unique per serve worker lifetime).
+    pub epoch: u64,
+    /// Requests drained into this epoch.
+    pub batch: u32,
+    /// Update requests admitted.
+    pub updates: u32,
+    /// Query requests answered.
+    pub queries: u32,
+    /// Overlay flushes during admission.
+    pub flushes: u32,
+    /// Queue length observed at drain time.
+    pub queue_depth: u32,
+    /// Time draining the shard queues.
+    pub drain_ns: u64,
+    /// Admission/cancellation overlay time (excluding flushes).
+    pub admit_ns: u64,
+    /// Commit propagation: overlay flushes into the forest.
+    pub commit_ns: u64,
+    /// WAL append + fsync (zero when durability is off).
+    pub wal_ns: u64,
+    /// MVCC version publish (zero when queries run inline).
+    pub publish_ns: u64,
+    /// Time the worker blocked handing the query job to the executor
+    /// (pipeline back-pressure).
+    pub backpressure_ns: u64,
+    /// Dispatch-to-pickup latency of the query job (zero inline).
+    pub handoff_ns: u64,
+    /// True query fan-out wall time, measured on the thread that ran it.
+    pub query_ns: u64,
+    /// Filling response slots + recording request latencies.
+    pub respond_ns: u64,
+    /// Drain start to last response of this epoch.
+    pub epoch_wall_ns: u64,
+    /// Per-family fan-out time, indexed by [`FAMILY_NAMES`].
+    pub family_ns: [u64; 8],
+    /// Per-family query counts, indexed by [`FAMILY_NAMES`].
+    pub family_counts: [u32; 8],
+    /// Buffer-recycle outcome of the publish step.
+    pub recycle: RecycleOutcome,
+    /// True if the epoch failed (WAL append error, compaction error);
+    /// phase fields before the failure point are still valid.
+    pub failed: bool,
+}
+
+impl EpochTrace {
+    /// Sum of the phase timings that partition the epoch's wall time.
+    /// `backpressure_ns` is excluded: the worker's blocked send happens
+    /// inside the dispatch-to-pickup window that `handoff_ns` already
+    /// covers, so counting both would double-bill the gap.
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.drain_ns
+            + self.admit_ns
+            + self.commit_ns
+            + self.wal_ns
+            + self.publish_ns
+            + self.handoff_ns
+            + self.query_ns
+            + self.respond_ns
+    }
+}
+
+const SEQ_EMPTY: u64 = 0;
+
+struct Slot {
+    /// Seqlock word: 0 = never written, odd = writer inside, even > 0 =
+    /// published. Bumped by 2 per publish so readers detect overwrites.
+    seq: AtomicU64,
+    trace: UnsafeCell<EpochTrace>,
+}
+
+// The UnsafeCell is only read under the seqlock protocol below.
+unsafe impl Sync for Slot {}
+
+/// Fixed-capacity lock-free ring of [`EpochTrace`] records.
+///
+/// Writers call [`record`](Self::record) with a finished trace; the
+/// ring keeps the newest `capacity` records, overwriting the oldest.
+/// [`dump`](Self::dump) copies out every valid record sorted by epoch.
+/// If two writers ever contend for the same slot (requires a full ring
+/// wrap during one write), the loser drops its record and
+/// [`dropped`](Self::dropped) counts it — recording never blocks.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Ring with room for `capacity` traces (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(SEQ_EMPTY),
+                    trace: UnsafeCell::new(EpochTrace::default()),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records dropped because a writer lost a slot race (only possible
+    /// if another writer lapped the entire ring mid-write).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish one trace into the ring. Lock-free: one CAS to claim the
+    /// slot, a plain copy, one release store to publish.
+    pub fn record(&self, trace: EpochTrace) {
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        let slot = &self.slots[idx];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            // Another writer is mid-publish in our slot: it was lapped
+            // while writing. Drop rather than block or tear.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Seq is now odd: readers will retry, writers will drop.
+        unsafe { *slot.trace.get() = trace };
+        slot.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Copy out every published trace, oldest epoch first. Readers never
+    /// block writers; a record overwritten mid-copy is retried a few
+    /// times, then skipped.
+    pub fn dump(&self) -> Vec<EpochTrace> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _ in 0..4 {
+                let before = slot.seq.load(Ordering::Acquire);
+                if before == SEQ_EMPTY {
+                    break;
+                }
+                if before & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let copy = unsafe { *slot.trace.get() };
+                if slot.seq.load(Ordering::Acquire) == before {
+                    out.push(copy);
+                    break;
+                }
+            }
+        }
+        out.sort_by_key(|t| t.epoch);
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Aggregate of a set of [`EpochTrace`]s: total time per phase plus
+/// coverage (phase sum vs wall sum) — the flight-recorder view that
+/// `serve_load` embeds in `BENCH_serve.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Epochs aggregated.
+    pub epochs: u64,
+    /// Total drain time.
+    pub drain_ns: u64,
+    /// Total admission time.
+    pub admit_ns: u64,
+    /// Total commit-propagation time.
+    pub commit_ns: u64,
+    /// Total WAL append+fsync time.
+    pub wal_ns: u64,
+    /// Total version-publish time.
+    pub publish_ns: u64,
+    /// Total pipeline back-pressure wait.
+    pub backpressure_ns: u64,
+    /// Total dispatch-to-pickup handoff latency.
+    pub handoff_ns: u64,
+    /// Total query fan-out time.
+    pub query_ns: u64,
+    /// Total respond time.
+    pub respond_ns: u64,
+    /// Total epoch wall time.
+    pub wall_ns: u64,
+    /// Per-family totals, indexed by [`FAMILY_NAMES`].
+    pub family_ns: [u64; 8],
+}
+
+impl PhaseTotals {
+    /// Aggregate `traces` (typically a [`FlightRecorder::dump`]).
+    pub fn from_traces(traces: &[EpochTrace]) -> Self {
+        let mut t = PhaseTotals::default();
+        for tr in traces {
+            t.epochs += 1;
+            t.drain_ns += tr.drain_ns;
+            t.admit_ns += tr.admit_ns;
+            t.commit_ns += tr.commit_ns;
+            t.wal_ns += tr.wal_ns;
+            t.publish_ns += tr.publish_ns;
+            t.backpressure_ns += tr.backpressure_ns;
+            t.handoff_ns += tr.handoff_ns;
+            t.query_ns += tr.query_ns;
+            t.respond_ns += tr.respond_ns;
+            t.wall_ns += tr.epoch_wall_ns;
+            for i in 0..8 {
+                t.family_ns[i] += tr.family_ns[i];
+            }
+        }
+        t
+    }
+
+    /// Sum of all phase totals (the numerator of coverage; like
+    /// [`EpochTrace::phase_sum_ns`], back-pressure is excluded because
+    /// handoff already covers that window).
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.drain_ns
+            + self.admit_ns
+            + self.commit_ns
+            + self.wal_ns
+            + self.publish_ns
+            + self.handoff_ns
+            + self.query_ns
+            + self.respond_ns
+    }
+
+    /// Fraction of epoch wall time the phases account for (1.0 = every
+    /// nanosecond attributed). The acceptance bar for this repo is
+    /// ≥ 0.9 on a pipelined release run.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 1.0;
+        }
+        self.phase_sum_ns() as f64 / self.wall_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Trace where every field is derived from `epoch`, so a torn
+    /// (mixed-epoch) record is detectable field-by-field.
+    fn patterned(epoch: u64) -> EpochTrace {
+        let mut t = EpochTrace {
+            epoch,
+            batch: epoch as u32,
+            updates: epoch as u32 + 1,
+            queries: epoch as u32 + 2,
+            flushes: epoch as u32 + 3,
+            queue_depth: epoch as u32 + 4,
+            drain_ns: epoch * 10,
+            admit_ns: epoch * 11,
+            commit_ns: epoch * 12,
+            wal_ns: epoch * 13,
+            publish_ns: epoch * 14,
+            backpressure_ns: epoch * 15,
+            handoff_ns: epoch * 16,
+            query_ns: epoch * 17,
+            respond_ns: epoch * 18,
+            epoch_wall_ns: epoch * 19,
+            ..EpochTrace::default()
+        };
+        for i in 0..8 {
+            t.family_ns[i] = epoch * (20 + i as u64);
+            t.family_counts[i] = epoch as u32 + i as u32;
+        }
+        t
+    }
+
+    fn assert_untorn(t: &EpochTrace) {
+        let e = t.epoch;
+        let want = patterned(e);
+        assert_eq!(*t, want, "torn record at epoch {e}");
+    }
+
+    #[test]
+    fn ring_keeps_newest_at_capacity() {
+        let ring = FlightRecorder::new(8);
+        for e in 1..=3_000u64 {
+            ring.record(patterned(e));
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 8);
+        let epochs: Vec<u64> = dump.iter().map(|t| t.epoch).collect();
+        assert_eq!(epochs, (2_993..=3_000).collect::<Vec<_>>());
+        for t in &dump {
+            assert_untorn(t);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_before_fill_returns_prefix() {
+        let ring = FlightRecorder::new(16);
+        for e in 1..=5u64 {
+            ring.record(patterned(e));
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 5);
+        assert_eq!(dump[0].epoch, 1);
+        assert_eq!(dump[4].epoch, 5);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(patterned(7));
+        assert_eq!(ring.dump().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_no_torn_records() {
+        // Two writer threads (standing in for the coalescer worker and
+        // the query executor) hammer a small ring while two readers dump
+        // continuously. Every dumped record must be internally
+        // consistent — all fields derived from the same epoch.
+        let ring = Arc::new(FlightRecorder::new(32));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        ring.record(patterned(w * 1_000_000 + i));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    for _ in 0..200 {
+                        let dump = ring.dump();
+                        for t in &dump {
+                            assert_untorn(t);
+                        }
+                        seen += dump.len();
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let mut total = 0;
+        for r in readers {
+            total += r.join().unwrap();
+        }
+        assert!(total > 0, "readers observed records");
+        for t in &ring.dump() {
+            assert_untorn(t);
+        }
+    }
+
+    #[test]
+    fn phase_totals_and_coverage() {
+        let t = EpochTrace {
+            epoch: 1,
+            drain_ns: 10,
+            admit_ns: 20,
+            commit_ns: 30,
+            wal_ns: 40,
+            publish_ns: 5,
+            backpressure_ns: 99, // excluded: handoff covers this window
+            handoff_ns: 5,
+            query_ns: 60,
+            respond_ns: 30,
+            epoch_wall_ns: 200,
+            ..EpochTrace::default()
+        };
+        assert_eq!(t.phase_sum_ns(), 200);
+        let totals = PhaseTotals::from_traces(&[t, t]);
+        assert_eq!(totals.epochs, 2);
+        assert_eq!(totals.phase_sum_ns(), 400);
+        assert_eq!(totals.wall_ns, 400);
+        assert!((totals.coverage() - 1.0).abs() < 1e-9);
+        assert_eq!(totals.backpressure_ns, 198);
+        let empty = PhaseTotals::default();
+        assert!((empty.coverage() - 1.0).abs() < 1e-9);
+    }
+}

@@ -41,11 +41,13 @@
 //! at least written. (See the README's "Epoch pipelining & MVCC reads".)
 
 use crate::agg::{ServeForest, ServeVertexWeight};
-use crate::exec::answer_requests;
-use crate::histogram::{EpochStats, LatencyHistogram, ServeStats};
+use crate::exec::answer_requests_timed;
 use crate::request::{Request, Response, ResponseHandle, Slot};
+use crate::stats::{EpochStats, LatencyHistogram, ServeStats};
+use crate::telemetry::{ServeTelemetry, TelemetryDump};
 use crate::version::{PublishedVersion, Snapshot, VersionTable};
 use rc_core::{DynamicForest, ForestError, ForestState};
+use rc_obs::{EpochTrace, MetricsSnapshot, RecycleOutcome};
 use rc_parlay::hashtable::edge_key;
 use rc_store::{EpochRecord, FlushRecord, RecoveryReport, Store, StoreConfig, StoreError};
 use std::collections::{HashMap, VecDeque};
@@ -91,6 +93,10 @@ pub struct ServeConfig {
     /// publish. Each retained version holds a full forest copy — keep
     /// this small.
     pub retained_versions: usize,
+    /// [`EpochTrace`] records retained in the flight-recorder ring
+    /// (newest win once full). Dump them via [`RcServe::flight_dump`] or
+    /// a [`Request::DumpTelemetry`].
+    pub flight_recorder: usize,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +110,7 @@ impl Default for ServeConfig {
             epoch_history: 64,
             pipeline_depth: 1,
             retained_versions: 2,
+            flight_recorder: 256,
         }
     }
 }
@@ -189,11 +196,13 @@ struct Shared {
     /// Wake mutex holds the shutdown flag; producers notify under it.
     wake: Mutex<bool>,
     wake_cv: Condvar,
-    hist: LatencyHistogram,
+    hist: Arc<LatencyHistogram>,
     stats: Mutex<StatsInner>,
     log: Mutex<Vec<LogEntry>>,
     /// Published MVCC versions (pipelined mode; empty at depth 0).
     versions: VersionTable,
+    /// Metrics registry + flight recorder (see [`crate::telemetry`]).
+    tel: ServeTelemetry,
 }
 
 /// A running coalescer: owns the forest on a dedicated worker thread.
@@ -251,6 +260,13 @@ impl RcServe {
         store: Option<Store>,
         first_epoch: u64,
     ) -> RcServe {
+        let hist = Arc::new(LatencyHistogram::default());
+        let tel = ServeTelemetry::new(cfg.flight_recorder, Arc::clone(&hist));
+        if let Some(store) = &store {
+            // The store created its metric handles at open; attach them
+            // so snapshots carry WAL/snapshot/recovery series too.
+            store.metrics().register_into(&tel.registry);
+        }
         let shared = Arc::new(Shared {
             shards: (0..cfg.shards.max(1))
                 .map(|_| Mutex::new(Vec::new()))
@@ -261,10 +277,11 @@ impl RcServe {
             accepting: AtomicBool::new(true),
             wake: Mutex::new(false),
             wake_cv: Condvar::new(),
-            hist: LatencyHistogram::default(),
+            hist,
             stats: Mutex::new(StatsInner::default()),
             log: Mutex::new(Vec::new()),
             versions: VersionTable::default(),
+            tel,
             cfg,
         });
         let worker_shared = Arc::clone(&shared);
@@ -296,6 +313,27 @@ impl RcServe {
     /// The most recent per-epoch stats (up to `cfg.epoch_history`).
     pub fn epoch_history(&self) -> Vec<EpochStats> {
         epoch_history_of(&self.shared)
+    }
+
+    /// Point-in-time snapshot of every registered metric — serve phase
+    /// histograms, request counters, store/WAL series when durable, and
+    /// (with the `pool-metrics` feature) the work-stealing pool's
+    /// counters. Callable at any time, including after shutdown.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.tel.snapshot()
+    }
+
+    /// The flight recorder's retained [`EpochTrace`]s, oldest first.
+    pub fn flight_dump(&self) -> Vec<EpochTrace> {
+        self.shared.tel.flight.dump()
+    }
+
+    /// The flight-recorder dump frozen when the worker failed (WAL
+    /// append error or poisoned compaction); `None` while healthy. The
+    /// failing epoch's partial trace is the last entry with
+    /// [`EpochTrace::failed`] set.
+    pub fn failure_dump(&self) -> Option<Vec<EpochTrace>> {
+        self.shared.tel.failure_dump()
     }
 
     /// Drain the commit log recorded so far (`record_commit_log` only),
@@ -372,14 +410,20 @@ impl ServeClient {
         }
         // Round-robin shard choice; the seq stamp is taken *under* the
         // shard lock so every shard's vector stays sorted by seq — the
-        // invariant the worker's k-way merge drain relies on.
+        // invariant the worker's k-way merge drain relies on. The qlen
+        // increment happens under the same lock, *before* the push: the
+        // worker's drain subtracts however many requests it merged, and
+        // any request visible in a shard must already be counted or that
+        // subtraction could transiently drive qlen below zero.
         let shard = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
         let seq;
+        let len;
         {
             let mut q = self.shared.shards[shard]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+            len = self.shared.qlen.fetch_add(1, Ordering::SeqCst) + 1;
             q.push(Pending {
                 seq,
                 submitted: Instant::now(),
@@ -387,7 +431,6 @@ impl ServeClient {
                 slot,
             });
         }
-        let len = self.shared.qlen.fetch_add(1, Ordering::SeqCst) + 1;
         // Wake the worker on the empty→non-empty edge and once the drain
         // threshold is reached; notifying under the lock pairs with the
         // worker's check-then-wait.
@@ -430,6 +473,24 @@ impl ServeClient {
     /// The most recent per-epoch stats.
     pub fn epoch_history(&self) -> Vec<EpochStats> {
         epoch_history_of(&self.shared)
+    }
+
+    /// Metrics snapshot (see [`RcServe::metrics`]); works after
+    /// shutdown, which makes a retained client the way to read final
+    /// totals.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.tel.snapshot()
+    }
+
+    /// The flight recorder's retained traces (see
+    /// [`RcServe::flight_dump`]).
+    pub fn flight_dump(&self) -> Vec<EpochTrace> {
+        self.shared.tel.flight.dump()
+    }
+
+    /// The failure-frozen dump (see [`RcServe::failure_dump`]).
+    pub fn failure_dump(&self) -> Option<Vec<EpochTrace>> {
+        self.shared.tel.failure_dump()
     }
 
     /// Drain the commit log (`record_commit_log` only), normalized to
@@ -533,6 +594,10 @@ struct Worker {
     /// Evicted versions whose buffers may still be pinned by snapshots
     /// or an in-flight query phase; reclaimed once the last pin drops.
     evicted: Vec<Arc<PublishedVersion>>,
+    /// Set when a compaction failure poisoned the store: the epoch
+    /// itself committed, so the flight-recorder dump freezes only after
+    /// the in-flight query phase drains at loop exit.
+    poisoned_epoch: Option<u64>,
 }
 
 /// A reclaimed forest buffer holding the state of `version`, waiting to
@@ -548,8 +613,15 @@ struct QueryJob {
     epoch: u64,
     version: Arc<PublishedVersion>,
     queries: Vec<Pending>,
-    /// Update-side stats; the executor fills `query_ns` and books it.
+    /// Update-side stats; the executor fills `query_ns`/`handoff_ns`
+    /// (true executor-side timings) and books it.
     stats: EpochStats,
+    /// When the worker handed the job over — pickup minus this is the
+    /// handoff latency.
+    dispatched: Instant,
+    /// When the epoch's drain started — the executor stamps the epoch's
+    /// wall time against it.
+    epoch_start: Instant,
 }
 
 impl Worker {
@@ -577,6 +649,7 @@ impl Worker {
             records_floor: first_epoch,
             spares: Vec::new(),
             evicted: Vec::new(),
+            poisoned_epoch: None,
         }
     }
 
@@ -594,11 +667,14 @@ impl Worker {
                 break; // shutdown with an empty queue
             }
             let queue_depth = self.shared.qlen.load(Ordering::SeqCst);
+            let epoch_start = Instant::now();
             let batch = self.drain();
+            let drain_ns = epoch_start.elapsed().as_nanos() as u64;
             if batch.is_empty() {
                 continue;
             }
-            if !self.process_epoch(&mut forest, batch, queue_depth) {
+            self.shared.tel.observe_queue_depth(queue_depth);
+            if !self.process_epoch(&mut forest, batch, queue_depth, epoch_start, drain_ns) {
                 // Durability failed: every queued request is answered
                 // Rejected (never left hanging), then the worker stops.
                 self.reject_drain();
@@ -611,6 +687,11 @@ impl Worker {
         drop(self.qtx.take());
         if let Some(h) = self.qworker.take() {
             h.join().expect("rc-serve query executor panicked");
+        }
+        if let Some(epoch) = self.poisoned_epoch.take() {
+            // Every in-flight query phase has drained, so the poisoned
+            // epoch's trace is complete — freeze the postmortem now.
+            self.shared.tel.freeze(epoch);
         }
         if let Some(store) = self.store.take() {
             // Clean shutdown must not lose an acknowledged epoch: flush
@@ -722,11 +803,40 @@ impl Worker {
         forest: &mut ServeForest,
         batch: Vec<Pending>,
         queue_depth: usize,
+        epoch_start: Instant,
+        drain_ns: u64,
     ) -> bool {
+        // Telemetry dumps answer at the drain boundary, before this
+        // epoch commits anything: the dump reflects exactly the
+        // committed prefix, never a half-applied epoch.
+        let (batch, dumps): (Vec<Pending>, Vec<Pending>) = batch
+            .into_iter()
+            .partition(|p| !matches!(p.request, Request::DumpTelemetry));
+        for p in dumps {
+            self.shared
+                .hist
+                .record(p.submitted.elapsed().as_nanos() as u64);
+            p.slot.fill(Response::Telemetry(Box::new(TelemetryDump {
+                snapshot: self.shared.tel.snapshot(),
+                traces: self.shared.tel.flight.dump(),
+            })));
+        }
+        if batch.is_empty() {
+            return true;
+        }
         self.epoch += 1;
         let pipelined = self.qtx.is_some();
         let (mut updates, queries): (Vec<Pending>, Vec<Pending>) =
             batch.into_iter().partition(|p| p.request.is_update());
+        let mut trace = EpochTrace {
+            epoch: self.epoch,
+            batch: (updates.len() + queries.len()) as u32,
+            updates: updates.len() as u32,
+            queries: queries.len() as u32,
+            queue_depth: queue_depth as u32,
+            drain_ns,
+            ..EpochTrace::default()
+        };
 
         // ---- update phase ----
         let t0 = Instant::now();
@@ -738,7 +848,12 @@ impl Worker {
             update_results.push(phase.admit(forest, &p.request));
         }
         phase.flush(forest);
+        // Commit propagation is the overlay flushes (forced + final);
+        // admission is the rest of the loop.
+        trace.commit_ns = phase.flush_ns;
+        trace.admit_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(phase.flush_ns);
         let mut journal = phase.take_journal();
+        let t_wal = Instant::now();
         // Durability barrier: the epoch's committed batches reach the WAL
         // *before* any response slot fills or any query phase dispatches,
         // so an acknowledged update — or a query answer released
@@ -766,6 +881,14 @@ impl Worker {
                     for p in updates.iter().chain(queries.iter()) {
                         p.slot.fill(Response::Rejected);
                     }
+                    // Postmortem: the failing epoch's partial trace
+                    // (phases up to the failed append) enters the ring,
+                    // and the dump freezes for `failure_dump()`.
+                    trace.wal_ns = t_wal.elapsed().as_nanos() as u64;
+                    trace.flushes = phase.flushes as u32;
+                    trace.failed = true;
+                    trace.epoch_wall_ns = epoch_start.elapsed().as_nanos() as u64;
+                    self.shared.tel.note_failure(trace);
                     return false;
                 }
                 if store.wants_compaction() {
@@ -789,6 +912,14 @@ impl Worker {
                 journal = rec.flushes;
             }
         }
+        trace.wal_ns = t_wal.elapsed().as_nanos() as u64;
+        if store_failed {
+            // The epoch committed (its WAL append succeeded), but the
+            // store is poisoned: mark the trace and freeze the dump at
+            // loop exit, once any in-flight query phase has drained.
+            trace.failed = true;
+            self.poisoned_epoch = Some(self.epoch);
+        }
         // MVCC bookkeeping: a state-changing epoch becomes the current
         // version, and its batch groups join the catch-up feed.
         if !journal.is_empty() {
@@ -805,13 +936,16 @@ impl Worker {
         }
         let update_ns = t0.elapsed().as_nanos() as u64;
         let flushes = phase.flushes;
+        trace.flushes = flushes as u32;
         let updates_len = updates.len();
+        let t_respond = Instant::now();
         for (p, r) in updates.iter().zip(&update_results) {
             self.shared
                 .hist
                 .record(p.submitted.elapsed().as_nanos() as u64);
             p.slot.fill(Response::Updated(r.clone()));
         }
+        trace.respond_ns = t_respond.elapsed().as_nanos() as u64;
         // Update entries log immediately — phase-concurrent with any
         // in-flight query phase of an earlier epoch (take_commit_log
         // re-sorts into commit order).
@@ -837,6 +971,7 @@ impl Worker {
             flushes,
             update_ns,
             query_ns: 0,
+            handoff_ns: 0,
             version_after: forest.version(),
             snapshot_version: if pipelined {
                 self.state_version
@@ -847,6 +982,8 @@ impl Worker {
 
         // ---- query phase ----
         if queries.is_empty() {
+            trace.epoch_wall_ns = epoch_start.elapsed().as_nanos() as u64;
+            self.shared.tel.record_trace(trace);
             book_epoch(&self.shared, stats);
             return !store_failed;
         }
@@ -855,30 +992,48 @@ impl Worker {
             // `send` blocks once `pipeline_depth` phases are in flight —
             // that back-pressure is what keeps updates from running
             // unboundedly ahead of query completion.
-            let version = self.ensure_published(forest);
+            let t_pub = Instant::now();
+            let (version, recycle) = self.ensure_published(forest);
+            trace.publish_ns = t_pub.elapsed().as_nanos() as u64;
+            trace.recycle = recycle;
+            let dispatched = Instant::now();
             let job = QueryJob {
                 epoch: self.epoch,
                 version,
                 queries,
                 stats,
+                dispatched,
+                epoch_start,
             };
             self.qtx
                 .as_ref()
                 .expect("pipelined")
                 .send(job)
                 .expect("query executor outlives the worker loop");
+            // How long the send blocked = the pipeline's back-pressure
+            // on this worker (also inside the executor's handoff window,
+            // which is why phase_sum_ns leaves it out).
+            trace.backpressure_ns = dispatched.elapsed().as_nanos() as u64;
+            self.shared.tel.record_half(trace);
             return !store_failed;
         }
         let t1 = Instant::now();
         let refs: Vec<&Request> = queries.iter().map(|p| &p.request).collect();
-        let responses = answer_requests(forest, &refs);
+        let (responses, fam) = answer_requests_timed(forest, &refs);
         stats.query_ns = t1.elapsed().as_nanos() as u64;
+        trace.query_ns = stats.query_ns;
+        trace.family_ns = fam.ns;
+        trace.family_counts = fam.counts;
+        let t_respond = Instant::now();
         for (p, r) in queries.iter().zip(&responses) {
             self.shared
                 .hist
                 .record(p.submitted.elapsed().as_nanos() as u64);
             p.slot.fill(r.clone());
         }
+        trace.respond_ns += t_respond.elapsed().as_nanos() as u64;
+        trace.epoch_wall_ns = epoch_start.elapsed().as_nanos() as u64;
+        self.shared.tel.record_trace(trace);
         book_epoch(&self.shared, stats);
         if self.shared.cfg.record_commit_log {
             let mut log = self.shared.log.lock().unwrap_or_else(|e| e.into_inner());
@@ -896,12 +1051,13 @@ impl Worker {
     }
 
     /// The published version carrying `state_version`'s state, publishing
-    /// a fresh buffer when the table's newest is older.
-    fn ensure_published(&mut self, live: &ServeForest) -> Arc<PublishedVersion> {
+    /// a fresh buffer when the table's newest is older. Also reports how
+    /// the buffer was obtained, for the flight recorder.
+    fn ensure_published(&mut self, live: &ServeForest) -> (Arc<PublishedVersion>, RecycleOutcome) {
         let target = self.state_version;
         if let Some(latest) = self.shared.versions.latest() {
             if latest.version == target {
-                return latest;
+                return (latest, RecycleOutcome::None);
             }
             debug_assert!(latest.version < target, "versions advance monotonically");
         }
@@ -918,7 +1074,7 @@ impl Worker {
         // The newest reclaimable spare needs the fewest catch-up records;
         // one older than the record floor can never catch up — drop it.
         self.spares.sort_unstable_by_key(|b| b.version);
-        let forest = loop {
+        let (forest, outcome) = loop {
             match self.spares.pop() {
                 Some(mut buf) if buf.version >= self.records_floor => {
                     for (e, flushes) in &self.recent {
@@ -929,13 +1085,13 @@ impl Worker {
                             }
                         }
                     }
-                    break buf.forest;
+                    break (buf.forest, RecycleOutcome::CaughtUp);
                 }
                 Some(_) => continue,
                 // No reclaimable buffer: clone the live forest — the
                 // O(n) cold-start path; steady state cycles buffers
                 // through journal catch-up instead.
-                None => break live.clone(),
+                None => break (live.clone(), RecycleOutcome::Cloned),
             }
         };
         // Full-state oracle, debug builds only: canonical extraction is
@@ -956,7 +1112,7 @@ impl Worker {
             .versions
             .publish(Arc::clone(&arc), self.shared.cfg.retained_versions);
         self.evicted.extend(evicted);
-        arc
+        (arc, outcome)
     }
 }
 
@@ -992,13 +1148,31 @@ fn apply_flush(forest: &mut ServeForest, f: &FlushRecord) {
 fn query_executor(shared: Arc<Shared>, rx: Receiver<QueryJob>) {
     while let Ok(mut job) = rx.recv() {
         let t = Instant::now();
+        // Query-side half of the epoch's trace; the worker recorded the
+        // update-side half, and record_half merges them (see
+        // crate::telemetry).
+        let mut trace = EpochTrace {
+            epoch: job.epoch,
+            handoff_ns: (t - job.dispatched).as_nanos() as u64,
+            ..EpochTrace::default()
+        };
         let refs: Vec<&Request> = job.queries.iter().map(|p| &p.request).collect();
-        let responses = answer_requests(&job.version.forest, &refs);
+        let (responses, fam) = answer_requests_timed(&job.version.forest, &refs);
+        // True executor-side timings — before the flight recorder these
+        // were accounted on the worker that handed the job off.
         job.stats.query_ns = t.elapsed().as_nanos() as u64;
+        job.stats.handoff_ns = trace.handoff_ns;
+        trace.query_ns = job.stats.query_ns;
+        trace.family_ns = fam.ns;
+        trace.family_counts = fam.counts;
+        let t_respond = Instant::now();
         for (p, r) in job.queries.iter().zip(&responses) {
             shared.hist.record(p.submitted.elapsed().as_nanos() as u64);
             p.slot.fill(r.clone());
         }
+        trace.respond_ns = t_respond.elapsed().as_nanos() as u64;
+        trace.epoch_wall_ns = job.epoch_start.elapsed().as_nanos() as u64;
+        shared.tel.record_half(trace);
         book_epoch(&shared, job.stats);
         if shared.cfg.record_commit_log {
             let mut log = shared.log.lock().unwrap_or_else(|e| e.into_inner());
@@ -1059,6 +1233,9 @@ struct UpdatePhase {
     /// to confirm (exactly like pending cuts do).
     uf_stale: bool,
     flushes: usize,
+    /// Total wall time spent inside [`flush`](Self::flush) — the commit-
+    /// propagation share of the update phase, for the flight recorder.
+    flush_ns: u64,
     /// When durable: every committed flush's batch groups, in commit
     /// order — exactly what the WAL persists for batch replay.
     journal: Option<Vec<FlushRecord>>,
@@ -1255,6 +1432,7 @@ impl UpdatePhase {
     /// loud crash rather than silent divergence from the responses already
     /// promised.
     fn flush(&mut self, forest: &mut ServeForest) {
+        let t_flush = Instant::now();
         let any = !self.cuts.is_empty()
             || !self.links.is_empty()
             || !self.eweights.is_empty()
@@ -1315,5 +1493,6 @@ impl UpdatePhase {
         self.uf.clear();
         self.uf_stale = false;
         self.flushes += 1;
+        self.flush_ns += t_flush.elapsed().as_nanos() as u64;
     }
 }

@@ -13,12 +13,32 @@
 use crate::agg::ServeForest;
 use crate::request::{CptResult, Request, Response};
 use rc_core::NO_VERTEX;
+use std::time::Instant;
+
+/// Per-family wall time and query counts of one `answer_requests_timed`
+/// fan-out, indexed like [`rc_obs::FAMILY_NAMES`] (conn, repr, path,
+/// subtree, lca, bottleneck, near, cpt).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FamilyTimings {
+    pub(crate) ns: [u64; 8],
+    pub(crate) counts: [u32; 8],
+}
 
 /// Answer a slice of requests against `forest`, grouping queries by
 /// family into one batch call each. Update requests answer
 /// [`Response::Rejected`]: this executor is read-only by construction
 /// (the coalescer never routes updates here; snapshots may).
 pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Vec<Response> {
+    answer_requests_timed(forest, requests).0
+}
+
+/// [`answer_requests`] plus per-family batch-call timings for the
+/// flight recorder.
+pub(crate) fn answer_requests_timed(
+    forest: &ServeForest,
+    requests: &[&Request],
+) -> (Vec<Response>, FamilyTimings) {
+    let mut fam = FamilyTimings::default();
     let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
 
     let mut conn: (Vec<(u32, u32)>, Vec<usize>) = Default::default();
@@ -60,7 +80,10 @@ pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Ve
                 near.1.push(i);
             }
             Request::Cpt { terminals } => {
+                let t = Instant::now();
                 let cpt = forest.compressed_path_tree(terminals);
+                fam.ns[7] += t.elapsed().as_nanos() as u64;
+                fam.counts[7] += 1;
                 responses[i] = Some(Response::Cpt(CptResult {
                     vertices: cpt.vertices,
                     edges: cpt.edges,
@@ -71,63 +94,74 @@ pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Ve
     }
 
     if !conn.0.is_empty() {
-        for (ans, &i) in forest.batch_connected(&conn.0).into_iter().zip(&conn.1) {
+        let t = Instant::now();
+        let answers = forest.batch_connected(&conn.0);
+        fam.ns[0] = t.elapsed().as_nanos() as u64;
+        fam.counts[0] = conn.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&conn.1) {
             responses[i] = Some(Response::Bool(ans));
         }
     }
     if !repr.0.is_empty() {
-        for (ans, &i) in forest
-            .batch_find_representatives(&repr.0)
-            .into_iter()
-            .zip(&repr.1)
-        {
+        let t = Instant::now();
+        let answers = forest.batch_find_representatives(&repr.0);
+        fam.ns[1] = t.elapsed().as_nanos() as u64;
+        fam.counts[1] = repr.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&repr.1) {
             responses[i] = Some(Response::Vertex((ans != NO_VERTEX).then_some(ans)));
         }
     }
     if !path.0.is_empty() {
-        for (ans, &i) in forest
-            .batch_path_aggregate(&path.0)
-            .into_iter()
-            .zip(&path.1)
-        {
+        let t = Instant::now();
+        let answers = forest.batch_path_aggregate(&path.0);
+        fam.ns[2] = t.elapsed().as_nanos() as u64;
+        fam.counts[2] = path.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&path.1) {
             responses[i] = Some(Response::Sum(ans.map(|p| p.sum)));
         }
     }
     if !subtree.0.is_empty() {
-        for (ans, &i) in forest
-            .batch_subtree_aggregate(&subtree.0)
-            .into_iter()
-            .zip(&subtree.1)
-        {
+        let t = Instant::now();
+        let answers = forest.batch_subtree_aggregate(&subtree.0);
+        fam.ns[3] = t.elapsed().as_nanos() as u64;
+        fam.counts[3] = subtree.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&subtree.1) {
             responses[i] = Some(Response::Sum(ans));
         }
     }
     if !lca.0.is_empty() {
-        for (ans, &i) in forest.batch_lca(&lca.0).into_iter().zip(&lca.1) {
+        let t = Instant::now();
+        let answers = forest.batch_lca(&lca.0);
+        fam.ns[4] = t.elapsed().as_nanos() as u64;
+        fam.counts[4] = lca.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&lca.1) {
             responses[i] = Some(Response::Vertex(ans));
         }
     }
     if !bottleneck.0.is_empty() {
-        for (ans, &i) in forest
-            .batch_path_extrema(&bottleneck.0)
-            .into_iter()
-            .zip(&bottleneck.1)
-        {
+        let t = Instant::now();
+        let answers = forest.batch_path_extrema(&bottleneck.0);
+        fam.ns[5] = t.elapsed().as_nanos() as u64;
+        fam.counts[5] = bottleneck.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&bottleneck.1) {
             responses[i] = Some(Response::Extrema(ans));
         }
     }
     if !near.0.is_empty() {
-        for (ans, &i) in forest
-            .batch_nearest_marked(&near.0)
-            .into_iter()
-            .zip(&near.1)
-        {
+        let t = Instant::now();
+        let answers = forest.batch_nearest_marked(&near.0);
+        fam.ns[6] = t.elapsed().as_nanos() as u64;
+        fam.counts[6] = near.0.len() as u32;
+        for (ans, &i) in answers.into_iter().zip(&near.1) {
             responses[i] = Some(Response::Near(ans));
         }
     }
 
-    responses
-        .into_iter()
-        .map(|r| r.expect("every query family answered"))
-        .collect()
+    (
+        responses
+            .into_iter()
+            .map(|r| r.expect("every query family answered"))
+            .collect(),
+        fam,
+    )
 }

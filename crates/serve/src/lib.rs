@@ -91,18 +91,27 @@
 mod agg;
 mod coalescer;
 mod exec;
-mod histogram;
 mod request;
+mod stats;
+mod telemetry;
 mod version;
 
 pub use agg::{PathSummary, ServeAgg, ServeForest, ServeVertexWeight};
 pub use coalescer::{LogEntry, RcServe, ServeClient, ServeConfig};
-pub use histogram::{EpochStats, LatencyHistogram, LatencySummary, ServeStats};
+/// Observability types, re-exported from `rc-obs`: every
+/// [`RcServe::metrics`] snapshot and [`RcServe::flight_dump`] trace is
+/// made of these (see the "Observability" section of the README).
+pub use rc_obs::{
+    EpochTrace, HistogramSummary, MetricValue, MetricsSnapshot, PhaseTotals, RecycleOutcome,
+    FAMILY_NAMES,
+};
 /// Durability knobs, re-exported from `rc-store`: pass a [`Durability`]
 /// to [`RcServe::start_durable`] to put a WAL + snapshot store under the
 /// epoch loop (see the "Durability" section of the README).
 pub use rc_store::{RecoveryReport, StoreConfig as Durability, StoreError, SyncPolicy};
 pub use request::{CptResult, Request, Response, ResponseHandle};
+pub use stats::{EpochStats, LatencyHistogram, LatencySummary, ServeStats};
+pub use telemetry::TelemetryDump;
 pub use version::Snapshot;
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub enum Request {
     NearestMarked { v: u32 },
     /// Compressed path tree over `terminals`.
     Cpt { terminals: Vec<u32> },
+    /// Dump the server's telemetry — metrics snapshot + flight-recorder
+    /// traces — through the normal request path. Answered at the drain
+    /// boundary of the epoch that picks it up (so the dump is consistent
+    /// with a committed prefix); answers [`Response::Telemetry`].
+    /// Read-only snapshots answer it [`Response::Rejected`].
+    DumpTelemetry,
 }
 
 impl Request {
@@ -111,6 +117,9 @@ pub enum Response {
     Near(Option<(u64, u32)>),
     /// `Cpt`.
     Cpt(CptResult),
+    /// `DumpTelemetry` (boxed: dumps are much larger than every other
+    /// response).
+    Telemetry(Box<crate::telemetry::TelemetryDump>),
     /// The server is shutting down; the request was not executed.
     Rejected,
 }

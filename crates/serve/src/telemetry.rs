@@ -1,0 +1,318 @@
+//! The server's telemetry hub: one [`MetricsRegistry`] + one
+//! [`FlightRecorder`] per [`RcServe`](crate::RcServe), fed by the epoch
+//! worker, the query executor, and (when durable) the store.
+//!
+//! Pipelined epochs are recorded in two halves — the worker owns the
+//! update-side phase timings, the executor owns the query-side ones —
+//! and the halves meet here: whichever side finishes second merges the
+//! two (all fields are disjoint, so the merge is a field-wise sum) and
+//! publishes the completed [`EpochTrace`].
+
+use rc_obs::{
+    Counter, EpochTrace, FlightRecorder, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    RecycleOutcome,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// On-demand dump of the server's telemetry: the metrics snapshot plus
+/// the flight recorder's retained epoch traces. Returned by
+/// [`Request::DumpTelemetry`](crate::Request::DumpTelemetry) and the
+/// direct [`RcServe::metrics`](crate::RcServe::metrics) /
+/// [`flight_dump`](crate::RcServe::flight_dump) accessors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryDump {
+    /// Point-in-time value of every registered metric.
+    pub snapshot: MetricsSnapshot,
+    /// The newest retained epoch traces, oldest first.
+    pub traces: Vec<EpochTrace>,
+}
+
+/// Per-server telemetry state shared by the worker and query-executor
+/// threads (via `Shared`).
+pub(crate) struct ServeTelemetry {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) flight: FlightRecorder,
+    /// Halves of pipelined epochs waiting for their other half.
+    pending: Mutex<HashMap<u64, EpochTrace>>,
+    /// The flight-recorder dump taken when the worker failed (WAL append
+    /// or compaction error) — the postmortem for the rollback/poison
+    /// paths.
+    failure: Mutex<Option<Vec<EpochTrace>>>,
+    epochs_total: Arc<Counter>,
+    failed_epochs_total: Arc<Counter>,
+    requests_total: Arc<Counter>,
+    updates_total: Arc<Counter>,
+    queries_total: Arc<Counter>,
+    flushes_total: Arc<Counter>,
+    recycle_caught_up_total: Arc<Counter>,
+    recycle_cloned_total: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    drain_ns: Arc<Histogram>,
+    admit_ns: Arc<Histogram>,
+    commit_ns: Arc<Histogram>,
+    wal_ns: Arc<Histogram>,
+    publish_ns: Arc<Histogram>,
+    backpressure_ns: Arc<Histogram>,
+    handoff_ns: Arc<Histogram>,
+    query_ns: Arc<Histogram>,
+    respond_ns: Arc<Histogram>,
+    epoch_wall_ns: Arc<Histogram>,
+}
+
+impl ServeTelemetry {
+    /// Fresh registry + flight recorder; `latency` is the existing
+    /// end-to-end request histogram, attached under its metric name so
+    /// it shows up in every snapshot.
+    pub(crate) fn new(flight_capacity: usize, latency: Arc<Histogram>) -> Self {
+        let registry = MetricsRegistry::new();
+        registry.attach_histogram("serve_request_latency_ns", latency);
+        ServeTelemetry {
+            flight: FlightRecorder::new(flight_capacity),
+            pending: Mutex::new(HashMap::new()),
+            failure: Mutex::new(None),
+            epochs_total: registry.counter("serve_epochs_total"),
+            failed_epochs_total: registry.counter("serve_failed_epochs_total"),
+            requests_total: registry.counter("serve_requests_total"),
+            updates_total: registry.counter("serve_updates_total"),
+            queries_total: registry.counter("serve_queries_total"),
+            flushes_total: registry.counter("serve_flushes_total"),
+            recycle_caught_up_total: registry.counter("serve_recycle_caught_up_total"),
+            recycle_cloned_total: registry.counter("serve_recycle_cloned_total"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            drain_ns: registry.histogram("serve_phase_drain_ns"),
+            admit_ns: registry.histogram("serve_phase_admit_ns"),
+            commit_ns: registry.histogram("serve_phase_commit_ns"),
+            wal_ns: registry.histogram("serve_phase_wal_ns"),
+            publish_ns: registry.histogram("serve_phase_publish_ns"),
+            backpressure_ns: registry.histogram("serve_backpressure_ns"),
+            handoff_ns: registry.histogram("serve_handoff_ns"),
+            query_ns: registry.histogram("serve_phase_query_ns"),
+            respond_ns: registry.histogram("serve_phase_respond_ns"),
+            epoch_wall_ns: registry.histogram("serve_epoch_wall_ns"),
+            registry,
+        }
+    }
+
+    /// Observe the queue depth seen at drain time.
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as i64);
+    }
+
+    /// Publish one *complete* epoch trace: counters, phase histograms,
+    /// and the flight-recorder ring.
+    pub(crate) fn record_trace(&self, t: EpochTrace) {
+        self.epochs_total.inc();
+        if t.failed {
+            self.failed_epochs_total.inc();
+        }
+        self.requests_total.add(t.batch as u64);
+        self.updates_total.add(t.updates as u64);
+        self.queries_total.add(t.queries as u64);
+        self.flushes_total.add(t.flushes as u64);
+        match t.recycle {
+            RecycleOutcome::None => {}
+            RecycleOutcome::CaughtUp => self.recycle_caught_up_total.inc(),
+            RecycleOutcome::Cloned => self.recycle_cloned_total.inc(),
+        }
+        self.drain_ns.record(t.drain_ns);
+        self.admit_ns.record(t.admit_ns);
+        self.commit_ns.record(t.commit_ns);
+        if t.wal_ns > 0 {
+            self.wal_ns.record(t.wal_ns);
+        }
+        if t.publish_ns > 0 {
+            self.publish_ns.record(t.publish_ns);
+        }
+        if t.backpressure_ns > 0 {
+            self.backpressure_ns.record(t.backpressure_ns);
+        }
+        if t.handoff_ns > 0 {
+            self.handoff_ns.record(t.handoff_ns);
+        }
+        self.query_ns.record(t.query_ns);
+        self.respond_ns.record(t.respond_ns);
+        self.epoch_wall_ns.record(t.epoch_wall_ns);
+        self.flight.record(t);
+    }
+
+    /// Publish one *half* of a pipelined epoch's trace (the worker's
+    /// update side or the executor's query side). The halves fill
+    /// disjoint fields; whichever arrives second merges field-wise and
+    /// records the completed trace.
+    pub(crate) fn record_half(&self, half: EpochTrace) {
+        let merged = {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            match pending.remove(&half.epoch) {
+                Some(other) => Some(merge_halves(other, half)),
+                None => {
+                    pending.insert(half.epoch, half);
+                    None
+                }
+            }
+        };
+        if let Some(t) = merged {
+            self.record_trace(t);
+        }
+    }
+
+    /// The worker failed (WAL append error): record the failing epoch's
+    /// partial trace, then freeze a dump for postmortems.
+    pub(crate) fn note_failure(&self, failing: EpochTrace) {
+        self.record_trace(failing);
+        self.freeze(failing.epoch);
+    }
+
+    /// Freeze the current flight-recorder contents as the failure dump
+    /// (the poisoned-compaction path calls this after the in-flight
+    /// query phase has drained, so the failing epoch's trace is
+    /// complete) and summarize on stderr.
+    pub(crate) fn freeze(&self, failing_epoch: u64) {
+        let dump = self.flight.dump();
+        eprintln!(
+            "rc-serve: flight recorder: froze {} trace(s) after failure at epoch {}; \
+             dump available via failure_dump()",
+            dump.len(),
+            failing_epoch,
+        );
+        *self.failure.lock().unwrap_or_else(|e| e.into_inner()) = Some(dump);
+    }
+
+    /// The dump frozen by [`note_failure`](Self::note_failure), if the
+    /// worker has failed.
+    pub(crate) fn failure_dump(&self) -> Option<Vec<EpochTrace>> {
+        self.failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Snapshot every registered metric, appending the work-stealing
+    /// pool's counters when the `pool-metrics` feature is enabled.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        #[allow(unused_mut)]
+        let mut snap = self.registry.snapshot();
+        #[cfg(feature = "pool-metrics")]
+        {
+            let pm = rayon::pool_metrics();
+            for (name, v) in [
+                ("pool_jobs_published_total", pm.jobs_published),
+                ("pool_chunks_claimed_total", pm.chunks_claimed),
+                ("pool_join_tasks_stolen_total", pm.join_tasks_stolen),
+                ("pool_join_tasks_reclaimed_total", pm.join_tasks_reclaimed),
+                ("pool_parks_total", pm.parks),
+                ("pool_unparks_total", pm.unparks),
+            ] {
+                snap.metrics
+                    .push((name.to_string(), rc_obs::MetricValue::Counter(v)));
+            }
+        }
+        snap
+    }
+}
+
+/// Field-wise union of the two halves of a pipelined epoch's trace.
+/// Every timing/count field is filled by exactly one side, so addition
+/// is the union; `recycle`/`failed` come from whichever side set them.
+fn merge_halves(a: EpochTrace, b: EpochTrace) -> EpochTrace {
+    debug_assert_eq!(a.epoch, b.epoch);
+    let mut t = EpochTrace {
+        epoch: a.epoch,
+        batch: a.batch + b.batch,
+        updates: a.updates + b.updates,
+        queries: a.queries + b.queries,
+        flushes: a.flushes + b.flushes,
+        queue_depth: a.queue_depth + b.queue_depth,
+        drain_ns: a.drain_ns + b.drain_ns,
+        admit_ns: a.admit_ns + b.admit_ns,
+        commit_ns: a.commit_ns + b.commit_ns,
+        wal_ns: a.wal_ns + b.wal_ns,
+        publish_ns: a.publish_ns + b.publish_ns,
+        backpressure_ns: a.backpressure_ns + b.backpressure_ns,
+        handoff_ns: a.handoff_ns + b.handoff_ns,
+        query_ns: a.query_ns + b.query_ns,
+        respond_ns: a.respond_ns + b.respond_ns,
+        epoch_wall_ns: a.epoch_wall_ns.max(b.epoch_wall_ns),
+        family_ns: [0; 8],
+        family_counts: [0; 8],
+        recycle: if a.recycle == RecycleOutcome::None {
+            b.recycle
+        } else {
+            a.recycle
+        },
+        failed: a.failed || b.failed,
+    };
+    for i in 0..8 {
+        t.family_ns[i] = a.family_ns[i] + b.family_ns[i];
+        t.family_counts[i] = a.family_counts[i] + b.family_counts[i];
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_merge_once_both_arrive() {
+        let tel = ServeTelemetry::new(16, Arc::new(Histogram::default()));
+        let worker_half = EpochTrace {
+            epoch: 3,
+            batch: 10,
+            updates: 4,
+            drain_ns: 100,
+            admit_ns: 200,
+            commit_ns: 300,
+            recycle: RecycleOutcome::CaughtUp,
+            ..EpochTrace::default()
+        };
+        let exec_half = EpochTrace {
+            epoch: 3,
+            queries: 6,
+            handoff_ns: 50,
+            query_ns: 400,
+            respond_ns: 25,
+            epoch_wall_ns: 1_100,
+            ..EpochTrace::default()
+        };
+        tel.record_half(worker_half);
+        assert!(tel.flight.dump().is_empty(), "half alone is not recorded");
+        tel.record_half(exec_half);
+        let dump = tel.flight.dump();
+        assert_eq!(dump.len(), 1);
+        let t = dump[0];
+        assert_eq!(t.epoch, 3);
+        assert_eq!(t.batch, 10);
+        assert_eq!(t.updates, 4);
+        assert_eq!(t.queries, 6);
+        assert_eq!(t.drain_ns, 100);
+        assert_eq!(t.handoff_ns, 50);
+        assert_eq!(t.query_ns, 400);
+        assert_eq!(t.epoch_wall_ns, 1_100);
+        assert_eq!(t.recycle, RecycleOutcome::CaughtUp);
+        assert_eq!(t.phase_sum_ns(), 100 + 200 + 300 + 50 + 400 + 25);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("serve_epochs_total"), Some(1));
+        assert_eq!(snap.counter("serve_recycle_caught_up_total"), Some(1));
+    }
+
+    #[test]
+    fn failure_freezes_a_dump() {
+        let tel = ServeTelemetry::new(8, Arc::new(Histogram::default()));
+        tel.record_trace(EpochTrace {
+            epoch: 1,
+            ..EpochTrace::default()
+        });
+        assert!(tel.failure_dump().is_none());
+        tel.note_failure(EpochTrace {
+            epoch: 2,
+            failed: true,
+            wal_ns: 77,
+            ..EpochTrace::default()
+        });
+        let dump = tel.failure_dump().expect("frozen dump");
+        assert_eq!(dump.len(), 2);
+        assert!(dump.iter().any(|t| t.epoch == 2 && t.failed));
+        assert_eq!(tel.snapshot().counter("serve_failed_epochs_total"), Some(1));
+    }
+}

@@ -42,9 +42,11 @@
 //! closure itself still runs on the calling thread — the one observable
 //! difference from real rayon, which migrates it onto a worker).
 
+mod metrics;
 mod pool;
 mod sort;
 
+pub use metrics::{pool_metrics, pool_metrics_enabled, PoolMetrics};
 pub use pool::{current_num_threads, join};
 
 use std::mem::MaybeUninit;

@@ -1,0 +1,101 @@
+//! Optional pool counters behind the `pool-metrics` feature.
+//!
+//! The work-stealing pool sits under every parallel batch call, so even
+//! one always-on atomic per chunk claim would tax the hottest paths in
+//! the workspace. The statics below therefore always *exist* (so the
+//! [`pool_metrics`] accessor compiles either way) but the increments
+//! compile to nothing unless the `pool-metrics` feature is on — with it
+//! off, [`pool_metrics`] reports zeros and [`pool_metrics_enabled`]
+//! says so. With it on, each event costs one relaxed `fetch_add`.
+//!
+//! Counters are process-global (all registries pooled together): the
+//! consumer is the serve tier's telemetry snapshot, which wants "what is
+//! the pool doing under this workload", not per-registry attribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) static JOBS_PUBLISHED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CHUNKS_CLAIMED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static JOIN_TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+pub(crate) static JOIN_TASKS_RECLAIMED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PARKS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static UNPARKS: AtomicU64 = AtomicU64::new(0);
+
+/// Bump one pool counter — a relaxed `fetch_add` under `pool-metrics`,
+/// nothing otherwise.
+#[inline(always)]
+pub(crate) fn bump(counter: &AtomicU64) {
+    #[cfg(feature = "pool-metrics")]
+    counter.fetch_add(1, Ordering::Relaxed);
+    #[cfg(not(feature = "pool-metrics"))]
+    let _ = counter;
+}
+
+/// Point-in-time reading of the pool counters (process-global, since
+/// process start). All zeros unless the `pool-metrics` feature is
+/// enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Jobs pushed onto an injection queue (chunked for-jobs and join
+    /// second branches both count).
+    pub jobs_published: u64,
+    /// Grain-sized chunks claimed from for-job counters.
+    pub chunks_claimed: u64,
+    /// Join second branches executed by a thread other than the caller.
+    pub join_tasks_stolen: u64,
+    /// Join second branches the caller reclaimed and ran inline.
+    pub join_tasks_reclaimed: u64,
+    /// Times a worker parked on the queue condvar.
+    pub parks: u64,
+    /// Times a parked worker woke.
+    pub unparks: u64,
+}
+
+/// Read the pool counters. Cheap (six relaxed loads); values are
+/// monotone, so two readings bracket the activity between them.
+pub fn pool_metrics() -> PoolMetrics {
+    PoolMetrics {
+        jobs_published: JOBS_PUBLISHED.load(Ordering::Relaxed),
+        chunks_claimed: CHUNKS_CLAIMED.load(Ordering::Relaxed),
+        join_tasks_stolen: JOIN_TASKS_STOLEN.load(Ordering::Relaxed),
+        join_tasks_reclaimed: JOIN_TASKS_RECLAIMED.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        unparks: UNPARKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Was this build compiled with the `pool-metrics` feature (i.e. are the
+/// counters live)?
+pub fn pool_metrics_enabled() -> bool {
+    cfg!(feature = "pool-metrics")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn counters_reflect_feature_state() {
+        let before = pool_metrics();
+        let total: u64 = (0..100_000u64).collect::<Vec<_>>().par_iter().sum();
+        assert_eq!(total, 100_000 * 99_999 / 2);
+        let (a, b) = crate::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        let after = pool_metrics();
+        if pool_metrics_enabled() {
+            // On a single-core machine everything runs inline and nothing
+            // is published; only assert when the pool actually engages.
+            if crate::current_num_threads() > 1 {
+                assert!(after.jobs_published > before.jobs_published);
+                assert!(after.chunks_claimed > before.chunks_claimed);
+                assert!(
+                    after.join_tasks_stolen + after.join_tasks_reclaimed
+                        > before.join_tasks_stolen + before.join_tasks_reclaimed
+                );
+            }
+        } else {
+            assert_eq!(after, PoolMetrics::default());
+        }
+    }
+}

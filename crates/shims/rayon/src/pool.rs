@@ -28,6 +28,7 @@
 //! real rayon's "propagate to the caller" semantics. A worker that caught
 //! a panic stays alive and keeps serving jobs.
 
+use crate::metrics;
 use std::any::Any;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -121,6 +122,7 @@ impl Registry {
     /// Enqueue a job and wake the workers.
     fn inject(self: &Arc<Self>, job: Arc<dyn PoolJob>) {
         self.ensure_started();
+        metrics::bump(&metrics::JOBS_PUBLISHED);
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.jobs.push(job);
         drop(s);
@@ -174,7 +176,9 @@ fn worker_loop(reg: Arc<Registry>) {
         if s.terminate {
             return;
         }
+        metrics::bump(&metrics::PARKS);
         s = reg.work_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        metrics::bump(&metrics::UNPARKS);
     }
 }
 
@@ -265,6 +269,7 @@ impl PoolJob for ForJob {
             if c >= self.nchunks {
                 return;
             }
+            metrics::bump(&metrics::CHUNKS_CLAIMED);
             let lo = c * self.grain;
             let hi = (lo + self.grain).min(self.n);
             // SAFETY: the claim above succeeded, so the caller is still
@@ -394,6 +399,7 @@ impl PoolJob for JoinTask {
         if self.taken.swap(true, Ordering::AcqRel) {
             return;
         }
+        metrics::bump(&metrics::JOIN_TASKS_STOLEN);
         self.execute();
     }
 
@@ -485,6 +491,7 @@ where
 
     if !task.taken.swap(true, Ordering::AcqRel) {
         // Nobody stole b: run it inline on this thread.
+        metrics::bump(&metrics::JOIN_TASKS_RECLAIMED);
         task.execute();
     } else {
         task.wait_done(&reg);

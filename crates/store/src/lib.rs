@@ -51,10 +51,12 @@
 
 pub mod codec;
 pub mod frame;
+mod metrics;
 pub mod snapshot;
 mod store;
 pub mod wal;
 
 pub use codec::{DecodeError, EpochRecord, FlushRecord};
+pub use metrics::StoreMetrics;
 pub use store::{Recovered, RecoveryReport, Store, StoreConfig, StoreError, StoreForest};
 pub use wal::{SyncPolicy, Wal, WalOpen, WAL_FILE};

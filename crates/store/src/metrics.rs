@@ -1,0 +1,94 @@
+//! Store-side metric handles: append/fsync/snapshot/compaction/recovery
+//! timings and byte counters.
+//!
+//! The store creates its [`StoreMetrics`] when it opens — *before* any
+//! owning registry exists — and records through the `Arc` handles on
+//! every durability operation. A serve tier that wants the store's
+//! numbers in its own [`rc_obs::MetricsRegistry`] calls
+//! [`StoreMetrics::register_into`] once, which attaches the live handles
+//! under `store_`/`wal_`-prefixed names: no copying, no sampling lag.
+//! A store used standalone (no registry) still pays only the relaxed
+//! atomic increments.
+
+use rc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Shared handles to every metric the store records. Cheap to clone
+/// (a handful of `Arc`s); one clone lives inside the [`Wal`](crate::Wal)
+/// for the fsync-path metrics.
+#[derive(Clone, Debug, Default)]
+pub struct StoreMetrics {
+    /// Epoch records appended to the WAL (successful appends only).
+    pub appends_total: Arc<Counter>,
+    /// WAL frame bytes written to the file (buffered bytes count when
+    /// they flush).
+    pub append_bytes_total: Arc<Counter>,
+    /// Wall time of [`Store::append_epoch`](crate::Store::append_epoch),
+    /// fsync included when the policy demands one.
+    pub append_ns: Arc<Histogram>,
+    /// `fsync` calls issued by the WAL.
+    pub fsyncs_total: Arc<Counter>,
+    /// Wall time of each WAL `fsync`.
+    pub fsync_ns: Arc<Histogram>,
+    /// Snapshot files written (compactions and bootstrap installs that
+    /// go through [`Store::compact`](crate::Store::compact)).
+    pub snapshots_total: Arc<Counter>,
+    /// Wall time of each snapshot serialization + write.
+    pub snapshot_ns: Arc<Histogram>,
+    /// Completed compaction cycles (snapshot + WAL truncation).
+    pub compactions_total: Arc<Counter>,
+    /// Wall time of each full compaction cycle.
+    pub compaction_ns: Arc<Histogram>,
+    /// WAL epochs replayed during recovery at open.
+    pub recovery_replayed_epochs_total: Arc<Counter>,
+    /// Total nanoseconds spent recovering at open (snapshot load +
+    /// rebuild + WAL replay). A counter, not a histogram: open happens
+    /// once per store, and totals across re-opens are the useful number.
+    pub recovery_ns: Arc<Counter>,
+    /// Current logical WAL size in bytes (buffered bytes included).
+    pub wal_bytes: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    /// Attach every handle into `reg` under its canonical name
+    /// (`store_*` for store-level operations, `wal_*` for the fsync
+    /// path). Idempotent for the same handles; panics if a name is
+    /// already taken by a *different* handle — that is a wiring bug.
+    pub fn register_into(&self, reg: &MetricsRegistry) {
+        reg.attach_counter("store_appends_total", self.appends_total.clone());
+        reg.attach_counter("store_append_bytes_total", self.append_bytes_total.clone());
+        reg.attach_histogram("store_append_ns", self.append_ns.clone());
+        reg.attach_counter("wal_fsyncs_total", self.fsyncs_total.clone());
+        reg.attach_histogram("wal_fsync_ns", self.fsync_ns.clone());
+        reg.attach_counter("store_snapshots_total", self.snapshots_total.clone());
+        reg.attach_histogram("store_snapshot_ns", self.snapshot_ns.clone());
+        reg.attach_counter("store_compactions_total", self.compactions_total.clone());
+        reg.attach_histogram("store_compaction_ns", self.compaction_ns.clone());
+        reg.attach_counter(
+            "store_recovery_replayed_epochs_total",
+            self.recovery_replayed_epochs_total.clone(),
+        );
+        reg.attach_counter("store_recovery_ns", self.recovery_ns.clone());
+        reg.attach_gauge("store_wal_bytes", self.wal_bytes.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_into_is_idempotent_and_live() {
+        let m = StoreMetrics::default();
+        let reg = MetricsRegistry::new();
+        m.register_into(&reg);
+        m.register_into(&reg); // same handles: no panic
+        m.appends_total.add(3);
+        m.fsync_ns.record(1_000);
+        m.wal_bytes.set(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("store_appends_total"), Some(3));
+        assert_eq!(snap.histogram("wal_fsync_ns").unwrap().count, 1);
+        assert_eq!(snap.gauge("store_wal_bytes"), Some(42));
+    }
+}

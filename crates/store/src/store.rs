@@ -16,11 +16,12 @@
 //!    exactly the regime the paper's batch bounds favor.
 
 use crate::codec::EpochRecord;
+use crate::metrics::StoreMetrics;
 use crate::snapshot;
 use crate::wal::{SyncPolicy, Wal, WAL_FILE};
 use rc_core::{BuildOptions, ForestError, ForestState, RcForest, StdAgg, StdVertexWeight};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The standard forest the store persists (the serve tier's forest type).
 pub type StoreForest = RcForest<StdAgg>;
@@ -138,6 +139,7 @@ pub struct Store {
     wal: Wal,
     last_epoch: u64,
     appends: u64,
+    metrics: StoreMetrics,
 }
 
 impl Store {
@@ -154,6 +156,8 @@ impl Store {
         cfg: StoreConfig,
         bootstrap: Option<&ForestState>,
     ) -> Result<Recovered, StoreError> {
+        let metrics = StoreMetrics::default();
+        let t_recovery = Instant::now();
         std::fs::create_dir_all(&cfg.dir)?;
         let mut snap = snapshot::load_latest(&cfg.dir)?;
         if snap.is_none() {
@@ -198,12 +202,22 @@ impl Store {
             report.replayed_ops += rec.ops() as u64;
             report.last_epoch = rec.epoch;
         }
+        let mut wal = opened.wal;
+        wal.set_metrics(metrics.clone());
+        metrics
+            .recovery_replayed_epochs_total
+            .add(report.replayed_epochs);
+        metrics
+            .recovery_ns
+            .add(t_recovery.elapsed().as_nanos() as u64);
+        metrics.wal_bytes.set(wal.bytes() as i64);
         Ok(Recovered {
             store: Store {
                 last_epoch: report.last_epoch,
                 cfg,
-                wal: opened.wal,
+                wal,
                 appends: 0,
+                metrics,
             },
             forest,
             report,
@@ -229,13 +243,18 @@ impl Store {
                 "injected append failure (fail_appends_after)",
             ));
         }
+        let t = Instant::now();
         let before = self.wal.bytes();
         if let Err(e) = self.wal.append(rec) {
             self.wal.rollback_to(before);
+            self.metrics.wal_bytes.set(self.wal.bytes() as i64);
             return Err(e);
         }
         self.appends += 1;
         self.last_epoch = rec.epoch;
+        self.metrics.appends_total.inc();
+        self.metrics.append_ns.record(t.elapsed().as_nanos() as u64);
+        self.metrics.wal_bytes.set(self.wal.bytes() as i64);
         Ok(())
     }
 
@@ -250,10 +269,21 @@ impl Store {
         // Order matters for crash safety: the snapshot must be durable
         // before the WAL frames it supersedes disappear (and before the
         // base-epoch marker claims it exists).
+        let t_compact = Instant::now();
         self.wal.sync()?;
+        let t_snap = Instant::now();
         snapshot::write_snapshot(&self.cfg.dir, self.last_epoch, state)?;
+        self.metrics.snapshots_total.inc();
+        self.metrics
+            .snapshot_ns
+            .record(t_snap.elapsed().as_nanos() as u64);
         self.wal.truncate_to_empty(self.last_epoch)?;
         snapshot::remove_older_than(&self.cfg.dir, self.last_epoch)?;
+        self.metrics.compactions_total.inc();
+        self.metrics
+            .compaction_ns
+            .record(t_compact.elapsed().as_nanos() as u64);
+        self.metrics.wal_bytes.set(self.wal.bytes() as i64);
         Ok(())
     }
 
@@ -287,6 +317,13 @@ impl Store {
     /// The configured sync policy.
     pub fn sync_policy(&self) -> SyncPolicy {
         self.wal.sync_policy()
+    }
+
+    /// Live handles to this store's durability metrics (see
+    /// [`StoreMetrics`]). Attach them into an owning registry with
+    /// [`StoreMetrics::register_into`].
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// Flush + fsync + close. Clean shutdown never loses an acknowledged

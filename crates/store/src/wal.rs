@@ -32,6 +32,7 @@
 
 use crate::codec::{decode_epoch, encode_epoch, EpochRecord};
 use crate::frame::{encode_frame, scan_frames};
+use crate::metrics::StoreMetrics;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -92,6 +93,9 @@ pub struct Wal {
     /// matches the accounting, so any further write could land at a
     /// bogus offset and masquerade as valid frames. All writes refuse.
     poisoned: bool,
+    /// Fsync/byte instrumentation (default handles when the WAL is used
+    /// standalone; the owning [`crate::Store`] installs its own).
+    metrics: StoreMetrics,
 }
 
 impl Wal {
@@ -165,6 +169,7 @@ impl Wal {
                 last_fsync: Instant::now(),
                 dirty: false,
                 poisoned: false,
+                metrics: StoreMetrics::default(),
             },
             records,
             truncated_bytes,
@@ -195,6 +200,7 @@ impl Wal {
                 last_fsync: Instant::now(),
                 dirty: false,
                 poisoned: false,
+                metrics: StoreMetrics::default(),
             },
             records: Vec::new(),
             truncated_bytes,
@@ -247,6 +253,12 @@ impl Wal {
         &self.path
     }
 
+    /// Replace the default metric handles with the owning store's (so
+    /// fsync timings land in the store's [`StoreMetrics`]).
+    pub(crate) fn set_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = metrics;
+    }
+
     fn poison_check(&self) -> std::io::Result<()> {
         if self.poisoned {
             return Err(std::io::Error::other(
@@ -261,6 +273,7 @@ impl Wal {
         self.poison_check()?;
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
+            self.metrics.append_bytes_total.add(self.buf.len() as u64);
             self.buf.clear();
             self.dirty = true;
         }
@@ -269,7 +282,10 @@ impl Wal {
 
     fn fsync(&mut self) -> std::io::Result<()> {
         if self.dirty {
+            let t = Instant::now();
             self.file.sync_all()?;
+            self.metrics.fsyncs_total.inc();
+            self.metrics.fsync_ns.record(t.elapsed().as_nanos() as u64);
             self.dirty = false;
             self.last_fsync = Instant::now();
         }

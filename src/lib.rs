@@ -17,6 +17,7 @@ pub use rc_gen::{
 };
 pub use rc_lct::LctForest;
 pub use rc_msf::{kruskal, BatchStats, IncrementalMsf, UnionFind};
+pub use rc_obs as obs;
 pub use rc_parlay as parlay;
 pub use rc_serve as serve;
 pub use rc_store as store;

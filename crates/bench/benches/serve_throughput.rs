@@ -23,6 +23,7 @@ fn bench_serve(c: &mut Criterion) {
                 stream: default_stream(n, 7),
                 server: coalesced_policy(threads, window),
                 durability: None,
+                obs_scrape: false,
             })
             .ops
         })
@@ -37,6 +38,7 @@ fn bench_serve(c: &mut Criterion) {
                 stream: default_stream(n, 7),
                 server: ServeConfig::unbatched(),
                 durability: None,
+                obs_scrape: false,
             })
             .ops
         })

@@ -89,6 +89,7 @@ fn wal_overhead(n: usize, ops_per_thread: usize) -> Vec<WalRow> {
         stream: update_stream(n, 4242),
         server: coalesced_policy(threads, window),
         durability: None,
+        obs_scrape: false,
     });
     let mut rows = Vec::new();
     let mut baseline = 0.0f64;
@@ -101,6 +102,7 @@ fn wal_overhead(n: usize, ops_per_thread: usize) -> Vec<WalRow> {
             stream: update_stream(n, 4242),
             server: coalesced_policy(threads, window),
             durability,
+            obs_scrape: false,
         });
         if durability.is_none() {
             baseline = r.ops_per_sec;

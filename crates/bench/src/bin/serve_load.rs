@@ -8,7 +8,7 @@
 //! machine); `RC_SERVE_OUT` overrides the output path.
 
 use rc_bench::serve_driver::{
-    coalesced_policy, default_stream, pipelined_policy, run_load, LoadResult, LoadSpec,
+    coalesced_policy, default_stream, pipelined_policy, run_load_reusing, LoadResult, LoadSpec,
 };
 use rc_bench::{scale, Table};
 use rc_gen::Arrival;
@@ -83,18 +83,25 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
+    // One flight-recorder scratch buffer shared by every run in the
+    // sweep — each run's per-epoch trace dump reuses this allocation.
+    let mut scratch = Vec::new();
     for &threads in &threads_sweep {
         let stream = default_stream(n, 42 + threads as u64);
         // Coalesced (strict alternation), closed loop — the baseline.
-        let coalesced = run_load(&LoadSpec {
-            threads,
-            ops_per_thread,
-            window,
-            open_loop: false,
-            stream: stream.clone(),
-            server: coalesced_policy(threads, window),
-            durability: None,
-        });
+        let coalesced = run_load_reusing(
+            &LoadSpec {
+                threads,
+                ops_per_thread,
+                window,
+                open_loop: false,
+                stream: stream.clone(),
+                server: coalesced_policy(threads, window),
+                durability: None,
+                obs_scrape: false,
+            },
+            &mut scratch,
+        );
         rows.push(Row {
             mode: "coalesced",
             loop_kind: "closed",
@@ -104,15 +111,19 @@ fn main() {
         });
         // Pipelined (depth 1), closed loop — epoch E's query phase
         // overlaps epoch E+1's update phase.
-        let pipelined = run_load(&LoadSpec {
-            threads,
-            ops_per_thread,
-            window,
-            open_loop: false,
-            stream: stream.clone(),
-            server: pipelined_policy(threads, window),
-            durability: None,
-        });
+        let pipelined = run_load_reusing(
+            &LoadSpec {
+                threads,
+                ops_per_thread,
+                window,
+                open_loop: false,
+                stream: stream.clone(),
+                server: pipelined_policy(threads, window),
+                durability: None,
+                obs_scrape: false,
+            },
+            &mut scratch,
+        );
         rows.push(Row {
             mode: "pipelined",
             loop_kind: "closed",
@@ -121,16 +132,22 @@ fn main() {
             r: pipelined,
         });
         // Coalesced + WAL (per-epoch fsync), closed loop: the durability
-        // overhead at the same batching policy.
-        let walled = run_load(&LoadSpec {
-            threads,
-            ops_per_thread,
-            window,
-            open_loop: false,
-            stream: stream.clone(),
-            server: coalesced_policy(threads, window),
-            durability: Some(SyncPolicy::PerEpoch),
-        });
+        // overhead at the same batching policy. This run also binds the
+        // live observability endpoint and scrapes /metrics + /health over
+        // TCP mid-load — the durable endpoint-under-load smoke.
+        let walled = run_load_reusing(
+            &LoadSpec {
+                threads,
+                ops_per_thread,
+                window,
+                open_loop: false,
+                stream: stream.clone(),
+                server: coalesced_policy(threads, window),
+                durability: Some(SyncPolicy::PerEpoch),
+                obs_scrape: true,
+            },
+            &mut scratch,
+        );
         rows.push(Row {
             mode: "coalesced",
             loop_kind: "closed",
@@ -139,15 +156,19 @@ fn main() {
             r: walled,
         });
         // Forced size-1 epochs, closed loop.
-        let size1 = run_load(&LoadSpec {
-            threads,
-            ops_per_thread,
-            window,
-            open_loop: false,
-            stream: stream.clone(),
-            server: ServeConfig::unbatched(),
-            durability: None,
-        });
+        let size1 = run_load_reusing(
+            &LoadSpec {
+                threads,
+                ops_per_thread,
+                window,
+                open_loop: false,
+                stream: stream.clone(),
+                server: ServeConfig::unbatched(),
+                durability: None,
+                obs_scrape: false,
+            },
+            &mut scratch,
+        );
         rows.push(Row {
             mode: "size1",
             loop_kind: "closed",
@@ -188,15 +209,19 @@ fn main() {
             ("coalesced", coalesced_policy(top, window)),
             ("pipelined", pipelined_policy(top, window)),
         ] {
-            let r = run_load(&LoadSpec {
-                threads: top,
-                ops_per_thread,
-                window,
-                open_loop: true,
-                stream: open_stream.clone(),
-                server,
-                durability: None,
-            });
+            let r = run_load_reusing(
+                &LoadSpec {
+                    threads: top,
+                    ops_per_thread,
+                    window,
+                    open_loop: true,
+                    stream: open_stream.clone(),
+                    server,
+                    durability: None,
+                    obs_scrape: false,
+                },
+                &mut scratch,
+            );
             rows.push(Row {
                 mode,
                 loop_kind: "open",
@@ -206,6 +231,65 @@ fn main() {
             });
             print_row(&t, rows.last().unwrap());
         }
+    }
+
+    // Tracing-overhead check at the top thread count: the same coalesced
+    // closed-loop config with the default 1-in-64 sampler vs tracing
+    // fully disabled (sample 0, slow capture off), best-of-2 each so one
+    // scheduler hiccup doesn't decide the ratio. The sampled path must
+    // stay within noise of the untraced path — per-request cost when a
+    // request is not sampled is two relaxed atomic stores.
+    let overhead_stream = default_stream(n, 42 + top as u64);
+    let best_tput = |server: ServeConfig, scratch: &mut Vec<_>| -> f64 {
+        (0..2)
+            .map(|_| {
+                run_load_reusing(
+                    &LoadSpec {
+                        threads: top,
+                        ops_per_thread,
+                        window,
+                        open_loop: false,
+                        stream: overhead_stream.clone(),
+                        server: server.clone(),
+                        durability: None,
+                        obs_scrape: false,
+                    },
+                    scratch,
+                )
+                .ops_per_sec
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let traced_tput = best_tput(
+        ServeConfig {
+            trace_sample: 64,
+            ..coalesced_policy(top, window)
+        },
+        &mut scratch,
+    );
+    let untraced_tput = best_tput(
+        ServeConfig {
+            trace_sample: 0,
+            slow_request_threshold: std::time::Duration::ZERO,
+            ..coalesced_policy(top, window)
+        },
+        &mut scratch,
+    );
+    let tracing_overhead_ratio = untraced_tput / traced_tput.max(1e-9);
+    println!(
+        "tracing overhead at {top} threads: 1-in-64 sampling costs {:.1}% \
+         ({traced_tput:.0} ops/s traced vs {untraced_tput:.0} untraced)",
+        (tracing_overhead_ratio - 1.0) * 100.0
+    );
+    // Debug builds are too noisy (and too slow) for a 3% bound; the CI
+    // release run enforces it.
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            tracing_overhead_ratio <= 1.03,
+            "1-in-64 request tracing cost more than 3% of throughput: \
+             {traced_tput:.0} ops/s traced vs {untraced_tput:.0} untraced \
+             (ratio {tracing_overhead_ratio:.3})"
+        );
     }
 
     // Acceptance metrics: pipelined vs coalesced, coalesced vs size-1,
@@ -337,6 +421,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"max_coalesced_batch_at_{top}_threads\": {max_batch_top},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing_overhead_ratio_at_{top}_threads\": {tracing_overhead_ratio:.4},"
     );
     // Full telemetry for the pipelined closed-loop run at the top thread
     // count: the per-phase breakdown of where epoch wall time went, plus

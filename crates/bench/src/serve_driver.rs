@@ -5,9 +5,10 @@
 
 use rc_gen::{Arrival, OpMix, RequestStream, RequestStreamConfig};
 use rc_serve::{
-    Durability, MetricsSnapshot, PhaseTotals, RcServe, Request, Response, ServeConfig, ServeForest,
-    SyncPolicy,
+    Durability, EpochTrace, MetricsSnapshot, ObsServerConfig, PhaseTotals, RcServe, Request,
+    Response, ServeConfig, ServeForest, SyncPolicy,
 };
+use std::io::{Read as _, Write as _};
 use std::time::{Duration, Instant};
 
 /// One load run's parameters.
@@ -29,6 +30,10 @@ pub struct LoadSpec {
     /// Run with a WAL under the given sync policy (a fresh store
     /// directory per run, removed afterwards). `None` = in-memory.
     pub durability: Option<SyncPolicy>,
+    /// Start the live observability endpoint on an ephemeral port and
+    /// scrape `/metrics` + `/health` over TCP while the load runs,
+    /// asserting both answer 200 — the endpoint-under-load smoke.
+    pub obs_scrape: bool,
 }
 
 /// Measured outcome of one load run.
@@ -100,9 +105,29 @@ pub fn pipelined_policy(threads: usize, window: usize) -> ServeConfig {
     }
 }
 
+/// Issue one blocking HTTP/1.0 GET against the observability endpoint
+/// and return the status line.
+fn obs_get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut conn = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(2)))?;
+    conn.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut body = String::new();
+    conn.read_to_string(&mut body)?;
+    Ok(body.lines().next().unwrap_or("").to_string())
+}
+
 /// Execute one load run: build the forest from the stream, start a fresh
 /// server, drive it from `threads` clients, shut down, report.
 pub fn run_load(spec: &LoadSpec) -> LoadResult {
+    run_load_reusing(spec, &mut Vec::new())
+}
+
+/// [`run_load`] with a caller-provided flight-recorder scratch buffer,
+/// so sweeps that run many configurations back to back reuse one
+/// allocation for the per-epoch trace dump instead of growing a fresh
+/// `Vec` per run.
+pub fn run_load_reusing(spec: &LoadSpec, scratch: &mut Vec<EpochTrace>) -> LoadResult {
     let probe = RequestStream::new_partitioned(spec.stream.clone(), 0, spec.threads);
     // With durability, the initial forest is installed as the bootstrap
     // snapshot of a fresh store directory (start_durable builds it from
@@ -137,6 +162,20 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
                 .0
         }
     };
+
+    // The live endpoint binds before the timed section so scrapes land
+    // mid-load; the listener thread is torn down before shutdown.
+    let obs = spec
+        .obs_scrape
+        .then(|| {
+            server
+                .serve_obs(ObsServerConfig::default())
+                .expect("bind observability endpoint")
+        })
+        .map(|srv| {
+            let addr = srv.local_addr();
+            (srv, addr)
+        });
 
     // Pre-generate every thread's request tape (and open-loop arrival
     // schedule) outside the timed section, so the measurement is the
@@ -204,10 +243,24 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
             })
         })
         .collect();
+    // Scrape the endpoint while the client threads are still driving
+    // load: the worker threads above run concurrently with these GETs.
+    if let Some((_, addr)) = &obs {
+        for path in ["/metrics", "/health"] {
+            let status = obs_get(*addr, path).expect("scrape observability endpoint");
+            assert!(
+                status.contains("200"),
+                "GET {path} under load answered {status:?}, expected 200"
+            );
+        }
+    }
     let error_responses: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let elapsed = t0.elapsed();
 
     let audit = server.client();
+    if let Some((mut srv, _)) = obs {
+        srv.stop();
+    }
     server.shutdown();
     if let Some((dir, _)) = &store_dir {
         let _ = std::fs::remove_dir_all(dir);
@@ -216,7 +269,8 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
     // Telemetry reads are direct shared-state accessors, valid after
     // shutdown — by which point every epoch's trace has been published.
     let snapshot = audit.metrics_snapshot();
-    let phase = PhaseTotals::from_traces(&audit.flight_dump());
+    audit.flight_dump_into(scratch);
+    let phase = PhaseTotals::from_traces(scratch);
     let phase_coverage = phase.coverage();
     if std::env::var("RC_SERVE_DEBUG").is_ok() {
         for e in audit.epoch_history().iter().rev().take(8).rev() {

@@ -14,6 +14,17 @@
 //!   phases (drain, admission, commit, WAL, publish, back-pressure,
 //!   query fan-out per family, respond), dumpable on demand and on
 //!   worker failure.
+//! - [`RequestTrace`] / [`TraceSink`] — per-request causal span traces
+//!   with deterministic 1-in-N sampling ([`trace_sampled`]), an
+//!   always-capture slow-request ring, and latency [`Exemplars`]
+//!   linking histogram buckets back to trace ids.
+//! - [`ObsServer`] — an opt-in, zero-dep blocking TCP endpoint serving
+//!   `/metrics`, `/metrics.json`, `/health`, `/ready`, `/flight`, and
+//!   `/traces` over HTTP/1.0, plus a binary `DUMP_TELEMETRY` frame
+//!   protocol byte-compatible with the rc-store WAL codec.
+//! - [`Watchdog`] — an epoch-stall detector that flips a shared
+//!   [`HealthState`] (and thus `/health` + `/ready`) when a watched
+//!   component stays busy without progress past a deadline.
 //!
 //! Everything here is `std`-only and allocation-free on the record
 //! paths; see the README "Observability" section for the metric-name
@@ -21,8 +32,19 @@
 
 mod histogram;
 mod registry;
+mod reqtrace;
+mod serve_http;
 mod trace;
+mod watchdog;
 
 pub use histogram::{Histogram, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use reqtrace::{
+    splitmix64, trace_sampled, ExemplarEntry, Exemplars, RequestTrace, Span, TraceDump, TraceSink,
+    EXEMPLAR_BUCKETS, MAX_SPANS,
+};
+pub use serve_http::{
+    epoch_trace_json, frame, HealthView, ObsServer, ObsServerConfig, ObsSource, DUMP_TELEMETRY_CMD,
+};
 pub use trace::{EpochTrace, FlightRecorder, PhaseTotals, RecycleOutcome, FAMILY_NAMES};
+pub use watchdog::{HealthState, Probe, StallInfo, Watchdog, WatchdogConfig};

@@ -194,7 +194,17 @@ impl FlightRecorder {
     /// block writers; a record overwritten mid-copy is retried a few
     /// times, then skipped.
     pub fn dump(&self) -> Vec<EpochTrace> {
-        let mut out = Vec::with_capacity(self.slots.len());
+        let mut out = Vec::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    /// [`dump`](Self::dump) into a caller-provided buffer, reusing its
+    /// allocation across calls — the periodic-scrape form (`serve_load`
+    /// captures per-row telemetry through one scratch buffer).
+    pub fn dump_into(&self, out: &mut Vec<EpochTrace>) {
+        out.clear();
+        out.reserve(self.slots.len());
         for slot in self.slots.iter() {
             for _ in 0..4 {
                 let before = slot.seq.load(Ordering::Acquire);
@@ -213,7 +223,6 @@ impl FlightRecorder {
             }
         }
         out.sort_by_key(|t| t.epoch);
-        out
     }
 }
 
@@ -427,6 +436,53 @@ mod tests {
         for t in &ring.dump() {
             assert_untorn(t);
         }
+    }
+
+    #[test]
+    fn dump_into_reuses_the_buffer() {
+        let ring = FlightRecorder::new(8);
+        for e in 1..=20u64 {
+            ring.record(patterned(e));
+        }
+        let mut scratch = Vec::new();
+        ring.dump_into(&mut scratch);
+        assert_eq!(scratch.len(), 8);
+        assert_eq!(scratch[0].epoch, 13);
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        for e in 21..=25u64 {
+            ring.record(patterned(e));
+        }
+        ring.dump_into(&mut scratch);
+        assert_eq!(scratch.len(), 8);
+        assert_eq!(scratch.last().unwrap().epoch, 25);
+        assert_eq!(scratch.capacity(), cap, "no reallocation on reuse");
+        assert_eq!(scratch.as_ptr(), ptr, "same allocation reused");
+        assert_eq!(ring.dump(), scratch, "dump() and dump_into agree");
+    }
+
+    #[test]
+    fn coverage_is_finite_for_degenerate_epochs() {
+        // Zero-wall-time epochs (pure-dump batches, sub-tick epochs on a
+        // coarse clock) must never yield NaN/inf coverage.
+        let empty = PhaseTotals::default();
+        assert!(empty.coverage().is_finite());
+        assert!((empty.coverage() - 1.0).abs() < 1e-9);
+
+        let zero_wall = PhaseTotals::from_traces(&[EpochTrace {
+            epoch: 1,
+            drain_ns: 50,
+            respond_ns: 10,
+            epoch_wall_ns: 0,
+            ..EpochTrace::default()
+        }]);
+        assert_eq!(zero_wall.wall_ns, 0);
+        assert!(zero_wall.coverage().is_finite(), "no div-by-zero");
+        assert!((zero_wall.coverage() - 1.0).abs() < 1e-9);
+
+        // And the all-zero trace (a dump-only epoch records no phases).
+        let dump_only = PhaseTotals::from_traces(&[EpochTrace::default()]);
+        assert!(dump_only.coverage().is_finite());
     }
 
     #[test]

@@ -41,13 +41,19 @@
 //! at least written. (See the README's "Epoch pipelining & MVCC reads".)
 
 use crate::agg::{ServeForest, ServeVertexWeight};
-use crate::exec::answer_requests_timed;
+use crate::exec::{answer_requests_timed, family_index};
 use crate::request::{Request, Response, ResponseHandle, Slot};
 use crate::stats::{EpochStats, LatencyHistogram, ServeStats};
-use crate::telemetry::{ServeTelemetry, TelemetryDump};
+use crate::telemetry::{
+    ServeTelemetry, SpanLayout, StallReport, TelemetryDump, PHASE_ADMIT, PHASE_DISPATCH,
+    PHASE_DRAIN, PHASE_IDLE, PHASE_PUBLISH, PHASE_QUERY, PHASE_RESPOND, PHASE_WAL,
+};
 use crate::version::{PublishedVersion, Snapshot, VersionTable};
 use rc_core::{DynamicForest, ForestError, ForestState};
-use rc_obs::{EpochTrace, MetricsSnapshot, RecycleOutcome};
+use rc_obs::{
+    trace_sampled, EpochTrace, HealthView, MetricsSnapshot, ObsServer, ObsServerConfig, ObsSource,
+    Probe, RecycleOutcome, TraceDump, Watchdog, WatchdogConfig,
+};
 use rc_parlay::hashtable::edge_key;
 use rc_store::{EpochRecord, FlushRecord, RecoveryReport, Store, StoreConfig, StoreError};
 use std::collections::{HashMap, VecDeque};
@@ -97,6 +103,34 @@ pub struct ServeConfig {
     /// (newest win once full). Dump them via [`RcServe::flight_dump`] or
     /// a [`Request::DumpTelemetry`].
     pub flight_recorder: usize,
+    /// Per-request trace sampling: capture a full causal span trace for
+    /// a deterministic 1-in-N subset of requests (`0` disables, `1`
+    /// captures everything). The decision is a pure function of
+    /// `(trace_seed, submission seq)` — see [`rc_obs::trace_sampled`] —
+    /// so the same seed and submission stream pick the same requests on
+    /// every run.
+    pub trace_sample: u64,
+    /// Seed for the sampling decision.
+    pub trace_seed: u64,
+    /// End-to-end latency at/above which a request's trace is *always*
+    /// captured into the slow ring, independent of sampling.
+    /// `Duration::ZERO` disables slow capture.
+    pub slow_request_threshold: Duration,
+    /// Capacity of each captured-trace ring (sampled and slow).
+    pub trace_ring: usize,
+    /// Spawn the epoch-stall watchdog with this deadline: if the server
+    /// stays busy (queued work or a thread mid-phase) with no completed
+    /// epoch for longer than the deadline, `/health` and `/ready` flip
+    /// unhealthy and a [`StallReport`] postmortem freezes. `None`
+    /// disables the watchdog.
+    pub stall_deadline: Option<Duration>,
+    /// Fault injection for the watchdog tests: wedge the worker for
+    /// [`Self::wedge_for`] at the start of this epoch ordinal.
+    #[doc(hidden)]
+    pub wedge_epoch: Option<u64>,
+    /// How long the injected wedge sleeps.
+    #[doc(hidden)]
+    pub wedge_for: Duration,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +145,13 @@ impl Default for ServeConfig {
             pipeline_depth: 1,
             retained_versions: 2,
             flight_recorder: 256,
+            trace_sample: 64,
+            trace_seed: 0,
+            slow_request_threshold: Duration::from_millis(100),
+            trace_ring: 128,
+            stall_deadline: None,
+            wedge_epoch: None,
+            wedge_for: Duration::ZERO,
         }
     }
 }
@@ -171,6 +212,8 @@ struct Pending {
     submitted: Instant,
     request: Request,
     slot: Arc<Slot>,
+    /// Selected by the deterministic trace sampler at submit time.
+    sampled: bool,
 }
 
 #[derive(Default)]
@@ -213,6 +256,7 @@ struct Shared {
 pub struct RcServe {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<ServeForest>>,
+    watchdog: Option<Watchdog>,
 }
 
 /// Cloneable submission handle; safe to share across client threads.
@@ -261,11 +305,14 @@ impl RcServe {
         first_epoch: u64,
     ) -> RcServe {
         let hist = Arc::new(LatencyHistogram::default());
-        let tel = ServeTelemetry::new(cfg.flight_recorder, Arc::clone(&hist));
+        let tel = ServeTelemetry::new(&cfg, Arc::clone(&hist));
         if let Some(store) = &store {
             // The store created its metric handles at open; attach them
-            // so snapshots carry WAL/snapshot/recovery series too.
+            // so snapshots carry WAL/snapshot/recovery series too, and
+            // hand the handles over so `/traces` can include the WAL
+            // append/fsync exemplars.
             store.metrics().register_into(&tel.registry);
+            tel.set_store_metrics(store.metrics().clone());
         }
         let shared = Arc::new(Shared {
             shards: (0..cfg.shards.max(1))
@@ -289,9 +336,26 @@ impl RcServe {
             .name("rc-serve-epoch".into())
             .spawn(move || Worker::new(worker_shared, store, first_epoch).run(forest))
             .expect("spawn rc-serve worker");
+        let watchdog = shared.cfg.stall_deadline.map(|deadline| {
+            let probe_shared = Arc::clone(&shared);
+            let stall_shared = Arc::clone(&shared);
+            Watchdog::spawn(
+                WatchdogConfig::new(deadline),
+                Arc::clone(&shared.tel.health),
+                move || Probe {
+                    progress: probe_shared.tel.progress(),
+                    busy: probe_shared.qlen.load(Ordering::SeqCst) > 0
+                        || probe_shared.tel.phase_active(),
+                    phase: probe_shared.tel.current_phase(),
+                    queued: probe_shared.qlen.load(Ordering::SeqCst) as u64,
+                },
+                move |info| stall_shared.tel.note_stall(info),
+            )
+        });
         RcServe {
             shared,
             worker: Some(worker),
+            watchdog,
         }
     }
 
@@ -326,6 +390,49 @@ impl RcServe {
     /// The flight recorder's retained [`EpochTrace`]s, oldest first.
     pub fn flight_dump(&self) -> Vec<EpochTrace> {
         self.shared.tel.flight.dump()
+    }
+
+    /// [`Self::flight_dump`] into a caller-provided buffer, reusing its
+    /// allocation — the per-row capture path for pollers that dump every
+    /// few milliseconds (`serve_load` does, per measured row).
+    pub fn flight_dump_into(&self, out: &mut Vec<EpochTrace>) {
+        self.shared.tel.flight.dump_into(out);
+    }
+
+    /// The captured request traces: the deterministic 1-in-N sampled
+    /// ring, the always-captured slow ring, and the latency exemplars
+    /// (request end-to-end plus, when durable, WAL append/fsync).
+    pub fn request_traces(&self) -> TraceDump {
+        self.shared.tel.traces()
+    }
+
+    /// The postmortem frozen by the epoch-stall watchdog, if a stall has
+    /// ever been declared (requires [`ServeConfig::stall_deadline`]).
+    pub fn stall_report(&self) -> Option<StallReport> {
+        self.shared.tel.stall_report()
+    }
+
+    /// Liveness as `/health` reports it: healthy/ready flags, stall
+    /// count, and a human-readable detail line.
+    pub fn health_view(&self) -> HealthView {
+        self.shared
+            .tel
+            .health_view(self.shared.accepting.load(Ordering::SeqCst))
+    }
+
+    /// Start the live observability endpoint for this server: a
+    /// zero-dependency blocking HTTP/1.0 listener answering `/metrics`
+    /// (Prometheus text), `/metrics.json`, `/health`, `/ready`,
+    /// `/flight`, and `/traces`, plus the binary `DUMP_TELEMETRY` frame
+    /// protocol. The endpoint holds only the shared telemetry state, so
+    /// it keeps answering (unready) after shutdown until dropped.
+    pub fn serve_obs(&self, cfg: ObsServerConfig) -> std::io::Result<ObsServer> {
+        ObsServer::start(
+            cfg,
+            Arc::new(ObsBridge {
+                shared: Arc::clone(&self.shared),
+            }),
+        )
     }
 
     /// The flight-recorder dump frozen when the worker failed (WAL
@@ -372,6 +479,12 @@ impl RcServe {
     /// Stop accepting, drain every queued request, join the worker and
     /// return the (fully committed) forest.
     pub fn shutdown(mut self) -> ServeForest {
+        // Stop the watchdog first: the shutdown drain makes progress,
+        // but a wedged-looking final epoch must not flip health while
+        // the server is deliberately going away.
+        if let Some(mut dog) = self.watchdog.take() {
+            dog.stop();
+        }
         self.signal_shutdown();
         self.worker
             .take()
@@ -390,10 +503,39 @@ impl RcServe {
 
 impl Drop for RcServe {
     fn drop(&mut self) {
+        if let Some(mut dog) = self.watchdog.take() {
+            dog.stop();
+        }
         if let Some(w) = self.worker.take() {
             self.signal_shutdown();
             let _ = w.join();
         }
+    }
+}
+
+/// Adapter exposing the shared telemetry state to the rc-obs TCP
+/// endpoint ([`RcServe::serve_obs`]).
+struct ObsBridge {
+    shared: Arc<Shared>,
+}
+
+impl ObsSource for ObsBridge {
+    fn metrics(&self) -> MetricsSnapshot {
+        self.shared.tel.snapshot()
+    }
+
+    fn flight(&self) -> Vec<EpochTrace> {
+        self.shared.tel.flight.dump()
+    }
+
+    fn traces(&self) -> TraceDump {
+        self.shared.tel.traces()
+    }
+
+    fn health(&self) -> HealthView {
+        self.shared
+            .tel
+            .health_view(self.shared.accepting.load(Ordering::SeqCst))
     }
 }
 
@@ -429,6 +571,14 @@ impl ServeClient {
                 submitted: Instant::now(),
                 request,
                 slot,
+                // Trace id = seq + 1 (0 means "no trace context"): the
+                // sampling decision is sealed here, at submit, so the
+                // same seed + submission stream capture the same set.
+                sampled: trace_sampled(
+                    self.shared.cfg.trace_seed,
+                    seq + 1,
+                    self.shared.cfg.trace_sample,
+                ),
             });
         }
         // Wake the worker on the empty→non-empty edge and once the drain
@@ -493,6 +643,29 @@ impl ServeClient {
         self.shared.tel.failure_dump()
     }
 
+    /// [`ServeClient::flight_dump`] into a caller-provided buffer (see
+    /// [`RcServe::flight_dump_into`]).
+    pub fn flight_dump_into(&self, out: &mut Vec<EpochTrace>) {
+        self.shared.tel.flight.dump_into(out);
+    }
+
+    /// The captured request traces (see [`RcServe::request_traces`]).
+    pub fn request_traces(&self) -> TraceDump {
+        self.shared.tel.traces()
+    }
+
+    /// The watchdog's stall postmortem (see [`RcServe::stall_report`]).
+    pub fn stall_report(&self) -> Option<StallReport> {
+        self.shared.tel.stall_report()
+    }
+
+    /// Liveness as `/health` reports it (see [`RcServe::health_view`]).
+    pub fn health_view(&self) -> HealthView {
+        self.shared
+            .tel
+            .health_view(self.shared.accepting.load(Ordering::SeqCst))
+    }
+
     /// Drain the commit log (`record_commit_log` only), normalized to
     /// commit order. Like [`ServeClient::stats`], exact once the server
     /// has shut down.
@@ -535,8 +708,11 @@ fn take_log_of(shared: &Shared) -> Vec<LogEntry> {
 }
 
 fn stats_of(shared: &Shared) -> ServeStats {
+    let (traces_sampled, traces_slow) = shared.tel.capture_totals();
     let s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
     ServeStats {
+        traces_sampled,
+        traces_slow,
         epochs: s.epochs,
         ops: s.ops,
         updates: s.updates,
@@ -619,9 +795,11 @@ struct QueryJob {
     /// When the worker handed the job over — pickup minus this is the
     /// handoff latency.
     dispatched: Instant,
-    /// When the epoch's drain started — the executor stamps the epoch's
-    /// wall time against it.
-    epoch_start: Instant,
+    /// The epoch's update-side span layout (drain/admit/commit/wal/
+    /// publish durations + the epoch start instant); the executor adds
+    /// handoff/query and captures the query traces against it. Its
+    /// `epoch_start` also stamps the epoch's wall time.
+    layout: SpanLayout,
 }
 
 impl Worker {
@@ -655,6 +833,7 @@ impl Worker {
 
     fn run(mut self, mut forest: ServeForest) -> ServeForest {
         loop {
+            self.shared.tel.set_worker_phase(PHASE_IDLE);
             if self.shared.qlen.load(Ordering::SeqCst) == 0 {
                 // About to sleep: under interval sync, fsync the dirty
                 // tail now — otherwise an idle lull after a burst would
@@ -667,6 +846,7 @@ impl Worker {
                 break; // shutdown with an empty queue
             }
             let queue_depth = self.shared.qlen.load(Ordering::SeqCst);
+            self.shared.tel.set_worker_phase(PHASE_DRAIN);
             let epoch_start = Instant::now();
             let batch = self.drain();
             let drain_ns = epoch_start.elapsed().as_nanos() as u64;
@@ -674,13 +854,19 @@ impl Worker {
                 continue;
             }
             self.shared.tel.observe_queue_depth(queue_depth);
-            if !self.process_epoch(&mut forest, batch, queue_depth, epoch_start, drain_ns) {
+            let ok = self.process_epoch(&mut forest, batch, queue_depth, epoch_start, drain_ns);
+            // Heartbeat: the watchdog's progress counter. Failed epochs
+            // tick too — the worker is stopping deliberately, which the
+            // health state reports as failed, not stalled.
+            self.shared.tel.worker_tick();
+            if !ok {
                 // Durability failed: every queued request is answered
                 // Rejected (never left hanging), then the worker stops.
                 self.reject_drain();
                 break;
             }
         }
+        self.shared.tel.set_worker_phase(PHASE_IDLE);
         // Stop the query executor: dropping the sender ends its receive
         // loop; joining guarantees every dispatched epoch has released
         // its responses and booked its stats before shutdown returns.
@@ -839,6 +1025,14 @@ impl Worker {
         };
 
         // ---- update phase ----
+        self.shared.tel.set_worker_phase(PHASE_ADMIT);
+        if self.shared.cfg.wedge_epoch == Some(self.epoch) {
+            // Fault injection for the stall-watchdog tests: wedge the
+            // worker mid-epoch with its phase published and the batch
+            // undrained-looking (queued work keeps arriving), so the
+            // watchdog sees busy-with-no-progress.
+            std::thread::sleep(self.shared.cfg.wedge_for);
+        }
         let t0 = Instant::now();
         // The journal feeds the WAL, and in pipelined mode also the
         // published-version catch-up (the same batch groups, twice used).
@@ -853,6 +1047,7 @@ impl Worker {
         trace.commit_ns = phase.flush_ns;
         trace.admit_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(phase.flush_ns);
         let mut journal = phase.take_journal();
+        self.shared.tel.set_worker_phase(PHASE_WAL);
         let t_wal = Instant::now();
         // Durability barrier: the epoch's committed batches reach the WAL
         // *before* any response slot fills or any query phase dispatches,
@@ -862,6 +1057,15 @@ impl Worker {
         let mut store_failed = false;
         if let Some(store) = &mut self.store {
             if !journal.is_empty() {
+                // Exemplar context for the append/fsync latency octaves:
+                // the epoch's first sampled update, else its first
+                // update, links a slow WAL bucket back to a trace.
+                let ctx = updates
+                    .iter()
+                    .find(|p| p.sampled)
+                    .or_else(|| updates.first())
+                    .map_or(0, |p| p.seq + 1);
+                store.note_trace_context(ctx);
                 let rec = EpochRecord {
                     epoch: self.epoch,
                     flushes: std::mem::take(&mut journal),
@@ -938,12 +1142,33 @@ impl Worker {
         let flushes = phase.flushes;
         trace.flushes = flushes as u32;
         let updates_len = updates.len();
+        // Span layout for this epoch's request traces: the update-side
+        // phases every request rode through. The query paths extend it
+        // with publish/handoff/query durations below.
+        let mut layout = SpanLayout::new(self.epoch, epoch_start);
+        layout.drain_ns = drain_ns;
+        layout.admit_ns = trace.admit_ns;
+        layout.commit_ns = trace.commit_ns;
+        // In-memory servers still time the (empty) durability-barrier
+        // section; don't surface those few ns as a "wal" span.
+        if self.store.is_some() {
+            layout.wal_ns = trace.wal_ns;
+        }
+        self.shared.tel.set_worker_phase(PHASE_RESPOND);
         let t_respond = Instant::now();
         for (p, r) in updates.iter().zip(&update_results) {
-            self.shared
-                .hist
-                .record(p.submitted.elapsed().as_nanos() as u64);
+            let e2e = p.submitted.elapsed().as_nanos() as u64;
+            self.shared.hist.record(e2e);
             p.slot.fill(Response::Updated(r.clone()));
+            self.shared.tel.maybe_capture(
+                &layout,
+                p.seq,
+                p.submitted,
+                p.request.kind_name(),
+                None,
+                p.sampled,
+                e2e,
+            );
         }
         trace.respond_ns = t_respond.elapsed().as_nanos() as u64;
         // Update entries log immediately — phase-concurrent with any
@@ -992,10 +1217,13 @@ impl Worker {
             // `send` blocks once `pipeline_depth` phases are in flight —
             // that back-pressure is what keeps updates from running
             // unboundedly ahead of query completion.
+            self.shared.tel.set_worker_phase(PHASE_PUBLISH);
             let t_pub = Instant::now();
             let (version, recycle) = self.ensure_published(forest);
             trace.publish_ns = t_pub.elapsed().as_nanos() as u64;
             trace.recycle = recycle;
+            layout.publish_ns = trace.publish_ns;
+            self.shared.tel.set_worker_phase(PHASE_DISPATCH);
             let dispatched = Instant::now();
             let job = QueryJob {
                 epoch: self.epoch,
@@ -1003,7 +1231,7 @@ impl Worker {
                 queries,
                 stats,
                 dispatched,
-                epoch_start,
+                layout,
             };
             self.qtx
                 .as_ref()
@@ -1017,6 +1245,7 @@ impl Worker {
             self.shared.tel.record_half(trace);
             return !store_failed;
         }
+        self.shared.tel.set_worker_phase(PHASE_QUERY);
         let t1 = Instant::now();
         let refs: Vec<&Request> = queries.iter().map(|p| &p.request).collect();
         let (responses, fam) = answer_requests_timed(forest, &refs);
@@ -1024,12 +1253,22 @@ impl Worker {
         trace.query_ns = stats.query_ns;
         trace.family_ns = fam.ns;
         trace.family_counts = fam.counts;
+        layout.query_ns = stats.query_ns;
+        self.shared.tel.set_worker_phase(PHASE_RESPOND);
         let t_respond = Instant::now();
         for (p, r) in queries.iter().zip(&responses) {
-            self.shared
-                .hist
-                .record(p.submitted.elapsed().as_nanos() as u64);
+            let e2e = p.submitted.elapsed().as_nanos() as u64;
+            self.shared.hist.record(e2e);
             p.slot.fill(r.clone());
+            self.shared.tel.maybe_capture(
+                &layout,
+                p.seq,
+                p.submitted,
+                p.request.kind_name(),
+                family_index(&p.request),
+                p.sampled,
+                e2e,
+            );
         }
         trace.respond_ns += t_respond.elapsed().as_nanos() as u64;
         trace.epoch_wall_ns = epoch_start.elapsed().as_nanos() as u64;
@@ -1147,6 +1386,7 @@ fn apply_flush(forest: &mut ServeForest, f: &FlushRecord) {
 /// responses, records latencies, books stats and commit-log entries.
 fn query_executor(shared: Arc<Shared>, rx: Receiver<QueryJob>) {
     while let Ok(mut job) = rx.recv() {
+        shared.tel.set_exec_phase(PHASE_QUERY);
         let t = Instant::now();
         // Query-side half of the epoch's trace; the worker recorded the
         // update-side half, and record_half merges them (see
@@ -1165,14 +1405,30 @@ fn query_executor(shared: Arc<Shared>, rx: Receiver<QueryJob>) {
         trace.query_ns = job.stats.query_ns;
         trace.family_ns = fam.ns;
         trace.family_counts = fam.counts;
+        let mut layout = job.layout;
+        layout.handoff_ns = trace.handoff_ns;
+        layout.query_ns = trace.query_ns;
+        shared.tel.set_exec_phase(PHASE_RESPOND);
         let t_respond = Instant::now();
         for (p, r) in job.queries.iter().zip(&responses) {
-            shared.hist.record(p.submitted.elapsed().as_nanos() as u64);
+            let e2e = p.submitted.elapsed().as_nanos() as u64;
+            shared.hist.record(e2e);
             p.slot.fill(r.clone());
+            shared.tel.maybe_capture(
+                &layout,
+                p.seq,
+                p.submitted,
+                p.request.kind_name(),
+                family_index(&p.request),
+                p.sampled,
+                e2e,
+            );
         }
         trace.respond_ns = t_respond.elapsed().as_nanos() as u64;
-        trace.epoch_wall_ns = job.epoch_start.elapsed().as_nanos() as u64;
+        trace.epoch_wall_ns = layout.epoch_start.elapsed().as_nanos() as u64;
         shared.tel.record_half(trace);
+        shared.tel.set_exec_phase(PHASE_IDLE);
+        shared.tel.exec_tick();
         book_epoch(&shared, job.stats);
         if shared.cfg.record_commit_log {
             let mut log = shared.log.lock().unwrap_or_else(|e| e.into_inner());

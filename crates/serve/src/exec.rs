@@ -24,6 +24,35 @@ pub(crate) struct FamilyTimings {
     pub(crate) counts: [u32; 8],
 }
 
+/// Span names for the per-family query spans on request traces, indexed
+/// like [`rc_obs::FAMILY_NAMES`].
+pub(crate) const QUERY_SPAN_NAMES: [&str; 8] = [
+    "query:conn",
+    "query:repr",
+    "query:path",
+    "query:subtree",
+    "query:lca",
+    "query:bottleneck",
+    "query:near",
+    "query:cpt",
+];
+
+/// Family index of a query request (per [`rc_obs::FAMILY_NAMES`]);
+/// `None` for updates and `DumpTelemetry`.
+pub(crate) fn family_index(req: &Request) -> Option<usize> {
+    match req {
+        Request::Connected { .. } => Some(0),
+        Request::Representative { .. } => Some(1),
+        Request::PathSum { .. } => Some(2),
+        Request::SubtreeSum { .. } => Some(3),
+        Request::Lca { .. } => Some(4),
+        Request::Bottleneck { .. } => Some(5),
+        Request::NearestMarked { .. } => Some(6),
+        Request::Cpt { .. } => Some(7),
+        _ => None,
+    }
+}
+
 /// Answer a slice of requests against `forest`, grouping queries by
 /// family into one batch call each. Update requests answer
 /// [`Response::Rejected`]: this executor is read-only by construction

@@ -102,8 +102,9 @@ pub use coalescer::{LogEntry, RcServe, ServeClient, ServeConfig};
 /// [`RcServe::metrics`] snapshot and [`RcServe::flight_dump`] trace is
 /// made of these (see the "Observability" section of the README).
 pub use rc_obs::{
-    EpochTrace, HistogramSummary, MetricValue, MetricsSnapshot, PhaseTotals, RecycleOutcome,
-    FAMILY_NAMES,
+    EpochTrace, ExemplarEntry, HealthView, HistogramSummary, MetricValue, MetricsSnapshot,
+    ObsServer, ObsServerConfig, PhaseTotals, RecycleOutcome, RequestTrace, Span, StallInfo,
+    TraceDump, FAMILY_NAMES,
 };
 /// Durability knobs, re-exported from `rc-store`: pass a [`Durability`]
 /// to [`RcServe::start_durable`] to put a WAL + snapshot store under the
@@ -111,7 +112,7 @@ pub use rc_obs::{
 pub use rc_store::{RecoveryReport, StoreConfig as Durability, StoreError, SyncPolicy};
 pub use request::{CptResult, Request, Response, ResponseHandle};
 pub use stats::{EpochStats, LatencyHistogram, LatencySummary, ServeStats};
-pub use telemetry::TelemetryDump;
+pub use telemetry::{StallReport, TelemetryDump};
 pub use version::Snapshot;
 
 #[cfg(test)]

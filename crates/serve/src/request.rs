@@ -67,6 +67,28 @@ impl Request {
         )
     }
 
+    /// Short static name of this request kind, used as the `kind` label
+    /// on per-request traces ([`crate::RequestTrace`]).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Link { .. } => "link",
+            Request::Cut { .. } => "cut",
+            Request::UpdateEdgeWeight { .. } => "update_edge_weight",
+            Request::UpdateVertexWeight { .. } => "update_vertex_weight",
+            Request::Mark { .. } => "mark",
+            Request::Unmark { .. } => "unmark",
+            Request::Connected { .. } => "connected",
+            Request::Representative { .. } => "representative",
+            Request::PathSum { .. } => "path_sum",
+            Request::SubtreeSum { .. } => "subtree_sum",
+            Request::Lca { .. } => "lca",
+            Request::Bottleneck { .. } => "bottleneck",
+            Request::NearestMarked { .. } => "nearest_marked",
+            Request::Cpt { .. } => "cpt",
+            Request::DumpTelemetry => "dump_telemetry",
+        }
+    }
+
     /// Translate a generated [`StreamOp`] (the `rc-gen` request stream)
     /// into a serve request.
     pub fn from_stream(op: StreamOp) -> Request {

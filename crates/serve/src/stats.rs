@@ -63,4 +63,9 @@ pub struct ServeStats {
     pub max_batch: usize,
     /// End-to-end request latency (submit → response).
     pub latency: LatencySummary,
+    /// Request traces captured by the deterministic 1-in-N sampler.
+    pub traces_sampled: u64,
+    /// Request traces captured because end-to-end latency exceeded the
+    /// slow threshold (independent of sampling).
+    pub traces_slow: u64,
 }

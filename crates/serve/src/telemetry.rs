@@ -8,12 +8,79 @@
 //! two (all fields are disjoint, so the merge is a field-wise sum) and
 //! publishes the completed [`EpochTrace`].
 
+use crate::coalescer::ServeConfig;
 use rc_obs::{
-    Counter, EpochTrace, FlightRecorder, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
-    RecycleOutcome,
+    Counter, EpochTrace, FlightRecorder, Gauge, HealthState, HealthView, Histogram,
+    MetricsRegistry, MetricsSnapshot, RecycleOutcome, RequestTrace, StallInfo, TraceDump,
+    TraceSink,
 };
+use rc_store::StoreMetrics;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Phase indices published by the worker/executor threads for the
+/// watchdog probe (index into [`PHASE_NAMES`]).
+pub(crate) const PHASE_IDLE: usize = 0;
+pub(crate) const PHASE_DRAIN: usize = 1;
+pub(crate) const PHASE_ADMIT: usize = 2;
+pub(crate) const PHASE_WAL: usize = 3;
+pub(crate) const PHASE_PUBLISH: usize = 4;
+pub(crate) const PHASE_DISPATCH: usize = 5;
+pub(crate) const PHASE_QUERY: usize = 6;
+pub(crate) const PHASE_RESPOND: usize = 7;
+pub(crate) const PHASE_NAMES: [&str; 8] = [
+    "idle", "drain", "admit", "wal", "publish", "dispatch", "query", "respond",
+];
+
+/// Per-epoch phase durations a request's trace spans are cut from. The
+/// worker fills the update-side fields; the executor copies the layout
+/// out of the [`QueryJob`](crate::coalescer) and adds the query-side
+/// ones before capturing query traces.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpanLayout {
+    pub(crate) epoch: u64,
+    pub(crate) epoch_start: Instant,
+    pub(crate) drain_ns: u64,
+    pub(crate) admit_ns: u64,
+    pub(crate) commit_ns: u64,
+    pub(crate) wal_ns: u64,
+    pub(crate) publish_ns: u64,
+    pub(crate) handoff_ns: u64,
+    pub(crate) query_ns: u64,
+}
+
+impl SpanLayout {
+    pub(crate) fn new(epoch: u64, epoch_start: Instant) -> Self {
+        SpanLayout {
+            epoch,
+            epoch_start,
+            drain_ns: 0,
+            admit_ns: 0,
+            commit_ns: 0,
+            wal_ns: 0,
+            publish_ns: 0,
+            handoff_ns: 0,
+            query_ns: 0,
+        }
+    }
+}
+
+/// Postmortem frozen by the epoch-stall watchdog: what the watchdog saw,
+/// the flight recorder's epochs at declaration time, and the most recent
+/// captured request trace (slow ring preferred). Retrieved via
+/// [`RcServe::stall_report`](crate::RcServe::stall_report).
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// The watchdog's observation (stuck phase, queue depth, duration).
+    pub info: StallInfo,
+    /// Flight-recorder epochs retained when the stall was declared.
+    pub flight: Vec<EpochTrace>,
+    /// The most recently captured request trace, if any — often the last
+    /// request that completed before the wedge.
+    pub last_trace: Option<RequestTrace>,
+}
 
 /// On-demand dump of the server's telemetry: the metrics snapshot plus
 /// the flight recorder's retained epoch traces. Returned by
@@ -39,6 +106,29 @@ pub(crate) struct ServeTelemetry {
     /// or compaction error) — the postmortem for the rollback/poison
     /// paths.
     failure: Mutex<Option<Vec<EpochTrace>>>,
+    /// Captured request traces (sampled ring + slow ring + exemplars).
+    pub(crate) sink: TraceSink,
+    /// Slow-capture threshold from [`ServeConfig::slow_request_threshold`].
+    slow_threshold_ns: u64,
+    /// Liveness state consulted by `/health` + `/ready` and flipped by
+    /// the watchdog / failure paths.
+    pub(crate) health: Arc<HealthState>,
+    /// Stall postmortem frozen by the watchdog's one-shot callback.
+    stall: Mutex<Option<StallReport>>,
+    /// Current worker/executor phases (indices into [`PHASE_NAMES`]) for
+    /// the watchdog probe.
+    worker_phase: AtomicUsize,
+    exec_phase: AtomicUsize,
+    /// Store metric handles when durable — lets `/traces` append the
+    /// WAL append/fsync exemplars.
+    store_metrics: OnceLock<StoreMetrics>,
+    /// Epochs completed by the worker thread (monotone heartbeat).
+    worker_heartbeat: Arc<Gauge>,
+    /// Query phases completed by the executor thread.
+    executor_heartbeat: Arc<Gauge>,
+    stalls_total: Arc<Counter>,
+    traces_sampled_total: Arc<Counter>,
+    traces_slow_total: Arc<Counter>,
     epochs_total: Arc<Counter>,
     failed_epochs_total: Arc<Counter>,
     requests_total: Arc<Counter>,
@@ -61,16 +151,28 @@ pub(crate) struct ServeTelemetry {
 }
 
 impl ServeTelemetry {
-    /// Fresh registry + flight recorder; `latency` is the existing
-    /// end-to-end request histogram, attached under its metric name so
-    /// it shows up in every snapshot.
-    pub(crate) fn new(flight_capacity: usize, latency: Arc<Histogram>) -> Self {
+    /// Fresh registry + flight recorder + trace sink; `latency` is the
+    /// existing end-to-end request histogram, attached under its metric
+    /// name so it shows up in every snapshot.
+    pub(crate) fn new(cfg: &ServeConfig, latency: Arc<Histogram>) -> Self {
         let registry = MetricsRegistry::new();
         registry.attach_histogram("serve_request_latency_ns", latency);
         ServeTelemetry {
-            flight: FlightRecorder::new(flight_capacity),
+            flight: FlightRecorder::new(cfg.flight_recorder),
             pending: Mutex::new(HashMap::new()),
             failure: Mutex::new(None),
+            sink: TraceSink::new(cfg.trace_ring, cfg.trace_ring),
+            slow_threshold_ns: cfg.slow_request_threshold.as_nanos() as u64,
+            health: Arc::new(HealthState::default()),
+            stall: Mutex::new(None),
+            worker_phase: AtomicUsize::new(PHASE_IDLE),
+            exec_phase: AtomicUsize::new(PHASE_IDLE),
+            store_metrics: OnceLock::new(),
+            worker_heartbeat: registry.gauge("serve_worker_heartbeat"),
+            executor_heartbeat: registry.gauge("serve_executor_heartbeat"),
+            stalls_total: registry.counter("serve_stalls_total"),
+            traces_sampled_total: registry.counter("serve_traces_sampled_total"),
+            traces_slow_total: registry.counter("serve_traces_slow_total"),
             epochs_total: registry.counter("serve_epochs_total"),
             failed_epochs_total: registry.counter("serve_failed_epochs_total"),
             requests_total: registry.counter("serve_requests_total"),
@@ -97,6 +199,180 @@ impl ServeTelemetry {
     /// Observe the queue depth seen at drain time.
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth.set(depth as i64);
+    }
+
+    /// Durable servers hand over the store's metric handles so `/traces`
+    /// can include the WAL append/fsync exemplars.
+    pub(crate) fn set_store_metrics(&self, m: StoreMetrics) {
+        let _ = self.store_metrics.set(m);
+    }
+
+    pub(crate) fn set_worker_phase(&self, phase: usize) {
+        self.worker_phase.store(phase, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_exec_phase(&self, phase: usize) {
+        self.exec_phase.store(phase, Ordering::Relaxed);
+    }
+
+    /// One epoch finished on the worker thread.
+    pub(crate) fn worker_tick(&self) {
+        self.worker_heartbeat.add(1);
+    }
+
+    /// One query phase finished on the executor thread.
+    pub(crate) fn exec_tick(&self) {
+        self.executor_heartbeat.add(1);
+    }
+
+    /// Monotone progress counter for the watchdog probe: any completed
+    /// epoch or query phase advances it.
+    pub(crate) fn progress(&self) -> u64 {
+        self.worker_heartbeat.get() as u64 + self.executor_heartbeat.get() as u64
+    }
+
+    /// Is either thread mid-phase? (An idle server never stalls.)
+    pub(crate) fn phase_active(&self) -> bool {
+        self.worker_phase.load(Ordering::Relaxed) != PHASE_IDLE
+            || self.exec_phase.load(Ordering::Relaxed) != PHASE_IDLE
+    }
+
+    /// The phase to blame in a stall report: the worker's unless it is
+    /// idle, then the executor's.
+    pub(crate) fn current_phase(&self) -> &'static str {
+        let w = self.worker_phase.load(Ordering::Relaxed);
+        if w != PHASE_IDLE {
+            return PHASE_NAMES[w.min(PHASE_NAMES.len() - 1)];
+        }
+        PHASE_NAMES[self
+            .exec_phase
+            .load(Ordering::Relaxed)
+            .min(PHASE_NAMES.len() - 1)]
+    }
+
+    /// Capture one request's trace if it is sampled or slow; every call
+    /// also feeds the latency exemplars. `layout` carries the epoch's
+    /// phase durations; the spans are laid end to end from the submit
+    /// instant (queue wait, then each phase the request rode through,
+    /// then a respond remainder) so they partition `e2e_ns` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn maybe_capture(
+        &self,
+        layout: &SpanLayout,
+        seq: u64,
+        submitted: Instant,
+        kind: &'static str,
+        family: Option<usize>,
+        sampled: bool,
+        e2e_ns: u64,
+    ) {
+        let trace_id = seq + 1; // 0 is reserved for "no trace context"
+        let slow = self.slow_threshold_ns > 0 && e2e_ns >= self.slow_threshold_ns;
+        if !sampled && !slow {
+            self.sink.exemplars.observe(e2e_ns, trace_id);
+            return;
+        }
+        let mut t = RequestTrace {
+            trace_id,
+            epoch: layout.epoch,
+            kind,
+            sampled,
+            slow,
+            e2e_ns,
+            ..RequestTrace::default()
+        };
+        let queue_ns = layout
+            .epoch_start
+            .saturating_duration_since(submitted)
+            .as_nanos() as u64;
+        let mut cursor = 0u64;
+        let mut push = |t: &mut RequestTrace, name: &'static str, dur: u64| {
+            t.push_span(name, cursor, dur);
+            cursor += dur;
+        };
+        push(&mut t, "queue", queue_ns);
+        push(&mut t, "drain", layout.drain_ns);
+        push(&mut t, "admit", layout.admit_ns);
+        push(&mut t, "commit", layout.commit_ns);
+        if layout.wal_ns > 0 {
+            push(&mut t, "wal", layout.wal_ns);
+        }
+        if layout.publish_ns > 0 {
+            push(&mut t, "publish", layout.publish_ns);
+        }
+        if layout.handoff_ns > 0 {
+            push(&mut t, "handoff", layout.handoff_ns);
+        }
+        if let Some(f) = family {
+            push(&mut t, crate::exec::QUERY_SPAN_NAMES[f], layout.query_ns);
+        }
+        // Whatever remains of the measured end-to-end latency is the
+        // respond tail; phase timings racing the fill can overshoot by
+        // nanoseconds, so saturate rather than wrap.
+        t.push_span("respond", cursor, e2e_ns.saturating_sub(cursor));
+        if sampled {
+            self.traces_sampled_total.inc();
+        }
+        if slow {
+            self.traces_slow_total.inc();
+        }
+        self.sink.push(t);
+    }
+
+    /// Dump the captured request traces, appending the store's WAL
+    /// append/fsync exemplars when durable.
+    pub(crate) fn traces(&self) -> TraceDump {
+        let mut d = self.sink.dump();
+        if let Some(sm) = self.store_metrics.get() {
+            d.exemplars
+                .extend(sm.append_exemplars.dump("store_append_ns"));
+            d.exemplars.extend(sm.fsync_exemplars.dump("wal_fsync_ns"));
+        }
+        d
+    }
+
+    /// Liveness view for `/health` + `/ready`: `ready` additionally
+    /// requires the server to still be accepting requests.
+    pub(crate) fn health_view(&self, accepting: bool) -> HealthView {
+        let detail = match self.health.last_stall() {
+            Some(info) if !self.health.healthy() => format!(
+                "stalled in \"{}\" for {:?} with {} queued",
+                info.phase, info.stalled_for, info.queued
+            ),
+            _ if !accepting => "not accepting (shut down or failed)".to_string(),
+            _ => String::new(),
+        };
+        HealthView {
+            healthy: self.health.healthy(),
+            ready: self.health.ready() && accepting,
+            stalls: self.health.stall_count(),
+            detail,
+        }
+    }
+
+    /// The watchdog declared a stall: count it and freeze a postmortem
+    /// (flight recorder + the newest captured request trace). One-shot
+    /// per episode — the watchdog only fires the callback once.
+    pub(crate) fn note_stall(&self, info: &StallInfo) {
+        self.stalls_total.inc();
+        let dump = self.sink.dump();
+        let last_trace = dump.slow.last().or(dump.recent.last()).copied();
+        let report = StallReport {
+            info: info.clone(),
+            flight: self.flight.dump(),
+            last_trace,
+        };
+        *self.stall.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+    }
+
+    /// The postmortem frozen by the most recent stall, if any.
+    pub(crate) fn stall_report(&self) -> Option<StallReport> {
+        self.stall.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Sampled/slow capture totals since startup.
+    pub(crate) fn capture_totals(&self) -> (u64, u64) {
+        (self.sink.sampled_total(), self.sink.slow_total())
     }
 
     /// Publish one *complete* epoch trace: counters, phase histograms,
@@ -160,6 +436,7 @@ impl ServeTelemetry {
     /// partial trace, then freeze a dump for postmortems.
     pub(crate) fn note_failure(&self, failing: EpochTrace) {
         self.record_trace(failing);
+        self.health.mark_failed();
         self.freeze(failing.epoch);
     }
 
@@ -253,9 +530,17 @@ fn merge_halves(a: EpochTrace, b: EpochTrace) -> EpochTrace {
 mod tests {
     use super::*;
 
+    fn tel_with_flight(flight_recorder: usize) -> ServeTelemetry {
+        let cfg = ServeConfig {
+            flight_recorder,
+            ..ServeConfig::default()
+        };
+        ServeTelemetry::new(&cfg, Arc::new(Histogram::default()))
+    }
+
     #[test]
     fn halves_merge_once_both_arrive() {
-        let tel = ServeTelemetry::new(16, Arc::new(Histogram::default()));
+        let tel = tel_with_flight(16);
         let worker_half = EpochTrace {
             epoch: 3,
             batch: 10,
@@ -298,7 +583,7 @@ mod tests {
 
     #[test]
     fn failure_freezes_a_dump() {
-        let tel = ServeTelemetry::new(8, Arc::new(Histogram::default()));
+        let tel = tel_with_flight(8);
         tel.record_trace(EpochTrace {
             epoch: 1,
             ..EpochTrace::default()

@@ -10,7 +10,8 @@
 //! A store used standalone (no registry) still pays only the relaxed
 //! atomic increments.
 
-use rc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use rc_obs::{Counter, Exemplars, Gauge, Histogram, MetricsRegistry};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Shared handles to every metric the store records. Cheap to clone
@@ -47,6 +48,16 @@ pub struct StoreMetrics {
     pub recovery_ns: Arc<Counter>,
     /// Current logical WAL size in bytes (buffered bytes included).
     pub wal_bytes: Arc<Gauge>,
+    /// Trace context for exemplars: the trace id of the epoch currently
+    /// being appended (0 = none). Set via
+    /// [`Store::note_trace_context`](crate::Store::note_trace_context)
+    /// by the serve worker before each epoch's WAL barrier.
+    pub trace_ctx: Arc<AtomicU64>,
+    /// Per-latency-octave trace-id exemplars on the append path: links a
+    /// slow `store_append_ns` bucket back to the epoch's trace.
+    pub append_exemplars: Arc<Exemplars>,
+    /// Per-latency-octave trace-id exemplars on the fsync path.
+    pub fsync_exemplars: Arc<Exemplars>,
 }
 
 impl StoreMetrics {

@@ -253,9 +253,27 @@ impl Store {
         self.appends += 1;
         self.last_epoch = rec.epoch;
         self.metrics.appends_total.inc();
-        self.metrics.append_ns.record(t.elapsed().as_nanos() as u64);
+        let dur = t.elapsed().as_nanos() as u64;
+        self.metrics.append_ns.record(dur);
+        self.metrics.append_exemplars.observe(
+            dur,
+            self.metrics
+                .trace_ctx
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
         self.metrics.wal_bytes.set(self.wal.bytes() as i64);
         Ok(())
+    }
+
+    /// Attach a request-trace context to subsequent append/fsync
+    /// latencies: `trace_id` becomes the exemplar for the next append's
+    /// and fsync's latency octaves (`0` clears). The serve worker calls
+    /// this before each epoch's WAL barrier so a slow `store_append_ns`
+    /// or `wal_fsync_ns` bucket links back to a concrete request trace.
+    pub fn note_trace_context(&self, trace_id: u64) {
+        self.metrics
+            .trace_ctx
+            .store(trace_id, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Has the WAL outgrown the compaction threshold?

@@ -285,7 +285,14 @@ impl Wal {
             let t = Instant::now();
             self.file.sync_all()?;
             self.metrics.fsyncs_total.inc();
-            self.metrics.fsync_ns.record(t.elapsed().as_nanos() as u64);
+            let dur = t.elapsed().as_nanos() as u64;
+            self.metrics.fsync_ns.record(dur);
+            self.metrics.fsync_exemplars.observe(
+                dur,
+                self.metrics
+                    .trace_ctx
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
             self.dirty = false;
             self.last_fsync = Instant::now();
         }

@@ -1,0 +1,435 @@
+//! Endpoint + tracing + watchdog oracle for the live observability
+//! stack: a real `rc-serve` server under multi-threaded load answering
+//! HTTP over TCP, per-request causal traces with contiguous spans that
+//! account for the measured end-to-end latency, deterministic 1-in-N
+//! sampling, the always-on slow-request capture, the epoch-stall
+//! watchdog flipping `/ready`, and the rc-obs/rc-store frame codecs
+//! pinned byte-for-byte.
+
+use rcforest::serve::{
+    Durability, ObsServerConfig, RcServe, Request, Response, ServeClient, ServeConfig, ServeForest,
+    SyncPolicy,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Path forest 0-1-2-…-(n-1) with weight-1 edges.
+fn path_server(n: usize, cfg: ServeConfig) -> RcServe {
+    let edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|v| (v - 1, v, 1)).collect();
+    let forest = ServeForest::build_edges(n, &edges, rcforest::BuildOptions::default())
+        .expect("path forest is valid");
+    RcServe::start(forest, cfg)
+}
+
+/// The request tape both sampling runs replay: edge-weight churn plus
+/// the cheap query families, one submission sequence.
+fn tape_request(i: usize, n: usize) -> Request {
+    let v = (i % (n - 1)) as u32;
+    match i % 4 {
+        0 => Request::UpdateEdgeWeight {
+            u: v,
+            v: v + 1,
+            w: i as u64,
+        },
+        1 => Request::Connected { u: 0, v },
+        2 => Request::PathSum { u: v, v: v + 1 },
+        _ => Request::Representative { v },
+    }
+}
+
+/// Drive `threads` clients × `ops_per_thread` requests and wait for all.
+fn drive(client: &ServeClient, n: usize, threads: usize, ops_per_thread: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let c = client.clone();
+            s.spawn(move || {
+                let mut handles = Vec::with_capacity(ops_per_thread);
+                for i in 0..ops_per_thread {
+                    handles.push(c.submit(tape_request(t * ops_per_thread + i, n)));
+                }
+                for h in handles {
+                    assert_ne!(
+                        h.wait(),
+                        Response::Rejected,
+                        "healthy server rejects nothing"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// One blocking HTTP/1.0 GET; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("complete response");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Minimal Prometheus text-format check (mirrors `telemetry_smoke`):
+/// headers parse, samples are integers, returns the metric names seen.
+fn parse_prometheus(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line has a name");
+            let kind = it.next().expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary"),
+                "unknown exposition kind {kind:?} in {line:?}"
+            );
+            names.push(name.to_string());
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample is `name value`");
+        value.parse::<i128>().unwrap_or_else(|_| {
+            panic!("sample value must be an integer, got {value:?} in {line:?}")
+        });
+    }
+    names
+}
+
+#[test]
+fn endpoint_answers_over_tcp_under_durable_load() {
+    let dir = std::env::temp_dir().join(format!("rc-obs-endpoint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 256;
+    let boot = {
+        let edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|v| (v - 1, v, 1)).collect();
+        rcforest::ForestState::from_edges(n, &edges)
+    };
+    let durability = Durability::new(&dir, n).sync_policy(SyncPolicy::Never);
+    let cfg = ServeConfig {
+        drain_threshold: 64,
+        max_linger: Duration::from_micros(200),
+        pipeline_depth: 1,
+        ..ServeConfig::default()
+    };
+    let (server, _) = RcServe::start_durable(cfg, durability, Some(&boot)).expect("durable start");
+    let obs = server
+        .serve_obs(ObsServerConfig::default())
+        .expect("bind endpoint");
+    let addr = obs.local_addr();
+    let client = server.client();
+
+    // Scrape from a side thread while the load runs, so at least one GET
+    // of every route lands mid-epoch rather than on an idle server.
+    let scraper = std::thread::spawn(move || {
+        let mut statuses = Vec::new();
+        for _ in 0..3 {
+            for path in ["/metrics", "/health", "/traces", "/flight", "/ready"] {
+                statuses.push((path, http_get(addr, path).0));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        statuses
+    });
+    drive(&client, n, 4, 400);
+    for (path, status) in scraper.join().expect("scraper thread") {
+        assert!(status.contains("200"), "GET {path} answered {status:?}");
+    }
+
+    // Post-load scrapes assert on content.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let names = parse_prometheus(&metrics);
+    for required in [
+        "serve_epochs_total",
+        "serve_requests_total",
+        "serve_request_latency_ns",
+        "serve_worker_heartbeat",
+        "serve_executor_heartbeat",
+        "serve_traces_sampled_total",
+    ] {
+        assert!(names.iter().any(|m| m == required), "missing {required}");
+    }
+
+    let (_, health) = http_get(addr, "/health");
+    assert!(health.contains("\"healthy\":true"), "{health}");
+    let (_, traces) = http_get(addr, "/traces");
+    assert_eq!(traces.matches('{').count(), traces.matches('}').count());
+    assert!(traces.contains("\"recent\":["), "{traces}");
+    // 1600 requests through the default 1-in-64 sampler: the trace rings
+    // and exemplars are populated with high probability (the sampled id
+    // set for seed 0 over 1..=1600 is fixed, and non-empty).
+    assert!(
+        traces.contains("\"trace_id\":"),
+        "no trace captured: {traces}"
+    );
+    let (_, flight) = http_get(addr, "/flight");
+    assert!(flight.starts_with('[') && flight.contains("\"epoch\":"));
+
+    // Binary peer on the same port: one DUMP_TELEMETRY frame.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut req = Vec::new();
+    rcforest::obs::frame::encode_frame(&mut req, rcforest::obs::DUMP_TELEMETRY_CMD);
+    s.write_all(&req).unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let (payload, _) = rcforest::obs::frame::decode_frame(&resp, 0).expect("valid frame");
+    let json = std::str::from_utf8(payload).unwrap();
+    assert!(json.contains("\"metrics\":") && json.contains("\"flight\":"));
+
+    drop(obs);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampled_trace_spans_are_causally_ordered_and_account_for_e2e() {
+    let n = 256;
+    // Capture everything: the span-structure invariants must hold for
+    // every request, so check them on all of them.
+    let server = path_server(
+        n,
+        ServeConfig {
+            drain_threshold: 32,
+            max_linger: Duration::from_micros(200),
+            pipeline_depth: 1,
+            trace_sample: 1,
+            trace_ring: 2048,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    drive(&client, n, 2, 300);
+    server.shutdown();
+
+    let dump = client.request_traces();
+    assert!(dump.sampled_total >= 600, "everything sampled: {dump:?}");
+    let mut saw_deep_query = false;
+    for t in &dump.recent {
+        assert!(
+            t.nspans >= 5,
+            "update/query traces carry the epoch phases: {t:?}"
+        );
+        // Spans are laid end to end starting at submit: contiguous and
+        // causally ordered.
+        let mut cursor = 0u64;
+        for s in t.spans() {
+            assert_eq!(
+                s.start_ns, cursor,
+                "span {} starts where the previous ended in {t:?}",
+                s.name
+            );
+            cursor += s.dur_ns;
+        }
+        assert_eq!(t.spans().first().unwrap().name, "queue");
+        assert_eq!(t.spans().last().unwrap().name, "respond");
+        // The spans partition the measured lifetime: the respond tail is
+        // computed as the remainder, so the sum matches e2e exactly
+        // unless racing phase timers overshoot by nanoseconds — far
+        // inside the 10% acceptance bar either way.
+        let (sum, e2e) = (t.span_sum_ns() as i128, t.e2e_ns as i128);
+        assert!(
+            (sum - e2e).abs() <= e2e / 10 + 10_000,
+            "span sum {sum} ns vs e2e {e2e} ns in {t:?}"
+        );
+        if t.nspans >= 6 && t.spans().iter().any(|s| s.name.starts_with("query:")) {
+            saw_deep_query = true;
+        }
+    }
+    assert!(
+        saw_deep_query,
+        "some pipelined query trace carries >= 6 spans incl. its family span"
+    );
+    // Exemplars point the latency histogram's octaves back at trace ids.
+    assert!(
+        dump.exemplars
+            .iter()
+            .any(|e| e.metric == "serve_request_latency_ns" && e.trace_id > 0),
+        "latency exemplars populated: {:?}",
+        dump.exemplars
+    );
+}
+
+#[test]
+fn sampling_is_deterministic_and_near_one_in_n() {
+    let n = 128;
+    let ops = 400;
+    let sample = 8u64;
+    let run = || {
+        let server = path_server(
+            n,
+            ServeConfig {
+                trace_sample: sample,
+                trace_seed: 7,
+                trace_ring: 1024,
+                slow_request_threshold: Duration::ZERO,
+                ..ServeConfig::unbatched()
+            },
+        );
+        let client = server.client();
+        // Single-threaded sequential submission: request i gets global
+        // sequence i, so trace ids are 1..=ops in tape order.
+        for i in 0..ops {
+            assert_ne!(client.call(tape_request(i, n)), Response::Rejected);
+        }
+        server.shutdown();
+        let ids: Vec<u64> = client
+            .request_traces()
+            .recent
+            .iter()
+            .map(|t| t.trace_id)
+            .collect();
+        ids
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed + stream => identical sampled set");
+    // And it matches the pure sampling function on the same ids.
+    let expect: Vec<u64> = (1..=ops as u64)
+        .filter(|&id| rcforest::obs::trace_sampled(7, id, sample))
+        .collect();
+    assert_eq!(first, expect, "captured set is exactly the 1-in-N decision");
+    let target = ops as f64 / sample as f64;
+    assert!(
+        (first.len() as f64) > target * 0.5 && (first.len() as f64) < target * 2.0,
+        "{} sampled of {ops}, expected about {target}",
+        first.len()
+    );
+}
+
+#[test]
+fn slow_requests_are_captured_without_sampling() {
+    // Sampling off entirely; the injected wedge delays epoch 1 past the
+    // slow threshold, so its request must land in the slow ring anyway.
+    let server = path_server(
+        8,
+        ServeConfig {
+            trace_sample: 0,
+            slow_request_threshold: Duration::from_millis(10),
+            wedge_epoch: Some(1),
+            wedge_for: Duration::from_millis(50),
+            ..ServeConfig::unbatched()
+        },
+    );
+    let client = server.client();
+    assert_eq!(
+        client.call(Request::UpdateEdgeWeight { u: 0, v: 1, w: 9 }),
+        Response::Updated(Ok(()))
+    );
+    server.shutdown();
+    let dump = client.request_traces();
+    assert_eq!(dump.sampled_total, 0, "sampling disabled");
+    assert!(dump.slow_total >= 1, "wedged request captured as slow");
+    let t = dump
+        .slow
+        .first()
+        .expect("slow ring holds the delayed request");
+    assert!(t.slow && !t.sampled);
+    assert!(
+        t.e2e_ns >= 10_000_000,
+        "captured trace shows the delay: {} ns",
+        t.e2e_ns
+    );
+    assert_eq!(t.kind, "update_edge_weight");
+}
+
+#[test]
+fn watchdog_flips_ready_on_injected_stall_and_recovers() {
+    let server = path_server(
+        8,
+        ServeConfig {
+            stall_deadline: Some(Duration::from_millis(100)),
+            wedge_epoch: Some(1),
+            wedge_for: Duration::from_millis(900),
+            ..ServeConfig::unbatched()
+        },
+    );
+    let obs = server
+        .serve_obs(ObsServerConfig::default())
+        .expect("bind endpoint");
+    let addr = obs.local_addr();
+    let client = server.client();
+
+    let (status, _) = http_get(addr, "/ready");
+    assert!(status.contains("200"), "ready before the stall: {status}");
+
+    // The first epoch wedges for 900ms with a 100ms deadline: the
+    // watchdog must flip /ready (and /health) to 503 while the request
+    // is still in flight.
+    let h = client.submit(Request::UpdateEdgeWeight { u: 0, v: 1, w: 1 });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut flipped = false;
+    while Instant::now() < deadline {
+        let (status, body) = http_get(addr, "/ready");
+        if status.contains("503") {
+            assert!(body.contains("\"healthy\":false"), "{body}");
+            assert!(
+                body.contains("stalled in"),
+                "detail names the phase: {body}"
+            );
+            flipped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        flipped,
+        "watchdog never flipped /ready during a 900ms wedge"
+    );
+    let (status, _) = http_get(addr, "/health");
+    assert!(status.contains("503"), "liveness flips too: {status}");
+
+    // The wedge ends, the epoch commits, the response arrives, and the
+    // next watchdog poll observes progress and re-arms.
+    assert_eq!(h.wait(), Response::Updated(Ok(())));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        let (status, _) = http_get(addr, "/ready");
+        if status.contains("200") {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(recovered, "watchdog re-arms after the stall clears");
+
+    // The postmortem froze the stalling phase and the stall counter.
+    let report = client.stall_report().expect("stall postmortem frozen");
+    assert_eq!(report.info.phase, "admit", "wedge sits in the admit phase");
+    assert!(report.info.stalled_for >= Duration::from_millis(100));
+    let view = client.health_view();
+    assert!(view.healthy && view.ready, "healthy again after recovery");
+    assert_eq!(view.stalls, 1, "exactly one stall episode declared");
+    assert_eq!(
+        client.metrics_snapshot().counter("serve_stalls_total"),
+        Some(1)
+    );
+    drop(obs);
+    server.shutdown();
+}
+
+#[test]
+fn obs_frame_codec_is_byte_compatible_with_store_wal() {
+    use rcforest::{obs, store};
+    // Identical CRC function (IEEE 802.3).
+    for payload in [&b""[..], b"123456789", b"DUMP_TELEMETRY", &[0xFF; 1024]] {
+        assert_eq!(obs::frame::crc32(payload), store::frame::crc32(payload));
+    }
+    assert_eq!(obs::frame::crc32(b"123456789"), 0xCBF4_3926);
+    // Frames encoded by either side decode on the other, byte for byte.
+    let payload = b"telemetry over the wal wire discipline";
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    obs::frame::encode_frame(&mut a, payload);
+    store::frame::encode_frame(&mut b, payload);
+    assert_eq!(a, b, "identical wire bytes");
+    let (p, consumed) = store::frame::decode_frame(&a, 0).expect("store decodes obs frame");
+    assert_eq!((p, consumed), (&payload[..], a.len()));
+    let (p, consumed) = obs::frame::decode_frame(&b, 0).expect("obs decodes store frame");
+    assert_eq!((p, consumed), (&payload[..], b.len()));
+}

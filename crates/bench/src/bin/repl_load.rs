@@ -1,0 +1,301 @@
+//! `rc-repl` replication driver: apply-lag under load across follower
+//! counts, and failover (promotion) time as a function of replica
+//! history size, writing `BENCH_repl.json` so both curves are tracked
+//! across PRs.
+//!
+//! Scale via `RC_BENCH_SCALE` (`tiny` for CI smoke, `large` for a full
+//! machine); `RC_REPL_OUT` overrides the output path.
+
+use rc_bench::{scale, Table};
+use rc_core::ForestState;
+use rc_repl::{Follower, FollowerConfig, LeaderConfig, ReplLeader};
+use rc_serve::{Durability, RcServe, Request, Response, ServeConfig, SyncPolicy};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rc-repl-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn boot_state(n: usize) -> ForestState {
+    let edges: Vec<(u32, u32, u64)> = (1..n as u32)
+        .map(|v| (v - 1, v, (v as u64 % 9) + 1))
+        .collect();
+    ForestState::from_edges(n, &edges)
+}
+
+/// Update-only tape: links, cuts, reweights (invalid ops commit nothing
+/// and ship nothing, which is fine — replication cost tracks committed
+/// records).
+fn tape(n: usize, seed: u64, i: u64) -> Request {
+    let h = splitmix(seed.wrapping_mul(0xabcd).wrapping_add(i));
+    let u = (h >> 8) as u32 % n as u32;
+    let v = (h >> 28) as u32 % n as u32;
+    let w = (h >> 48) % 1000;
+    match h % 4 {
+        0 => Request::Link { u, v, w },
+        1 => Request::Cut { u, v },
+        2 => Request::UpdateEdgeWeight { u, v, w },
+        _ => Request::UpdateVertexWeight { v, w },
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        drain_threshold: 64,
+        max_linger: Duration::from_micros(200),
+        ..ServeConfig::default()
+    }
+}
+
+struct LagRow {
+    followers: usize,
+    ops: usize,
+    ops_per_sec: f64,
+    records: u64,
+    max_lag: u64,
+    mean_lag: f64,
+    catchup_ms: f64,
+}
+
+/// Drive `ops` updates through a replicated leader with `followers`
+/// attached; sample lag per chunk and time the post-load catch-up.
+fn run_apply_lag(n: usize, followers: usize, ops: usize, seed: u64) -> LagRow {
+    let ldir = dir(&format!("lag-l-{followers}-{ops}"));
+    let (server, _) = RcServe::start_durable(
+        serve_cfg(),
+        Durability::new(&ldir, n).sync_policy(SyncPolicy::PerEpoch),
+        Some(&boot_state(n)),
+    )
+    .expect("leader starts");
+    let leader = ReplLeader::start(&server, LeaderConfig::new(&ldir, n)).expect("repl leader");
+    let fdirs: Vec<_> = (0..followers)
+        .map(|f| dir(&format!("lag-f{f}-{followers}-{ops}")))
+        .collect();
+    let flw: Vec<Follower> = fdirs
+        .iter()
+        .map(|d| {
+            Follower::start(FollowerConfig::new(leader.local_addr().to_string(), d, n))
+                .expect("follower starts")
+        })
+        .collect();
+    // Wait for every follower to install the bootstrap basis.
+    let sync_deadline = Instant::now() + Duration::from_secs(30);
+    while !flw.iter().all(|f| f.is_synced()) {
+        assert!(Instant::now() < sync_deadline, "followers never synced");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let client = server.client();
+    let t0 = Instant::now();
+    let mut lag_samples: Vec<u64> = Vec::new();
+    let mut done = 0usize;
+    while done < ops {
+        let chunk = (ops - done).min(64);
+        let handles: Vec<_> = (0..chunk)
+            .map(|i| client.submit(tape(n, seed, (done + i) as u64)))
+            .collect();
+        done += chunk;
+        for h in handles {
+            let _ = h.wait();
+        }
+        lag_samples.push(flw.iter().map(|f| f.lag()).max().unwrap_or(0));
+    }
+    let elapsed = t0.elapsed();
+
+    // Catch-up: how long until every follower drains the residual lag.
+    let committed = leader.committed();
+    let t1 = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !flw.iter().all(|f| f.applied() >= committed) {
+        assert!(Instant::now() < deadline, "followers never caught up");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let catchup = t1.elapsed();
+
+    let records = flw.iter().map(|f| f.applied()).max().unwrap_or(0);
+    let row = LagRow {
+        followers,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
+        records,
+        max_lag: lag_samples.iter().copied().max().unwrap_or(0),
+        mean_lag: lag_samples.iter().sum::<u64>() as f64 / lag_samples.len().max(1) as f64,
+        catchup_ms: catchup.as_secs_f64() * 1e3,
+    };
+    for f in flw {
+        f.stop();
+    }
+    drop(leader);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    for d in fdirs {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+    row
+}
+
+struct FailoverRow {
+    ops: usize,
+    replica_epochs: u64,
+    promote_ms: f64,
+    first_answer_ms: f64,
+}
+
+/// Replicate `ops` updates, kill the leader, and time follower →
+/// serving-leader promotion (snapshot + WAL-suffix recovery) plus the
+/// first answered query on the promoted server.
+fn run_failover(n: usize, ops: usize, seed: u64) -> FailoverRow {
+    let ldir = dir(&format!("fo-l-{ops}"));
+    let fdir = dir(&format!("fo-f-{ops}"));
+    let (server, _) = RcServe::start_durable(
+        serve_cfg(),
+        Durability::new(&ldir, n).sync_policy(SyncPolicy::PerEpoch),
+        Some(&boot_state(n)),
+    )
+    .expect("leader starts");
+    let leader = ReplLeader::start(&server, LeaderConfig::new(&ldir, n)).expect("repl leader");
+    let follower = Follower::start(FollowerConfig::new(
+        leader.local_addr().to_string(),
+        &fdir,
+        n,
+    ))
+    .expect("follower starts");
+
+    let client = server.client();
+    let mut done = 0usize;
+    while done < ops {
+        let chunk = (ops - done).min(64);
+        let handles: Vec<_> = (0..chunk)
+            .map(|i| client.submit(tape(n, seed, (done + i) as u64)))
+            .collect();
+        done += chunk;
+        for h in handles {
+            let _ = h.wait();
+        }
+    }
+    let committed = leader.committed();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while follower.applied() < committed {
+        assert!(Instant::now() < deadline, "follower never caught up");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Leader dies; the follower becomes the leader.
+    drop(leader);
+    server.shutdown();
+    let t0 = Instant::now();
+    let (promoted, report) = follower.promote(serve_cfg()).expect("promotion");
+    let promote_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let resp = promoted
+        .client()
+        .submit(Request::Connected { u: 0, v: 1 })
+        .wait();
+    assert!(matches!(resp, Response::Bool(_)));
+    let first_answer_ms = t0.elapsed().as_secs_f64() * 1e3;
+    promoted.shutdown();
+    let row = FailoverRow {
+        ops,
+        replica_epochs: report.last_epoch,
+        promote_ms,
+        first_answer_ms,
+    };
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+    row
+}
+
+fn main() {
+    let (n, lag_ops, failover_ops): (usize, usize, Vec<usize>) = match scale() {
+        "large" => (100_000, 20_000, vec![2_000, 10_000, 40_000]),
+        "tiny" => (1_000, 400, vec![100, 400]),
+        _ => (10_000, 4_000, vec![500, 2_000, 8_000]),
+    };
+    println!("# repl_load — n={n}, lag ops={lag_ops}, failover sweep {failover_ops:?}");
+
+    let t = Table::new(
+        "Apply lag under load (leader + K followers, per-epoch fsync both sides)",
+        &[
+            "followers",
+            "ops",
+            "leader ops/sec",
+            "records",
+            "max lag",
+            "mean lag",
+            "catch-up ms",
+        ],
+    );
+    let mut lag_rows = Vec::new();
+    for followers in [1usize, 2, 3] {
+        let row = run_apply_lag(n, followers, lag_ops, 42);
+        t.row(&[
+            row.followers.to_string(),
+            row.ops.to_string(),
+            format!("{:.0}", row.ops_per_sec),
+            row.records.to_string(),
+            row.max_lag.to_string(),
+            format!("{:.1}", row.mean_lag),
+            format!("{:.2}", row.catchup_ms),
+        ]);
+        lag_rows.push(row);
+    }
+
+    let t = Table::new(
+        "Failover: follower → leader promotion vs replica history",
+        &["ops", "replica epochs", "promote ms", "first answer ms"],
+    );
+    let mut fo_rows = Vec::new();
+    for &ops in &failover_ops {
+        let row = run_failover(n, ops, 7);
+        t.row(&[
+            row.ops.to_string(),
+            row.replica_epochs.to_string(),
+            format!("{:.2}", row.promote_ms),
+            format!("{:.2}", row.first_answer_ms),
+        ]);
+        fo_rows.push(row);
+    }
+
+    // ---- BENCH_repl.json ----
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"repl_load\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale());
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"apply_lag\": [");
+    for (i, r) in lag_rows.iter().enumerate() {
+        let comma = if i + 1 == lag_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"followers\": {}, \"ops\": {}, \"leader_ops_per_sec\": {:.1}, \
+             \"records\": {}, \"max_lag_epochs\": {}, \"mean_lag_epochs\": {:.2}, \
+             \"catchup_ms\": {:.3}}}{comma}",
+            r.followers, r.ops, r.ops_per_sec, r.records, r.max_lag, r.mean_lag, r.catchup_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"failover\": [");
+    for (i, r) in fo_rows.iter().enumerate() {
+        let comma = if i + 1 == fo_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"ops\": {}, \"replica_epochs\": {}, \"promote_ms\": {:.3}, \
+             \"first_answer_ms\": {:.3}}}{comma}",
+            r.ops, r.replica_epochs, r.promote_ms, r.first_answer_ms
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let out = std::env::var("RC_REPL_OUT").unwrap_or_else(|_| "BENCH_repl.json".into());
+    std::fs::write(&out, json).expect("write BENCH_repl.json");
+    println!("\nwrote {out}");
+}

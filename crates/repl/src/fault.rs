@@ -1,0 +1,227 @@
+//! A fault-injecting TCP proxy for the replication stream.
+//!
+//! Sits between a follower and the leader and perturbs the
+//! leader→follower byte stream according to a seeded [`FaultPlan`]:
+//! torn cuts at an exact byte offset (mid-frame), duplicated frames
+//! (retransmission), and delayed frames (reordering). The
+//! follower→leader direction (Hello, Acks) is copied verbatim so the
+//! handshake itself stays well-formed — the faults model a flaky
+//! *stream*, not a byzantine follower.
+//!
+//! A plan applies to the **first** proxied connection only; every later
+//! connection is passed through clean. That makes each injected fault a
+//! one-shot: the follower hits it, drops the session, reconnects
+//! through the proxy, and must recover — without the test livelocking
+//! on a fault that re-fires forever.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What to do to the first leader→follower stream through the proxy.
+///
+/// All fields independent; `None` everywhere is a transparent proxy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Sever both directions after exactly this many leader→follower
+    /// payload bytes — typically mid-frame, leaving the follower a torn
+    /// tail.
+    pub cut_at: Option<u64>,
+    /// Send this frame (0-based index in the leader→follower stream)
+    /// twice back-to-back.
+    pub duplicate_frame: Option<u64>,
+    /// Hold this frame back and deliver it *after* the following frame
+    /// — a reordering the follower must detect via `prev_epoch`.
+    pub delay_frame: Option<u64>,
+}
+
+struct ProxyShared {
+    target: SocketAddr,
+    plan: FaultPlan,
+    /// Set once the plan has been consumed by the first connection.
+    plan_spent: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// A running proxy; see the module docs.
+pub struct FaultProxy {
+    shared: Arc<ProxyShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port, forwarding connections to
+    /// `target` with `plan` applied to the first one.
+    pub fn start(target: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            target,
+            plan,
+            plan_spent: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("rc-repl-proxy".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn fault proxy");
+        Ok(FaultProxy {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address followers should dial instead of the leader's.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has the fault plan fired yet?
+    pub fn plan_spent(&self) -> bool {
+        self.shared.plan_spent.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting; in-flight pumps die with their sockets.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Self-connect to unblock accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(client) = conn else { continue };
+        let faulted = !shared.plan_spent.swap(true, Ordering::SeqCst);
+        let plan = if faulted {
+            shared.plan
+        } else {
+            FaultPlan::default()
+        };
+        let target = shared.target;
+        // Detached: each pump dies when its sockets do, and the whole
+        // proxy process is test-scoped.
+        let _ = std::thread::Builder::new()
+            .name("rc-repl-proxy-conn".into())
+            .spawn(move || proxy_connection(client, target, plan));
+    }
+}
+
+fn proxy_connection(client: TcpStream, target: SocketAddr, plan: FaultPlan) {
+    let Ok(upstream) = TcpStream::connect(target) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    // follower → leader: verbatim copy (Hello + Acks are never faulted).
+    let up = std::thread::Builder::new()
+        .name("rc-repl-proxy-up".into())
+        .spawn(move || copy_until_eof(client_r, upstream))
+        .expect("spawn proxy upstream pump");
+    // leader → follower: frame-aware, with the plan applied.
+    pump_frames(upstream_r, client, plan);
+    let _ = up.join();
+}
+
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => {
+                if to.write_all(&buf[..k]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// Read whole frames off the leader and forward them, applying torn
+/// cuts (byte-exact), duplication, and delay (frame-indexed).
+fn pump_frames(mut from: TcpStream, mut to: TcpStream, plan: FaultPlan) {
+    let mut sent: u64 = 0; // leader→follower payload bytes delivered
+    let mut frame_idx: u64 = 0;
+    let mut held: Option<Vec<u8>> = None; // the delayed frame, if any
+    while let Some(frame) = read_raw_frame(&mut from) {
+        let mut out: Vec<&[u8]> = Vec::new();
+        if plan.delay_frame == Some(frame_idx) && held.is_none() {
+            held = Some(frame);
+            frame_idx += 1;
+            continue;
+        }
+        out.push(&frame);
+        if plan.duplicate_frame == Some(frame_idx) {
+            out.push(&frame);
+        }
+        let released = held.take();
+        if let Some(h) = &released {
+            out.push(h); // the delayed frame lands *after* this one
+        }
+        for bytes in out {
+            if let Some(cut) = plan.cut_at {
+                let remaining = cut.saturating_sub(sent) as usize;
+                if remaining < bytes.len() {
+                    // Deliver the torn prefix, then sever mid-frame.
+                    let _ = to.write_all(&bytes[..remaining]);
+                    shutdown_both(&from, &to);
+                    return;
+                }
+            }
+            if to.write_all(bytes).is_err() {
+                shutdown_both(&from, &to);
+                return;
+            }
+            sent += bytes.len() as u64;
+        }
+        frame_idx += 1;
+    }
+    shutdown_both(&from, &to);
+}
+
+fn shutdown_both(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+/// Read one raw frame (header + payload) without decoding it.
+fn read_raw_frame(from: &mut TcpStream) -> Option<Vec<u8>> {
+    use rc_store::frame::{FRAME_HEADER, MAX_FRAME_LEN};
+    let mut header = [0u8; FRAME_HEADER];
+    from.read_exact(&mut header).ok()?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN as usize {
+        return None;
+    }
+    let mut frame = vec![0u8; FRAME_HEADER + len];
+    frame[..FRAME_HEADER].copy_from_slice(&header);
+    from.read_exact(&mut frame[FRAME_HEADER..]).ok()?;
+    Some(frame)
+}

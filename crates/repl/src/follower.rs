@@ -1,0 +1,556 @@
+//! The replication follower: batch-replay a leader's epoch stream onto
+//! a local replica and serve staleness-bounded reads.
+//!
+//! A follower owns its **own** durable [`Store`] (so its replica
+//! survives restarts and can be promoted) plus an in-memory
+//! [`ServeForest`]. Each shipped record is appended to the local WAL,
+//! then replayed through [`rc_store::replay_epoch`] — steady-state
+//! apply *is* the recovery path's batch-parallel replay, one epoch at a
+//! time — and only then acknowledged, so an `Ack` always means
+//! "locally durable *and* applied".
+//!
+//! Reads ([`Follower::query`]) answer against the replica through the
+//! same one-batch-call-per-family fan-out the leader uses, stamped with
+//! the applied epoch they observed. Staleness is client-visible: the
+//! `repl_follower_lag_epochs` gauge tracks `leader_committed − applied`,
+//! and the follower's `/ready` ([`Follower::serve_obs`]) returns 503
+//! while disconnected or while lag exceeds
+//! [`FollowerConfig::staleness_bound`].
+//!
+//! On leader loss the follower reconnects with exponential backoff plus
+//! deterministic jitter, resuming from its last applied epoch; the
+//! leader serves the catch-up suffix (snapshot + WAL records).
+//! [`Follower::promote`] turns the replica into a leader-capable
+//! [`RcServe`] via the existing snapshot+suffix recovery over the
+//! follower's own store directory.
+
+use crate::wire::{read_message, write_message, Message};
+use rc_core::DynamicForest;
+use rc_obs::{
+    splitmix64, EpochTrace, HealthView, MetricsRegistry, MetricsSnapshot, ObsServer,
+    ObsServerConfig, ObsSource, TraceDump,
+};
+use rc_serve::{answer_read_only, RcServe, Request, Response, ServeConfig, ServeForest};
+use rc_store::{
+    replay_epoch, RecoveryReport, Store, StoreConfig, StoreError, SyncPolicy, WAL_FILE,
+};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Connection, durability and staleness knobs for one follower.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The leader's replication listen address
+    /// ([`crate::ReplLeader::local_addr`]).
+    pub leader_addr: String,
+    /// The follower's own store directory (WAL + snapshots of the
+    /// replica; survives restarts, feeds promotion).
+    pub dir: PathBuf,
+    /// Vertex count (must match the leader's).
+    pub n: usize,
+    /// Maximum tolerated `leader_committed − applied` before the
+    /// follower reports itself unready (`/ready` → 503).
+    pub staleness_bound: u64,
+    /// Sync policy of the follower's own WAL.
+    pub sync: SyncPolicy,
+    /// Compaction threshold of the follower's own WAL, in bytes.
+    pub compact_bytes: u64,
+    /// First reconnect backoff; doubles per consecutive failure.
+    pub retry_base: Duration,
+    /// Backoff ceiling.
+    pub retry_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
+    /// Fault injection for staleness tests: sleep this long before
+    /// applying each shipped record, so the applied epoch visibly lags
+    /// the leader's committed epoch.
+    #[doc(hidden)]
+    pub apply_delay: Duration,
+}
+
+impl FollowerConfig {
+    /// Follow `leader_addr` with a replica store in `dir`, per-epoch
+    /// local sync, staleness bound 8, and 25 ms–1 s backoff.
+    pub fn new(leader_addr: impl Into<String>, dir: impl Into<PathBuf>, n: usize) -> Self {
+        FollowerConfig {
+            leader_addr: leader_addr.into(),
+            dir: dir.into(),
+            n,
+            staleness_bound: 8,
+            sync: SyncPolicy::PerEpoch,
+            compact_bytes: 8 << 20,
+            retry_base: Duration::from_millis(25),
+            retry_cap: Duration::from_secs(1),
+            retry_seed: 0,
+            apply_delay: Duration::ZERO,
+        }
+    }
+
+    /// Replace the staleness bound.
+    pub fn staleness_bound(mut self, epochs: u64) -> Self {
+        self.staleness_bound = epochs;
+        self
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig::new(&self.dir, self.n)
+            .sync_policy(self.sync)
+            .compact_threshold(self.compact_bytes)
+    }
+}
+
+/// The replica the apply loop mutates and queries read: forest + the
+/// follower's own durable store, swapped wholesale on snapshot install.
+struct Replica {
+    forest: ServeForest,
+    store: Store,
+}
+
+struct FollowerShared {
+    cfg: FollowerConfig,
+    stop: AtomicBool,
+    connected: AtomicBool,
+    /// Has this replica ever had a basis — a snapshot installed, an
+    /// epoch applied, or durable state recovered at start? Until then
+    /// its (empty) forest does not correspond to *any* leader version,
+    /// so the follower reports itself unready.
+    synced: AtomicBool,
+    /// Last epoch applied to (and durable in) the replica.
+    applied: AtomicU64,
+    /// Leader's newest committed epoch, from the last shipped record.
+    leader_committed: AtomicU64,
+    replica: RwLock<Option<Replica>>,
+    /// Current session's socket, for unblocking reads on stop.
+    live_stream: Mutex<Option<TcpStream>>,
+    registry: MetricsRegistry,
+    lag_gauge: Arc<rc_obs::Gauge>,
+    applied_gauge: Arc<rc_obs::Gauge>,
+    connected_gauge: Arc<rc_obs::Gauge>,
+    applied_total: Arc<rc_obs::Counter>,
+    reconnects_total: Arc<rc_obs::Counter>,
+    snap_installs_total: Arc<rc_obs::Counter>,
+}
+
+impl FollowerShared {
+    fn lag(&self) -> u64 {
+        self.leader_committed
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied.load(Ordering::SeqCst))
+    }
+
+    fn update_lag_gauge(&self) {
+        self.lag_gauge.set(self.lag() as i64);
+        self.applied_gauge
+            .set(self.applied.load(Ordering::SeqCst) as i64);
+    }
+
+    fn is_ready(&self) -> bool {
+        self.synced.load(Ordering::SeqCst)
+            && self.connected.load(Ordering::SeqCst)
+            && self.lag() <= self.cfg.staleness_bound
+    }
+}
+
+/// A running follower (see the module docs).
+pub struct Follower {
+    shared: Arc<FollowerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Recover any previous replica state from `cfg.dir` (the follower's
+    /// own snapshot + WAL suffix), then start the replication loop.
+    pub fn start(cfg: FollowerConfig) -> Result<Follower, StoreError> {
+        let recovered = Store::open(cfg.store_config())?;
+        let applied = recovered.report.last_epoch;
+        // A basis exists if anything durable was recovered: an applied
+        // epoch, or an installed snapshot (possibly still at epoch 0).
+        let synced = applied > 0
+            || rc_store::snapshot::list_snapshots(&cfg.dir)
+                .map(|s| !s.is_empty())
+                .unwrap_or(false);
+        let registry = MetricsRegistry::new();
+        let shared = Arc::new(FollowerShared {
+            stop: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            synced: AtomicBool::new(synced),
+            applied: AtomicU64::new(applied),
+            leader_committed: AtomicU64::new(applied),
+            replica: RwLock::new(Some(Replica {
+                forest: recovered.forest,
+                store: recovered.store,
+            })),
+            live_stream: Mutex::new(None),
+            lag_gauge: registry.gauge("repl_follower_lag_epochs"),
+            applied_gauge: registry.gauge("repl_follower_applied_epoch"),
+            connected_gauge: registry.gauge("repl_follower_connected"),
+            applied_total: registry.counter("repl_follower_records_applied_total"),
+            reconnects_total: registry.counter("repl_follower_reconnects_total"),
+            snap_installs_total: registry.counter("repl_follower_snapshot_installs_total"),
+            registry,
+            cfg,
+        });
+        shared.update_lag_gauge();
+        let run_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rc-repl-follower".into())
+            .spawn(move || run(run_shared))
+            .expect("spawn repl follower");
+        Ok(Follower {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Last epoch applied to (and durable in) the replica.
+    pub fn applied(&self) -> u64 {
+        self.shared.applied.load(Ordering::SeqCst)
+    }
+
+    /// The leader's newest committed epoch, as of the last record this
+    /// follower received.
+    pub fn leader_committed(&self) -> u64 {
+        self.shared.leader_committed.load(Ordering::SeqCst)
+    }
+
+    /// Current staleness in epochs (`leader_committed − applied`).
+    pub fn lag(&self) -> u64 {
+        self.shared.lag()
+    }
+
+    /// Is the replication session currently established?
+    pub fn is_connected(&self) -> bool {
+        self.shared.connected.load(Ordering::SeqCst)
+    }
+
+    /// Has the replica ever acquired a basis (snapshot installed, epoch
+    /// applied, or durable state recovered)? Until then its forest does
+    /// not correspond to any leader version and reads are vacuous.
+    pub fn is_synced(&self) -> bool {
+        self.shared.synced.load(Ordering::SeqCst)
+    }
+
+    /// Connected *and* within the staleness bound — what `/ready`
+    /// reports.
+    pub fn is_ready(&self) -> bool {
+        self.shared.is_ready()
+    }
+
+    /// Answer read-only requests against the replica, returning the
+    /// applied epoch the answers observed (the read's version stamp)
+    /// alongside the responses. Updates answer [`Response::Rejected`] —
+    /// a follower is read-only until promoted.
+    pub fn query(&self, requests: &[Request]) -> (u64, Vec<Response>) {
+        let guard = self
+            .shared
+            .replica
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        let stamp = self.shared.applied.load(Ordering::SeqCst);
+        let replica = guard.as_ref().expect("replica present while running");
+        (stamp, answer_read_only(&replica.forest, requests))
+    }
+
+    /// Point-in-time snapshot of the follower's replication metrics
+    /// (`repl_follower_lag_epochs`, `repl_follower_applied_epoch`,
+    /// `repl_follower_connected`, apply/reconnect/snapshot counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// Start the follower's observability endpoint: the standard rc-obs
+    /// routes, with `/ready` answering 200 only while connected and
+    /// within the staleness bound and `/metrics` carrying the
+    /// replication gauges.
+    pub fn serve_obs(&self, cfg: ObsServerConfig) -> std::io::Result<ObsServer> {
+        ObsServer::start(
+            cfg,
+            Arc::new(FollowerObs {
+                shared: Arc::clone(&self.shared),
+            }),
+        )
+    }
+
+    /// Stop replicating: close the session, join the loop, flush + close
+    /// the replica store. The directory remains ready for a later
+    /// [`Follower::start`] or [`Follower::promote`].
+    pub fn stop(mut self) {
+        self.stop_inner();
+        if let Some(replica) = self
+            .shared
+            .replica
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = replica.store.close();
+        }
+    }
+
+    /// Promote this follower to a serving leader: stop replication,
+    /// flush + close the replica store, then bring the directory up
+    /// through [`RcServe::start_durable`] — the existing snapshot +
+    /// WAL-suffix recovery path. Every epoch this follower acknowledged
+    /// is durable in its store, so it survives into the promoted server.
+    pub fn promote(
+        mut self,
+        serve_cfg: ServeConfig,
+    ) -> Result<(RcServe, RecoveryReport), StoreError> {
+        self.stop_inner();
+        let store_cfg = self.shared.cfg.store_config();
+        if let Some(replica) = self
+            .shared
+            .replica
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            replica.store.close()?;
+        }
+        RcServe::start_durable(serve_cfg, store_cfg, None)
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock a session read; the loop re-checks `stop` on error.
+        if let Some(stream) = self
+            .shared
+            .live_stream
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_inner();
+            if let Some(replica) = self
+                .shared
+                .replica
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                let _ = replica.store.close();
+            }
+        }
+    }
+}
+
+/// `/metrics`, `/health`, `/ready` adapter for the follower.
+struct FollowerObs {
+    shared: Arc<FollowerShared>,
+}
+
+impl ObsSource for FollowerObs {
+    fn metrics(&self) -> MetricsSnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    fn flight(&self) -> Vec<EpochTrace> {
+        Vec::new()
+    }
+
+    fn traces(&self) -> TraceDump {
+        TraceDump::default()
+    }
+
+    fn health(&self) -> HealthView {
+        let connected = self.shared.connected.load(Ordering::SeqCst);
+        let lag = self.shared.lag();
+        let bound = self.shared.cfg.staleness_bound;
+        HealthView {
+            healthy: !self.shared.stop.load(Ordering::SeqCst),
+            ready: self.shared.is_ready(),
+            stalls: self.shared.reconnects_total.get(),
+            detail: format!(
+                "follower connected={connected} applied={} lag={lag} bound={bound}",
+                self.shared.applied.load(Ordering::SeqCst)
+            ),
+        }
+    }
+}
+
+/// The reconnect loop: connect, replicate until the session drops, back
+/// off (exponential + deterministic jitter), repeat.
+fn run(shared: Arc<FollowerShared>) {
+    let mut attempt: u32 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match TcpStream::connect(&shared.cfg.leader_addr) {
+            Ok(stream) => {
+                *shared.live_stream.lock().unwrap_or_else(|e| e.into_inner()) =
+                    stream.try_clone().ok();
+                shared.connected.store(true, Ordering::SeqCst);
+                shared.connected_gauge.set(1);
+                attempt = 0;
+                let _ = session(&shared, stream);
+                shared.connected.store(false, Ordering::SeqCst);
+                shared.connected_gauge.set(0);
+                shared
+                    .live_stream
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.reconnects_total.inc();
+                }
+            }
+            Err(_) => {
+                shared.reconnects_total.inc();
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Exponential backoff with deterministic jitter: base · 2^k
+        // capped, plus up to one extra base drawn from the seed — spreads
+        // a fleet of followers that lost the same leader at the same
+        // instant.
+        let base = shared.cfg.retry_base.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.min(16));
+        let jitter_ns = splitmix64(
+            shared
+                .cfg
+                .retry_seed
+                .wrapping_add(attempt as u64)
+                .wrapping_add(1),
+        ) % base.as_nanos().max(1) as u64;
+        let delay = exp.min(shared.cfg.retry_cap) + Duration::from_nanos(jitter_ns);
+        attempt = attempt.saturating_add(1);
+        // Sleep in small slices so stop stays responsive.
+        let deadline = std::time::Instant::now() + delay;
+        while std::time::Instant::now() < deadline && !shared.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// One replication session: handshake, then apply records until the
+/// stream errors, the leader disconnects, or the chain breaks.
+fn session(shared: &Arc<FollowerShared>, mut stream: TcpStream) -> std::io::Result<()> {
+    write_message(
+        &mut stream,
+        &Message::Hello {
+            last_applied: shared.applied.load(Ordering::SeqCst),
+            n: shared.cfg.n as u64,
+        },
+    )?;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_message(&mut stream)? {
+            Message::Snap { epoch, state } => {
+                install_snapshot(shared, epoch, &state)?;
+                write_message(&mut stream, &Message::Ack { epoch })?;
+            }
+            Message::Rec {
+                prev_epoch,
+                leader_committed,
+                record,
+            } => {
+                shared
+                    .leader_committed
+                    .fetch_max(leader_committed.max(record.epoch), Ordering::SeqCst);
+                shared.update_lag_gauge();
+                let applied = shared.applied.load(Ordering::SeqCst);
+                if record.epoch <= applied {
+                    continue; // duplicate (catch-up overlap or a replayed frame)
+                }
+                if prev_epoch != applied {
+                    // A gap or reordering (lost/delayed frame): resync
+                    // by dropping the session and reconnecting from the
+                    // applied epoch rather than silently skipping.
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "stream gap: record {} chains from {prev_epoch} \
+                             but applied is {applied}",
+                            record.epoch
+                        ),
+                    ));
+                }
+                if !shared.cfg.apply_delay.is_zero() {
+                    std::thread::sleep(shared.cfg.apply_delay);
+                }
+                let epoch = record.epoch;
+                {
+                    let mut guard = shared.replica.write().unwrap_or_else(|e| e.into_inner());
+                    let replica = guard.as_mut().expect("replica present while running");
+                    replica.store.append_epoch(&record)?;
+                    replay_epoch(&mut replica.forest, &record).map_err(|e| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("epoch {epoch} does not apply to the replica: {e}"),
+                        )
+                    })?;
+                    if replica.store.wants_compaction() {
+                        let state = replica.forest.export_state();
+                        replica
+                            .store
+                            .compact(&state)
+                            .map_err(std::io::Error::other)?;
+                    }
+                    shared.applied.store(epoch, Ordering::SeqCst);
+                }
+                shared.synced.store(true, Ordering::SeqCst);
+                shared.applied_total.inc();
+                shared.update_lag_gauge();
+                write_message(&mut stream, &Message::Ack { epoch })?;
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected message from leader: {other:?}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Full-state catch-up: replace the replica (forest + store directory)
+/// with the shipped snapshot, then reopen the store on top of it so
+/// later appends extend a consistent log.
+fn install_snapshot(
+    shared: &Arc<FollowerShared>,
+    epoch: u64,
+    state: &rc_core::ForestState,
+) -> std::io::Result<()> {
+    let mut guard = shared.replica.write().unwrap_or_else(|e| e.into_inner());
+    // Close the old store (flushing its tail), wipe the stale log +
+    // snapshots, install the shipped snapshot as the new base.
+    if let Some(replica) = guard.take() {
+        let _ = replica.store.close();
+    }
+    let dir = &shared.cfg.dir;
+    let _ = std::fs::remove_file(dir.join(WAL_FILE));
+    if let Ok(snaps) = rc_store::snapshot::list_snapshots(dir) {
+        for (_, path) in snaps {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    rc_store::snapshot::write_snapshot(dir, epoch, state)?;
+    let recovered = Store::open(shared.cfg.store_config()).map_err(std::io::Error::other)?;
+    *guard = Some(Replica {
+        forest: recovered.forest,
+        store: recovered.store,
+    });
+    shared.applied.store(epoch, Ordering::SeqCst);
+    drop(guard);
+    shared.synced.store(true, Ordering::SeqCst);
+    shared.snap_installs_total.inc();
+    shared.update_lag_gauge();
+    Ok(())
+}

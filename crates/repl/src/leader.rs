@@ -1,0 +1,399 @@
+//! The replication leader: stream committed epochs to N followers.
+//!
+//! [`ReplLeader::start`] taps a running [`RcServe`]'s commit stream
+//! ([`RcServe::subscribe_commits`]) and binds a TCP listener. Each
+//! follower connection handshakes with its last applied epoch and gets:
+//!
+//! 1. **Catch-up** — if the follower is older than the leader WAL's base
+//!    epoch (its missing epochs were compacted away), the leader ships
+//!    the newest snapshot first ([`crate::wire::Message::Snap`]), then
+//!    the WAL suffix after it, read with the *read-only* scan
+//!    ([`rc_store::wal::read_records`]) so the live log is never touched.
+//! 2. **Live stream** — every committed epoch from the tap, in order,
+//!    each chained to its predecessor (`prev_epoch`) so a follower can
+//!    detect reordered or lost frames and resync by reconnecting.
+//!
+//! The connection is registered with the tap *before* the WAL is read,
+//! so every epoch is either in the suffix read or in the live channel
+//! (duplicates in the overlap are filtered by epoch). One caveat
+//! follows from reading the log file: under [`rc_store::SyncPolicy::Never`]
+//! committed frames can sit in the leader's user-space buffer where the
+//! catch-up scan cannot see them — run a replicating leader with
+//! `PerEpoch` or `Interval` sync, which write every append to the file.
+
+use crate::wire::{read_message, write_message, Message};
+use rc_obs::{MetricsRegistry, MetricsSnapshot};
+use rc_serve::{CommitEvent, RcServe};
+use rc_store::{snapshot, wal, WAL_FILE};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where the leader listens and where its durable store lives.
+#[derive(Clone, Debug)]
+pub struct LeaderConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port; use
+    /// [`ReplLeader::local_addr`] to discover it).
+    pub bind: String,
+    /// The leader server's store directory — the WAL + snapshots that
+    /// serve follower catch-up. Must be the same directory the
+    /// [`RcServe`] was started durable on.
+    pub store_dir: PathBuf,
+    /// Vertex count; a follower whose `Hello` disagrees is refused.
+    pub n: usize,
+}
+
+impl LeaderConfig {
+    /// Ephemeral local bind over the given store directory.
+    pub fn new(store_dir: impl Into<PathBuf>, n: usize) -> Self {
+        LeaderConfig {
+            bind: "127.0.0.1:0".to_string(),
+            store_dir: store_dir.into(),
+            n,
+        }
+    }
+}
+
+struct LeaderShared {
+    cfg: LeaderConfig,
+    stop: AtomicBool,
+    /// Newest committed (state-changing) epoch the leader knows of —
+    /// stamped into every shipped record as the staleness reference.
+    committed: AtomicU64,
+    /// Highest epoch any follower has acknowledged.
+    acked: AtomicU64,
+    /// Live per-connection forwarding channels; the broadcaster prunes
+    /// senders whose handler hung up.
+    conns: Mutex<Vec<mpsc::Sender<CommitEvent>>>,
+    registry: MetricsRegistry,
+    connections: Arc<rc_obs::Gauge>,
+    records_sent: Arc<rc_obs::Counter>,
+    snapshots_sent: Arc<rc_obs::Counter>,
+}
+
+/// A running replication leader (see the module docs).
+pub struct ReplLeader {
+    shared: Arc<LeaderShared>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    broadcaster: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ReplLeader {
+    /// Bind the listener, tap `server`'s commit stream, and start
+    /// accepting followers.
+    pub fn start(server: &RcServe, cfg: LeaderConfig) -> std::io::Result<ReplLeader> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let tap = server.subscribe_commits();
+        // Seed the committed watermark from the durable state so a
+        // follower connecting before the next commit still sees an
+        // accurate staleness reference.
+        let durable_committed = {
+            let (_, records) =
+                wal::read_records(&cfg.store_dir.join(WAL_FILE)).unwrap_or((0, Vec::new()));
+            let snap_epoch = snapshot::list_snapshots(&cfg.store_dir)
+                .ok()
+                .and_then(|s| s.last().map(|&(e, _)| e))
+                .unwrap_or(0);
+            records
+                .last()
+                .map_or(snap_epoch, |r| r.epoch.max(snap_epoch))
+        };
+        let registry = MetricsRegistry::new();
+        let shared = Arc::new(LeaderShared {
+            stop: AtomicBool::new(false),
+            committed: AtomicU64::new(durable_committed),
+            acked: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            connections: registry.gauge("repl_leader_connections"),
+            records_sent: registry.counter("repl_leader_records_sent_total"),
+            snapshots_sent: registry.counter("repl_leader_snapshots_sent_total"),
+            registry,
+            cfg,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let b_shared = Arc::clone(&shared);
+        let broadcaster = std::thread::Builder::new()
+            .name("rc-repl-broadcast".into())
+            .spawn(move || broadcast_loop(b_shared, tap))
+            .expect("spawn repl broadcaster");
+
+        let a_shared = Arc::clone(&shared);
+        let a_handlers = Arc::clone(&handlers);
+        let accept = std::thread::Builder::new()
+            .name("rc-repl-accept".into())
+            .spawn(move || accept_loop(a_shared, a_handlers, listener))
+            .expect("spawn repl acceptor");
+
+        Ok(ReplLeader {
+            shared,
+            addr,
+            accept: Some(accept),
+            broadcaster: Some(broadcaster),
+            handlers,
+        })
+    }
+
+    /// The bound listen address (connect followers here).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Newest committed epoch the leader has observed.
+    pub fn committed(&self) -> u64 {
+        self.shared.committed.load(Ordering::SeqCst)
+    }
+
+    /// Highest epoch any follower has acknowledged (applied + locally
+    /// durable on that follower).
+    pub fn acked(&self) -> u64 {
+        self.shared.acked.load(Ordering::SeqCst)
+    }
+
+    /// Live follower connections.
+    pub fn connections(&self) -> usize {
+        self.shared.connections.get().max(0) as usize
+    }
+
+    /// Point-in-time snapshot of the leader's replication metrics
+    /// (`repl_leader_connections`, `repl_leader_records_sent_total`,
+    /// `repl_leader_snapshots_sent_total`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// Stop accepting and streaming: close every connection and join the
+    /// worker threads. Followers see the disconnect and enter their
+    /// retry loops.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.broadcaster.take() {
+            let _ = h.join();
+        }
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplLeader {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.broadcaster.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Forward every tapped commit to every live connection, pruning dead
+/// ones. Exits on stop or when the served [`RcServe`] shuts down
+/// (channel disconnect) — handlers then observe their own channel
+/// disconnect and wind down.
+fn broadcast_loop(shared: Arc<LeaderShared>, tap: mpsc::Receiver<CommitEvent>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match tap.recv_timeout(Duration::from_millis(50)) {
+            Ok(ev) => {
+                shared.committed.store(ev.epoch, Ordering::SeqCst);
+                let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+                conns.retain(|tx| tx.send(ev.clone()).is_ok());
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Leader server gone: drop every forwarding sender so
+                // handlers see Disconnected and close their sockets.
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clear();
+                return;
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    shared: Arc<LeaderShared>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    listener: TcpListener,
+) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let c_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("rc-repl-conn".into())
+            .spawn(move || {
+                c_shared.connections.add(1);
+                let _ = serve_follower(&c_shared, stream);
+                c_shared.connections.add(-1);
+            })
+            .expect("spawn repl connection handler");
+        handlers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+/// One follower connection: handshake, catch-up, live stream. Any I/O
+/// or protocol error just drops the connection — the follower's retry
+/// loop owns recovery.
+fn serve_follower(shared: &Arc<LeaderShared>, mut stream: TcpStream) -> std::io::Result<()> {
+    let Message::Hello { last_applied, n } = read_message(&mut stream)? else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "expected Hello",
+        ));
+    };
+    if n != shared.cfg.n as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("follower n={n} != leader n={}", shared.cfg.n),
+        ));
+    }
+    // Register with the broadcaster *before* reading the WAL: every
+    // commit is then either in the suffix we read or in this channel
+    // (the overlap is deduplicated by `last_sent`).
+    let (tx, rx) = mpsc::channel::<CommitEvent>();
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(tx);
+
+    // Acks flow back on the same socket; a dedicated reader keeps them
+    // off the send path.
+    let ack_stream = stream.try_clone()?;
+    let ack_shared = Arc::clone(shared);
+    let ack_reader = std::thread::Builder::new()
+        .name("rc-repl-ack".into())
+        .spawn(move || ack_loop(ack_shared, ack_stream))
+        .expect("spawn repl ack reader");
+
+    let result = stream_epochs(shared, &mut stream, rx, last_applied);
+    // Closing the socket unblocks the ack reader's pending read.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = ack_reader.join();
+    result
+}
+
+fn ack_loop(shared: Arc<LeaderShared>, mut stream: TcpStream) {
+    while let Ok(msg) = read_message(&mut stream) {
+        if let Message::Ack { epoch } = msg {
+            shared.acked.fetch_max(epoch, Ordering::SeqCst);
+        }
+    }
+}
+
+fn stream_epochs(
+    shared: &LeaderShared,
+    stream: &mut TcpStream,
+    rx: mpsc::Receiver<CommitEvent>,
+    last_applied: u64,
+) -> std::io::Result<()> {
+    // ---- catch-up from the durable log ----
+    let (base_epoch, records) = match wal::read_records(&shared.cfg.store_dir.join(WAL_FILE)) {
+        Ok(scan) => scan,
+        // No WAL yet (in-memory leader warming up): live stream only.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => (0, Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut last_sent = last_applied;
+    if last_applied < base_epoch || last_applied == 0 {
+        // Two cases need full state first: the follower's missing epochs
+        // were compacted away, or the follower is brand new (`Hello 0`)
+        // and lacks the leader's bootstrap state — epoch records only
+        // make sense on top of it.
+        match snapshot::load_latest(&shared.cfg.store_dir)? {
+            Some((snap_epoch, state)) if snap_epoch >= base_epoch => {
+                write_message(
+                    stream,
+                    &Message::Snap {
+                        epoch: snap_epoch,
+                        state,
+                    },
+                )?;
+                shared.snapshots_sent.inc();
+                last_sent = snap_epoch;
+            }
+            _ if last_applied < base_epoch => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL base epoch {base_epoch} has no readable snapshot \
+                         to catch a follower up from"
+                    ),
+                ));
+            }
+            // A fresh follower of a leader with no snapshot yet (an
+            // un-bootstrapped empty store): both sides start empty, the
+            // record stream alone is enough.
+            _ => {}
+        }
+    }
+    for rec in records {
+        if rec.epoch <= last_sent {
+            continue;
+        }
+        let prev = last_sent;
+        last_sent = rec.epoch;
+        write_message(
+            stream,
+            &Message::Rec {
+                prev_epoch: prev,
+                leader_committed: shared.committed.load(Ordering::SeqCst),
+                record: rec,
+            },
+        )?;
+        shared.records_sent.inc();
+    }
+
+    // ---- live stream ----
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(ev) => {
+                if ev.epoch <= last_sent {
+                    continue; // already shipped in the catch-up suffix
+                }
+                let prev = last_sent;
+                last_sent = ev.epoch;
+                write_message(
+                    stream,
+                    &Message::Rec {
+                        prev_epoch: prev,
+                        leader_committed: shared.committed.load(Ordering::SeqCst),
+                        record: (*ev.record).clone(),
+                    },
+                )?;
+                shared.records_sent.inc();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()), // leader server gone
+        }
+    }
+}

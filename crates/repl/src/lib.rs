@@ -1,0 +1,46 @@
+//! `rc-repl` — WAL-shipping replication for the rc-serve tier.
+//!
+//! A leader [`rc_serve::RcServe`] commits an epoch (update batch applied,
+//! WAL barrier passed) and the [`ReplLeader`] sidecar streams the
+//! committed [`rc_store::EpochRecord`] — in the same CRC-framed encoding
+//! the WAL uses on disk — to every connected [`Follower`]. Followers
+//! append each record to their *own* durable store, replay it
+//! batch-parallel through [`rc_store::replay_epoch`] (the recovery
+//! path), and acknowledge; they serve read-only queries stamped with the
+//! applied epoch, at client-visible bounded staleness.
+//!
+//! ```text
+//!  clients ──► RcServe (leader) ──► WAL ──► snapshots
+//!                  │ commit tap
+//!                  ▼
+//!              ReplLeader ──TCP──► Follower 1 ──► replica WAL + forest ──► reads
+//!                          ──TCP──► Follower 2 ──► …
+//! ```
+//!
+//! The pieces:
+//!
+//! - [`wire`] — the framed message protocol (Hello / Snap / Rec / Ack)
+//!   with `prev_epoch` chaining so gaps and reordering are detected.
+//! - [`ReplLeader`] — accepts followers, serves snapshot + WAL-suffix
+//!   catch-up, then streams live commits from the serve tier's commit
+//!   tap.
+//! - [`Follower`] — reconnect loop with exponential backoff + jitter,
+//!   durable apply, bounded-staleness `/ready`, and
+//!   [`Follower::promote`] into a full [`rc_serve::RcServe`] via the
+//!   existing snapshot+suffix recovery.
+//! - [`FaultProxy`] — a seeded fault-injection proxy (torn cuts,
+//!   duplicated and delayed frames) that the failover oracle drives.
+//!
+//! Leaders that replicate should run with [`rc_store::SyncPolicy::PerEpoch`]
+//! or `Interval` so committed records are visible to catch-up scans of
+//! the WAL file; see [`leader`] for the caveat on `Never`.
+
+pub mod fault;
+pub mod follower;
+pub mod leader;
+pub mod wire;
+
+pub use fault::{FaultPlan, FaultProxy};
+pub use follower::{Follower, FollowerConfig};
+pub use leader::{LeaderConfig, ReplLeader};
+pub use wire::{decode_message, encode_message, read_message, write_message, Message};

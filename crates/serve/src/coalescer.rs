@@ -125,9 +125,10 @@ pub struct ServeConfig {
     /// disables the watchdog.
     pub stall_deadline: Option<Duration>,
     /// Fault injection for the watchdog tests: wedge the worker for
-    /// [`Self::wedge_for`] at the start of this epoch ordinal.
+    /// [`Self::wedge_for`] at the start of each listed epoch ordinal
+    /// (multiple entries exercise repeated stall/recover episodes).
     #[doc(hidden)]
-    pub wedge_epoch: Option<u64>,
+    pub wedge_epochs: Vec<u64>,
     /// How long the injected wedge sleeps.
     #[doc(hidden)]
     pub wedge_for: Duration,
@@ -150,7 +151,7 @@ impl Default for ServeConfig {
             slow_request_threshold: Duration::from_millis(100),
             trace_ring: 128,
             stall_deadline: None,
-            wedge_epoch: None,
+            wedge_epochs: Vec::new(),
             wedge_for: Duration::ZERO,
         }
     }
@@ -186,6 +187,21 @@ impl ServeConfig {
             ..Self::default()
         }
     }
+}
+
+/// One committed, WAL-ordered epoch as delivered to commit-tap
+/// subscribers ([`RcServe::subscribe_commits`]): the epoch ordinal and
+/// the exact batch groups it committed — the same [`EpochRecord`] the
+/// durability WAL appends. Replication leaders stream these to
+/// followers; events are sent *after* the epoch's durability barrier
+/// (WAL append, when durable) and *before* its responses are released,
+/// so a tapped record is never ahead of what the store acknowledged.
+#[derive(Clone, Debug)]
+pub struct CommitEvent {
+    /// Epoch ordinal (1-based, monotone).
+    pub epoch: u64,
+    /// The committed batch groups, shared with every subscriber.
+    pub record: Arc<EpochRecord>,
 }
 
 /// One committed request with its response, in commit order.
@@ -246,6 +262,12 @@ struct Shared {
     versions: VersionTable,
     /// Metrics registry + flight recorder (see [`crate::telemetry`]).
     tel: ServeTelemetry,
+    /// Commit-tap subscribers ([`RcServe::subscribe_commits`]); senders
+    /// whose receiver hung up are pruned at the next notification.
+    taps: Mutex<Vec<mpsc::Sender<CommitEvent>>>,
+    /// Fast path: set once the first tap subscribes, read per epoch
+    /// without taking the `taps` lock.
+    tapped: AtomicBool,
 }
 
 /// A running coalescer: owns the forest on a dedicated worker thread.
@@ -263,6 +285,9 @@ pub struct RcServe {
 #[derive(Clone)]
 pub struct ServeClient {
     shared: Arc<Shared>,
+    /// Per-request deadline stamped onto every handle this client
+    /// submits (see [`ServeClient::with_deadline`]).
+    deadline: Option<Duration>,
 }
 
 impl RcServe {
@@ -329,6 +354,8 @@ impl RcServe {
             log: Mutex::new(Vec::new()),
             versions: VersionTable::default(),
             tel,
+            taps: Mutex::new(Vec::new()),
+            tapped: AtomicBool::new(false),
             cfg,
         });
         let worker_shared = Arc::clone(&shared);
@@ -363,7 +390,26 @@ impl RcServe {
     pub fn client(&self) -> ServeClient {
         ServeClient {
             shared: Arc::clone(&self.shared),
+            deadline: None,
         }
+    }
+
+    /// Subscribe to committed epochs: every state-changing epoch from
+    /// here on is delivered as a [`CommitEvent`] — after its durability
+    /// barrier, before its responses release — in strict epoch order.
+    /// The replication leader feeds followers from this tap. Dropping
+    /// the receiver unsubscribes (the dead sender is pruned at the next
+    /// commit); the channel is unbounded, so a slow subscriber buffers
+    /// rather than back-pressuring the epoch loop.
+    pub fn subscribe_commits(&self) -> Receiver<CommitEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .taps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tx);
+        self.shared.tapped.store(true, Ordering::SeqCst);
+        rx
     }
 
     /// Aggregate statistics so far. Stats for an epoch are booked after
@@ -540,11 +586,26 @@ impl ObsSource for ObsBridge {
 }
 
 impl ServeClient {
+    /// A clone of this client whose every submission carries a
+    /// per-request deadline: a [`ResponseHandle::wait`] that has not
+    /// been answered within `deadline` resolves to
+    /// [`Response::TimedOut`] instead of blocking forever — the bounded
+    /// wait a caller needs against a wedged worker or a stalled
+    /// follower. The deadline bounds *waiting only*: the request may
+    /// still commit server-side after the client gave up.
+    pub fn with_deadline(&self, deadline: Duration) -> ServeClient {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+            deadline: Some(deadline),
+        }
+    }
+
     /// Submit a request; returns immediately with a oneshot handle.
     pub fn submit(&self, request: Request) -> ResponseHandle {
         let slot = Arc::new(Slot::default());
         let handle = ResponseHandle {
             slot: Arc::clone(&slot),
+            deadline: self.deadline,
         };
         if !self.shared.accepting.load(Ordering::SeqCst) {
             slot.fill(Response::Rejected);
@@ -1026,7 +1087,7 @@ impl Worker {
 
         // ---- update phase ----
         self.shared.tel.set_worker_phase(PHASE_ADMIT);
-        if self.shared.cfg.wedge_epoch == Some(self.epoch) {
+        if self.shared.cfg.wedge_epochs.contains(&self.epoch) {
             // Fault injection for the stall-watchdog tests: wedge the
             // worker mid-epoch with its phase published and the batch
             // undrained-looking (queued work keeps arriving), so the
@@ -1034,9 +1095,11 @@ impl Worker {
             std::thread::sleep(self.shared.cfg.wedge_for);
         }
         let t0 = Instant::now();
-        // The journal feeds the WAL, and in pipelined mode also the
-        // published-version catch-up (the same batch groups, twice used).
-        let mut phase = UpdatePhase::with_journal(self.store.is_some() || pipelined);
+        // The journal feeds the WAL, in pipelined mode the
+        // published-version catch-up, and any commit-tap subscribers
+        // (the same batch groups, reused for all three).
+        let tapped = self.shared.tapped.load(Ordering::SeqCst);
+        let mut phase = UpdatePhase::with_journal(self.store.is_some() || pipelined || tapped);
         let mut update_results: Vec<Result<(), ForestError>> = Vec::with_capacity(updates.len());
         for p in &updates {
             update_results.push(phase.admit(forest, &p.request));
@@ -1128,6 +1191,20 @@ impl Worker {
         // version, and its batch groups join the catch-up feed.
         if !journal.is_empty() {
             self.state_version = self.epoch;
+            if tapped {
+                // Notify commit-tap subscribers after the durability
+                // barrier, before any response slot fills: a shipped
+                // record is never ahead of the leader's own store.
+                let event = CommitEvent {
+                    epoch: self.epoch,
+                    record: Arc::new(EpochRecord {
+                        epoch: self.epoch,
+                        flushes: journal.clone(),
+                    }),
+                };
+                let mut taps = self.shared.taps.lock().unwrap_or_else(|e| e.into_inner());
+                taps.retain(|tx| tx.send(event.clone()).is_ok());
+            }
             if pipelined {
                 self.recent.push_back((self.epoch, journal));
                 let cap =

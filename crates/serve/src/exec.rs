@@ -61,6 +61,16 @@ pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Ve
     answer_requests_timed(forest, requests).0
 }
 
+/// Public read-only query fan-out over a caller-owned forest: the same
+/// one-batch-call-per-family execution the coalescer and [`crate::Snapshot`]s
+/// use, for callers that hold a forest outside any server — replication
+/// followers answer staleness-bounded reads against their replica
+/// through this. Update requests answer [`Response::Rejected`].
+pub fn answer_read_only(forest: &ServeForest, requests: &[Request]) -> Vec<Response> {
+    let refs: Vec<&Request> = requests.iter().collect();
+    answer_requests(forest, &refs)
+}
+
 /// [`answer_requests`] plus per-family batch-call timings for the
 /// flight recorder.
 pub(crate) fn answer_requests_timed(

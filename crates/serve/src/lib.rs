@@ -97,7 +97,8 @@ mod telemetry;
 mod version;
 
 pub use agg::{PathSummary, ServeAgg, ServeForest, ServeVertexWeight};
-pub use coalescer::{LogEntry, RcServe, ServeClient, ServeConfig};
+pub use coalescer::{CommitEvent, LogEntry, RcServe, ServeClient, ServeConfig};
+pub use exec::answer_read_only;
 /// Observability types, re-exported from `rc-obs`: every
 /// [`RcServe::metrics`] snapshot and [`RcServe::flight_dump`] trace is
 /// made of these (see the "Observability" section of the README).

@@ -144,6 +144,10 @@ pub enum Response {
     Telemetry(Box<crate::telemetry::TelemetryDump>),
     /// The server is shutting down; the request was not executed.
     Rejected,
+    /// The client-side deadline (`ServeClient::with_deadline`) expired
+    /// before the response arrived. The request itself may still commit
+    /// server-side — the deadline bounds *waiting*, not execution.
+    TimedOut,
 }
 
 /// Internal oneshot slot.
@@ -166,11 +170,26 @@ impl Slot {
 /// std `Mutex` + `Condvar`). Obtained from `ServeClient::submit`.
 pub struct ResponseHandle {
     pub(crate) slot: Arc<Slot>,
+    /// Per-request deadline sealed at submit time (from
+    /// `ServeClient::with_deadline`): [`ResponseHandle::wait`] resolves
+    /// to [`Response::TimedOut`] once it expires.
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl ResponseHandle {
-    /// Block until the response arrives.
+    /// Block until the response arrives — or, when the submitting client
+    /// carried a deadline, until it expires, resolving to
+    /// [`Response::TimedOut`] instead of blocking forever on a wedged
+    /// or dead worker. The slot is left unfilled on timeout; a late
+    /// server-side fill lands in the abandoned slot and is dropped with
+    /// it.
     pub fn wait(self) -> Response {
+        if let Some(deadline) = self.deadline {
+            return match self.wait_timeout(deadline) {
+                Some(r) => r,
+                None => Response::TimedOut,
+            };
+        }
         let mut g = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(r) = g.take() {
@@ -218,12 +237,25 @@ mod tests {
     #[test]
     fn oneshot_roundtrip() {
         let slot = Arc::new(Slot::default());
-        let h = ResponseHandle { slot: slot.clone() };
+        let h = ResponseHandle {
+            slot: slot.clone(),
+            deadline: None,
+        };
         assert!(h.try_take().is_none());
         assert_eq!(h.wait_timeout(Duration::from_millis(1)), None);
         let t = std::thread::spawn(move || slot.fill(Response::Bool(true)));
         assert_eq!(h.wait(), Response::Bool(true));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_wait_times_out_on_unfilled_slot() {
+        let slot = Arc::new(Slot::default());
+        let h = ResponseHandle {
+            slot,
+            deadline: Some(Duration::from_millis(5)),
+        };
+        assert_eq!(h.wait(), Response::TimedOut);
     }
 
     #[test]

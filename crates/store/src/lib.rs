@@ -58,5 +58,7 @@ pub mod wal;
 
 pub use codec::{DecodeError, EpochRecord, FlushRecord};
 pub use metrics::StoreMetrics;
-pub use store::{Recovered, RecoveryReport, Store, StoreConfig, StoreError, StoreForest};
-pub use wal::{SyncPolicy, Wal, WalOpen, WAL_FILE};
+pub use store::{
+    replay_epoch, Recovered, RecoveryReport, Store, StoreConfig, StoreError, StoreForest,
+};
+pub use wal::{read_records, SyncPolicy, Wal, WalOpen, WAL_FILE};

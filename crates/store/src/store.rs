@@ -356,7 +356,11 @@ impl Store {
 /// coalescer admitted every link without relying on the epoch's pending
 /// cuts (cut-dependent links forced an earlier flush, landing them in a
 /// later record), so links stay valid after the cuts are applied.
-fn replay_epoch(forest: &mut StoreForest, rec: &EpochRecord) -> Result<(), ForestError> {
+///
+/// Public because replication followers apply shipped [`EpochRecord`]s
+/// through exactly this path — steady-state follower apply *is* the
+/// recovery replay, one epoch at a time.
+pub fn replay_epoch(forest: &mut StoreForest, rec: &EpochRecord) -> Result<(), ForestError> {
     for f in &rec.flushes {
         if !f.cuts.is_empty() {
             forest.batch_cut(&f.cuts)?;

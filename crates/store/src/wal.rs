@@ -392,6 +392,46 @@ impl Drop for Wal {
     }
 }
 
+/// Read-only scan of a WAL file: decode the valid frame prefix and
+/// return `(base_epoch, records)` **without truncating, seeking, or
+/// otherwise mutating the file** — safe to run against a live log whose
+/// owning [`Wal`] handle is still appending (the replication leader
+/// serves catch-up suffixes this way). A torn tail is simply ignored; a
+/// file cut inside the header yields an empty record set with base
+/// epoch 0, mirroring [`Wal::open`]'s recovery semantics.
+pub fn read_records(path: &Path) -> std::io::Result<(u64, Vec<EpochRecord>)> {
+    let raw = std::fs::read(path)?;
+    if raw.len() < WAL_HEADER {
+        let magic_prefix = WAL_MAGIC.len().min(raw.len());
+        if raw[..magic_prefix] != WAL_MAGIC[..magic_prefix] {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not an rc-store WAL (bad magic)", path.display()),
+            ));
+        }
+        return Ok((0, Vec::new()));
+    }
+    if raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is not an rc-store WAL (bad magic)", path.display()),
+        ));
+    }
+    let base_epoch = u64::from_le_bytes(raw[WAL_MAGIC.len()..WAL_HEADER].try_into().unwrap());
+    let mut records = Vec::new();
+    let mut decode_failed = false;
+    scan_frames(&raw, WAL_HEADER, |payload| {
+        if decode_failed {
+            return;
+        }
+        match decode_epoch(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => decode_failed = true,
+        }
+    });
+    Ok((base_epoch, records))
+}
+
 /// fsync the parent directory so a freshly created file's directory entry
 /// is durable (no-op if the parent cannot be opened — e.g. on platforms
 /// without directory fds).
@@ -542,6 +582,38 @@ mod tests {
         // A non-prefix short file is still foreign.
         std::fs::write(&path, b"XYZ").unwrap();
         assert!(Wal::open(&path, SyncPolicy::PerEpoch).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn read_records_scans_live_log_without_mutating() {
+        let dir = tmp_dir("readonly");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path, SyncPolicy::PerEpoch).unwrap().wal;
+        for e in 1..=3u64 {
+            wal.append(&rec(e, &[(0, 1, e)])).unwrap();
+        }
+        // Scan while the writer still holds the file open.
+        let (base, records) = read_records(&path).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // A torn tail is ignored, not truncated: the file keeps its bytes
+        // and the live handle can continue appending afterwards.
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0xCD; 6]);
+        std::fs::write(&path, &raw).unwrap();
+        let (_, records) = read_records(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before + 6,
+            "read_records must never truncate"
+        );
+        drop(wal);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -19,6 +19,7 @@ pub use rc_lct::LctForest;
 pub use rc_msf::{kruskal, BatchStats, IncrementalMsf, UnionFind};
 pub use rc_obs as obs;
 pub use rc_parlay as parlay;
+pub use rc_repl as repl;
 pub use rc_serve as serve;
 pub use rc_store as store;
 pub use rc_ternary::{TernaryForest, TernaryStdForest};

@@ -311,7 +311,7 @@ fn slow_requests_are_captured_without_sampling() {
         ServeConfig {
             trace_sample: 0,
             slow_request_threshold: Duration::from_millis(10),
-            wedge_epoch: Some(1),
+            wedge_epochs: vec![1],
             wedge_for: Duration::from_millis(50),
             ..ServeConfig::unbatched()
         },
@@ -344,7 +344,7 @@ fn watchdog_flips_ready_on_injected_stall_and_recovers() {
         8,
         ServeConfig {
             stall_deadline: Some(Duration::from_millis(100)),
-            wedge_epoch: Some(1),
+            wedge_epochs: vec![1],
             wedge_for: Duration::from_millis(900),
             ..ServeConfig::unbatched()
         },
@@ -432,4 +432,108 @@ fn obs_frame_codec_is_byte_compatible_with_store_wal() {
     assert_eq!((p, consumed), (&payload[..], a.len()));
     let (p, consumed) = obs::frame::decode_frame(&b, 0).expect("obs decodes store frame");
     assert_eq!((p, consumed), (&payload[..], b.len()));
+}
+
+#[test]
+fn client_deadline_times_out_during_injected_wedge_but_the_update_still_lands() {
+    let server = path_server(
+        8,
+        ServeConfig {
+            wedge_epochs: vec![1],
+            wedge_for: Duration::from_millis(400),
+            ..ServeConfig::unbatched()
+        },
+    );
+    let client = server.client();
+
+    // Epoch 1 wedges for 400ms; a 30ms deadline must surface as
+    // `TimedOut` long before the epoch commits.
+    let t0 = Instant::now();
+    let resp = client
+        .with_deadline(Duration::from_millis(30))
+        .submit(Request::UpdateEdgeWeight { u: 0, v: 1, w: 7 })
+        .wait();
+    assert_eq!(resp, Response::TimedOut, "deadline fires inside the wedge");
+    assert!(
+        t0.elapsed() < Duration::from_millis(350),
+        "TimedOut returned before the wedge cleared ({:?})",
+        t0.elapsed()
+    );
+
+    // The deadline bounds *waiting*, not execution: the wedged epoch
+    // still commits the update, and a later (deadlined) read sees it.
+    let resp = client
+        .with_deadline(Duration::from_secs(10))
+        .submit(Request::PathSum { u: 0, v: 1 })
+        .wait();
+    assert_eq!(
+        resp,
+        Response::Sum(Some(7)),
+        "timed-out update committed anyway"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn watchdog_rearms_across_repeated_wedge_episodes() {
+    // Epochs 1 and 3 wedge (unbatched: epoch ordinal == submission
+    // ordinal). The watchdog must declare a stall, recover, and then
+    // declare the *second* stall too — stall count strictly monotone,
+    // /ready flipping 503 → 200 → 503 → 200.
+    let server = path_server(
+        8,
+        ServeConfig {
+            stall_deadline: Some(Duration::from_millis(80)),
+            wedge_epochs: vec![1, 3],
+            wedge_for: Duration::from_millis(700),
+            ..ServeConfig::unbatched()
+        },
+    );
+    let obs = server
+        .serve_obs(ObsServerConfig::default())
+        .expect("bind endpoint");
+    let addr = obs.local_addr();
+    let client = server.client();
+
+    let wait_ready = |want_503: bool, what: &str| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, _) = http_get(addr, "/ready");
+            if status.contains(if want_503 { "503" } else { "200" }) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "{what}: last status {status}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    // Episode one: epoch 1 wedges.
+    let h = client.submit(Request::UpdateEdgeWeight { u: 0, v: 1, w: 1 });
+    wait_ready(true, "first wedge never flipped /ready");
+    assert_eq!(h.wait(), Response::Updated(Ok(())));
+    wait_ready(false, "watchdog never re-armed after the first stall");
+    assert_eq!(client.health_view().stalls, 1, "one episode declared");
+
+    // Epoch 2 passes clean — progress between episodes.
+    assert_eq!(
+        client.submit(Request::Connected { u: 0, v: 1 }).wait(),
+        Response::Bool(true)
+    );
+
+    // Episode two: epoch 3 wedges. The re-armed watchdog must catch it
+    // as a *new* stall, not a continuation.
+    let h = client.submit(Request::UpdateEdgeWeight { u: 1, v: 2, w: 2 });
+    wait_ready(true, "second wedge never flipped /ready");
+    assert_eq!(h.wait(), Response::Updated(Ok(())));
+    wait_ready(false, "watchdog never re-armed after the second stall");
+
+    let view = client.health_view();
+    assert!(view.healthy && view.ready);
+    assert_eq!(view.stalls, 2, "stall count is strictly monotone: 1 then 2");
+    assert_eq!(
+        client.metrics_snapshot().counter("serve_stalls_total"),
+        Some(2)
+    );
+    drop(obs);
+    server.shutdown();
 }

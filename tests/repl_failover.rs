@@ -1,0 +1,522 @@
+//! Fault-injected failover oracle for `rc-repl`.
+//!
+//! Every schedule wires a durable leader [`RcServe`] + [`ReplLeader`]
+//! to a [`Follower`] through a seeded [`FaultProxy`] and perturbs the
+//! replication stream: torn cuts at exact byte offsets, duplicated
+//! frames, delayed (reordered) frames, a mid-stream leader kill with
+//! follower promotion, and a follower restart mid-apply. The oracle
+//! asserts, for ≥20 seeded schedules:
+//!
+//! - **Convergence** — the follower applies every committed epoch.
+//! - **Read equivalence** — follower answers (Connected / PathSum /
+//!   Bottleneck) equal a [`NaiveStdForest`] replay of the leader's
+//!   commit log truncated at the version stamp the follower returned,
+//!   both mid-stream (while records are still in flight) and at the end.
+//! - **Durability across promotion** — every epoch the follower
+//!   acknowledged survives into the [`Follower::promote`]d server.
+//!
+//! A separate test pins the bounded-staleness contract: the follower's
+//! `/ready` returns 503 while its lag exceeds the bound or the leader is
+//! gone, and 200 once caught up.
+
+use rcforest::repl::{FaultPlan, FaultProxy, Follower, FollowerConfig, LeaderConfig, ReplLeader};
+use rcforest::serve::{
+    CommitEvent, Durability, ObsServerConfig, RcServe, Request, Response, ServeConfig, SyncPolicy,
+};
+use rcforest::store::EpochRecord;
+use rcforest::{DynamicForest, ForestState, NaiveStdForest};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+const N: usize = 48;
+
+fn dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rc-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Path 0-1-…-(N-1), varied weights.
+fn boot_state() -> ForestState {
+    let edges: Vec<(u32, u32, u64)> = (1..N as u32)
+        .map(|v| (v - 1, v, (v as u64 % 7) + 1))
+        .collect();
+    ForestState::from_edges(N, &edges)
+}
+
+fn leader_cfg() -> ServeConfig {
+    ServeConfig {
+        drain_threshold: 8,
+        max_linger: Duration::from_micros(100),
+        ..ServeConfig::default()
+    }
+}
+
+/// Seeded update tape: links, cuts, reweights, marks. Invalid ops are
+/// fine — only what the leader *commits* enters the record stream, and
+/// the oracle replays exactly that.
+fn tape_update(seed: u64, i: u64) -> Request {
+    let h = splitmix(seed.wrapping_mul(0x51ed).wrapping_add(i));
+    let u = (h >> 8) as u32 % N as u32;
+    let v = (h >> 24) as u32 % N as u32;
+    let w = (h >> 40) % 100;
+    match h % 6 {
+        0 => Request::Link { u, v, w },
+        1 => Request::Cut { u, v },
+        2 => Request::UpdateEdgeWeight { u, v, w },
+        3 => Request::UpdateVertexWeight { v, w },
+        4 => Request::Mark { v },
+        _ => Request::Unmark { v },
+    }
+}
+
+/// Replay the committed records with epoch ≤ `stamp` onto a fresh naive
+/// forest, in exactly the order the follower applies them.
+fn naive_at(records: &[(u64, EpochRecord)], stamp: u64) -> NaiveStdForest {
+    let mut nv = NaiveStdForest::with_max_degree(N, None);
+    let boot = boot_state();
+    nv.batch_link(&boot.edges)
+        .expect("bootstrap edges are valid");
+    for (epoch, rec) in records {
+        if *epoch > stamp {
+            continue;
+        }
+        for f in &rec.flushes {
+            if !f.cuts.is_empty() {
+                nv.batch_cut(&f.cuts).expect("committed cuts replay");
+            }
+            if !f.links.is_empty() {
+                nv.batch_link(&f.links).expect("committed links replay");
+            }
+            for &(u, v, w) in &f.eweights {
+                nv.set_edge_weight(u, v, w).expect("committed reweight");
+            }
+            for &(v, w, marked) in &f.vweights {
+                nv.set_vertex_weight(v, w).expect("committed vweight");
+                nv.set_mark(v, marked).expect("committed mark");
+            }
+        }
+    }
+    nv
+}
+
+/// The read set every check uses: seeded vertex pairs across three query
+/// families.
+fn read_requests(seed: u64) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for i in 0..16u64 {
+        let h = splitmix(seed.wrapping_add(1000 + i));
+        let u = (h >> 4) as u32 % N as u32;
+        let v = (h >> 36) as u32 % N as u32;
+        match i % 3 {
+            0 => reqs.push(Request::Connected { u, v }),
+            1 => reqs.push(Request::PathSum { u, v }),
+            _ => reqs.push(Request::Bottleneck { u, v }),
+        }
+    }
+    reqs
+}
+
+fn expected(nv: &mut NaiveStdForest, req: &Request) -> Response {
+    match *req {
+        Request::Connected { u, v } => Response::Bool(nv.connected(u, v)),
+        Request::PathSum { u, v } => Response::Sum(nv.path_sum(u, v)),
+        Request::Bottleneck { u, v } => Response::Extrema(nv.path_extrema(u, v)),
+        _ => unreachable!("read set holds queries only"),
+    }
+}
+
+/// Ask the follower, replay the oracle to the returned stamp, compare.
+fn check_follower_reads(follower: &Follower, records: &[(u64, EpochRecord)], seed: u64, ctx: &str) {
+    let reqs = read_requests(seed);
+    let (stamp, responses) = follower.query(&reqs);
+    assert!(
+        records.iter().all(|(e, _)| *e != 0),
+        "epoch 0 is the bootstrap, never a record"
+    );
+    let mut nv = naive_at(records, stamp);
+    for (req, got) in reqs.iter().zip(&responses) {
+        assert_eq!(
+            got,
+            &expected(&mut nv, req),
+            "{ctx}: follower diverges from sequential replay at stamp {stamp} on {req:?}"
+        );
+    }
+}
+
+/// Drain everything currently buffered on the commit tap.
+fn drain_tap(tap: &Receiver<CommitEvent>, into: &mut Vec<(u64, EpochRecord)>) {
+    while let Ok(ev) = tap.try_recv() {
+        into.push((ev.epoch, (*ev.record).clone()));
+    }
+}
+
+/// Wait until the follower has applied every committed epoch. If the
+/// stream stalls (a delayed frame can sit in the proxy until the next
+/// frame pushes it out), nudge with one more real update.
+fn converge(
+    server: &RcServe,
+    tap: &Receiver<CommitEvent>,
+    records: &mut Vec<(u64, EpochRecord)>,
+    follower: &Follower,
+    seed: u64,
+) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut nudge = 0u64;
+    let mut last_progress = Instant::now();
+    let mut last_applied = follower.applied();
+    loop {
+        drain_tap(tap, records);
+        let target = records.last().map_or(0, |(e, _)| *e);
+        let applied = follower.applied();
+        if applied >= target {
+            return;
+        }
+        if applied != last_applied {
+            last_applied = applied;
+            last_progress = Instant::now();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at {applied}, target {target} (seed {seed})"
+        );
+        if last_progress.elapsed() > Duration::from_millis(500) {
+            // Push a fresh frame through the stream to dislodge a held
+            // one; toggling a reserved self-loop-free pair keeps it a
+            // real state change (link if absent, cut if present).
+            let (u, v) = (0u32, 1u32);
+            let req = if nudge.is_multiple_of(2) {
+                Request::Cut { u, v }
+            } else {
+                Request::Link { u, v, w: 1 }
+            };
+            nudge += 1;
+            let _ = server.client().submit(req).wait();
+            last_progress = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One full fault schedule; see the module docs for the five kinds.
+fn run_schedule(seed: u64) {
+    let h = splitmix(seed);
+    let kind = seed % 5;
+    let plan = match kind {
+        0 => FaultPlan {
+            cut_at: Some(64 + h % 4096),
+            ..FaultPlan::default()
+        },
+        1 => FaultPlan {
+            duplicate_frame: Some(h % 8),
+            ..FaultPlan::default()
+        },
+        2 => FaultPlan {
+            delay_frame: Some(h % 8),
+            ..FaultPlan::default()
+        },
+        3 => FaultPlan {
+            // Leader-kill schedule: also tear the stream first.
+            cut_at: Some(256 + h % 2048),
+            ..FaultPlan::default()
+        },
+        _ => FaultPlan::default(), // follower-restart schedule: clean stream
+    };
+
+    let ldir = dir(&format!("oracle-l{seed}"));
+    let fdir = dir(&format!("oracle-f{seed}"));
+    let boot = boot_state();
+    let (server, _) = RcServe::start_durable(
+        leader_cfg(),
+        Durability::new(&ldir, N).sync_policy(SyncPolicy::PerEpoch),
+        Some(&boot),
+    )
+    .expect("leader starts");
+    let tap = server.subscribe_commits();
+    let leader = ReplLeader::start(&server, LeaderConfig::new(&ldir, N)).expect("leader repl");
+    let proxy = FaultProxy::start(leader.local_addr(), plan).expect("proxy starts");
+
+    let mut fcfg = FollowerConfig::new(proxy.local_addr().to_string(), &fdir, N);
+    fcfg.retry_base = Duration::from_millis(10);
+    fcfg.retry_seed = seed;
+    if kind >= 3 {
+        // Make the apply loop slow enough that the kill/restart lands
+        // mid-stream.
+        fcfg.apply_delay = Duration::from_millis(1);
+    }
+    let mut follower = Follower::start(fcfg.clone()).expect("follower starts");
+
+    let client = server.client();
+    let mut records: Vec<(u64, EpochRecord)> = Vec::new();
+
+    // First half of the load, then a mid-stream read-equivalence check
+    // while records are still in flight.
+    for chunk in 0..4u64 {
+        let handles: Vec<_> = (0..30u64)
+            .map(|i| client.submit(tape_update(seed, chunk * 30 + i)))
+            .collect();
+        for hnd in handles {
+            let r = hnd.wait();
+            assert!(
+                matches!(r, Response::Updated(_)),
+                "live server answered {r:?}"
+            );
+        }
+        if chunk == 1 {
+            // An unsynced replica (bootstrap snapshot still in flight —
+            // a torn cut can delay it across reconnects) has no version
+            // to answer at; wait for the basis, then compare.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !follower.is_synced() {
+                assert!(
+                    Instant::now() < deadline,
+                    "follower never acquired a basis (seed {seed})"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            drain_tap(&tap, &mut records);
+            check_follower_reads(&follower, &records, seed, "mid-stream");
+        }
+    }
+
+    match kind {
+        3 => {
+            // Mid-epoch leader kill → promote the follower. Everything it
+            // acknowledged must survive into the promoted server.
+            drain_tap(&tap, &mut records);
+            proxy.stop();
+            drop(leader);
+            server.shutdown();
+            drain_tap(&tap, &mut records);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while follower.is_connected() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let acked = follower.applied();
+            let (promoted, report) = follower
+                .promote(leader_cfg())
+                .expect("promotion recovers the replica");
+            assert!(
+                report.last_epoch >= acked,
+                "acked epoch {acked} lost in promotion (recovered {})",
+                report.last_epoch
+            );
+            // The promoted server's answers must equal the sequential
+            // replay of everything the follower had applied.
+            let reqs = read_requests(seed);
+            let mut nv = naive_at(&records, report.last_epoch);
+            let handles: Vec<_> = reqs
+                .iter()
+                .map(|r| promoted.client().submit(r.clone()))
+                .collect();
+            for (req, hnd) in reqs.iter().zip(handles) {
+                assert_eq!(
+                    hnd.wait(),
+                    expected(&mut nv, req),
+                    "promoted server diverges on {req:?} (seed {seed})"
+                );
+            }
+            // And it is a real leader: it accepts new writes.
+            let r = promoted
+                .client()
+                .submit(Request::UpdateVertexWeight { v: 0, w: 9 })
+                .wait();
+            assert_eq!(r, Response::Updated(Ok(())));
+            promoted.shutdown();
+            return;
+        }
+        4 => {
+            // Follower restart mid-apply: tear it down while records are
+            // still flowing, restart on the same directory, resume from
+            // the locally durable epoch.
+            let before = follower.applied();
+            follower.stop();
+            let restarted = Follower::start(fcfg).expect("follower restarts");
+            assert!(
+                restarted.applied() >= before.saturating_sub(0),
+                "restart resumes from the durable epoch"
+            );
+            follower = restarted;
+        }
+        _ => {}
+    }
+
+    converge(&server, &tap, &mut records, &follower, seed);
+    check_follower_reads(&follower, &records, seed, "converged");
+    if kind == 1 || kind == 2 {
+        assert!(proxy.plan_spent(), "fault plan fired (seed {seed})");
+    }
+
+    follower.stop();
+    proxy.stop();
+    drop(leader);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+#[test]
+fn failover_oracle_over_twenty_seeded_fault_schedules() {
+    for seed in 0..25u64 {
+        run_schedule(seed);
+    }
+}
+
+#[test]
+fn late_follower_catches_up_from_snapshot_after_compaction() {
+    let ldir = dir("snapcatch-l");
+    let fdir = dir("snapcatch-f");
+    let boot = boot_state();
+    // A tiny compaction threshold so the WAL prefix the follower would
+    // have needed is compacted away before it ever connects.
+    let (server, _) = RcServe::start_durable(
+        leader_cfg(),
+        Durability::new(&ldir, N)
+            .sync_policy(SyncPolicy::PerEpoch)
+            .compact_threshold(2048),
+        Some(&boot),
+    )
+    .expect("leader starts");
+    let tap = server.subscribe_commits();
+    let client = server.client();
+    let mut records = Vec::new();
+    for i in 0..200u64 {
+        let r = client.submit(tape_update(77, i)).wait();
+        assert!(matches!(r, Response::Updated(_)));
+    }
+    drain_tap(&tap, &mut records);
+
+    let leader = ReplLeader::start(&server, LeaderConfig::new(&ldir, N)).expect("leader repl");
+    let follower = Follower::start(FollowerConfig::new(
+        leader.local_addr().to_string(),
+        &fdir,
+        N,
+    ))
+    .expect("follower starts");
+    converge(&server, &tap, &mut records, &follower, 77);
+    check_follower_reads(&follower, &records, 77, "snapshot catch-up");
+    assert_eq!(
+        leader.metrics().counter("repl_leader_snapshots_sent_total"),
+        Some(1),
+        "catch-up went through a snapshot, not a full log replay"
+    );
+    assert!(
+        follower
+            .metrics()
+            .counter("repl_follower_snapshot_installs_total")
+            >= Some(1),
+        "follower installed the shipped snapshot"
+    );
+
+    follower.stop();
+    drop(leader);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+/// One blocking HTTP/1.0 GET; returns the status line.
+fn http_status(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut buf = String::new();
+    let _ = s.read_to_string(&mut buf);
+    buf.lines().next().unwrap_or("").to_string()
+}
+
+#[test]
+fn follower_ready_gates_on_the_staleness_bound() {
+    let ldir = dir("stale-l");
+    let fdir = dir("stale-f");
+    let boot = boot_state();
+    let (server, _) = RcServe::start_durable(
+        leader_cfg(),
+        Durability::new(&ldir, N).sync_policy(SyncPolicy::PerEpoch),
+        Some(&boot),
+    )
+    .expect("leader starts");
+    let leader = ReplLeader::start(&server, LeaderConfig::new(&ldir, N)).expect("leader repl");
+
+    let mut fcfg =
+        FollowerConfig::new(leader.local_addr().to_string(), &fdir, N).staleness_bound(0);
+    // Slow the apply loop so lag is observable from the outside.
+    fcfg.apply_delay = Duration::from_millis(15);
+    fcfg.retry_base = Duration::from_millis(10);
+    let follower = Follower::start(fcfg).expect("follower starts");
+    let obs = follower
+        .serve_obs(ObsServerConfig::default())
+        .expect("follower obs endpoint");
+    let addr = obs.local_addr();
+
+    // Connected and caught up (nothing committed yet): ready.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if http_status(addr, "/ready").contains("200") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A burst of commits with a 15ms-per-record apply delay: lag exceeds
+    // the bound of 0 and /ready must flip to 503 while catching up.
+    let client = server.client();
+    let handles: Vec<_> = (0..30u64)
+        .map(|i| client.submit(tape_update(5, i)))
+        .collect();
+    let mut saw_unready = false;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if http_status(addr, "/ready").contains("503") {
+            saw_unready = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for h in handles {
+        assert!(matches!(h.wait(), Response::Updated(_)));
+    }
+    assert!(saw_unready, "/ready never reported the staleness excursion");
+
+    // Caught up again: ready returns.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if follower.lag() == 0 && http_status(addr, "/ready").contains("200") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never caught back up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Leader gone: a follower that cannot see the leader is not ready,
+    // however small its lag.
+    drop(leader);
+    server.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if http_status(addr, "/ready").contains("503") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "/ready stayed 200 without a leader"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    drop(obs);
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}

@@ -106,6 +106,16 @@ impl<A: NearestMarkedAggregate> RcForest<A> {
             })
             .collect()
     }
+
+    /// Single-query form of [`batch_nearest_marked`]: the nearest marked
+    /// vertex to `v` as `(distance, vertex)`, with the same `None` and
+    /// tie-break contract. This is the entry point the serve tier's
+    /// independent/sequential dispatch engines use.
+    ///
+    /// [`batch_nearest_marked`]: Self::batch_nearest_marked
+    pub fn nearest_marked(&self, v: Vertex) -> Option<(u64, Vertex)> {
+        self.batch_nearest_marked(&[v]).pop().flatten()
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +139,20 @@ mod tests {
         assert_eq!(f.batch_nearest_marked(&[0]), vec![Some((0, 0))]);
         f.batch_unmark(&[0]).unwrap();
         assert_eq!(f.batch_nearest_marked(&[4]), vec![Some((5, 9))]);
+    }
+
+    #[test]
+    fn single_matches_batch_of_one() {
+        let mut f = build_path(10, 1);
+        assert_eq!(f.nearest_marked(4), None);
+        f.batch_mark(&[0, 9]).unwrap();
+        for v in 0..10u32 {
+            assert_eq!(
+                Some(f.nearest_marked(v)),
+                f.batch_nearest_marked(&[v]).pop()
+            );
+        }
+        assert_eq!(f.nearest_marked(99), None, "out of range => None");
     }
 
     #[test]

@@ -117,23 +117,51 @@ impl MetricsSnapshot {
     /// become single samples with `# TYPE` headers; histograms become
     /// `summary` metrics with `quantile` labels plus `_sum`/`_count`
     /// series, all in nanoseconds.
+    ///
+    /// Metric names may carry a rendered label set
+    /// (`serve_dispatch_total{family="conn",engine="batched"}`): the
+    /// `# TYPE` header is emitted once per base name (the part before
+    /// the brace), each labeled series becomes its own sample, and
+    /// summary `quantile`/`_sum`/`_count` decorations merge with the
+    /// existing label set instead of trailing the closing brace.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (name, value) in &self.metrics {
+            // A name like `base{k="v"}` splits into the family's base
+            // name (TYPE header) and its label body.
+            let (base, labels) = match name.split_once('{') {
+                Some((base, rest)) => match rest.strip_suffix('}') {
+                    Some(labels) => (base, Some(labels)),
+                    None => (name.as_str(), None),
+                },
+                None => (name.as_str(), None),
+            };
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            if typed.insert(base) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
             match value {
-                MetricValue::Counter(v) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
-                }
-                MetricValue::Gauge(v) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
-                }
+                MetricValue::Counter(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name} {v}\n")),
                 MetricValue::Histogram(s) => {
-                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    let prefix = match labels {
+                        Some(l) => format!("{base}{{{l},"),
+                        None => format!("{base}{{"),
+                    };
                     for (q, v) in [("0.5", s.p50_ns), ("0.95", s.p95_ns), ("0.99", s.p99_ns)] {
-                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                        out.push_str(&format!("{prefix}quantile=\"{q}\"}} {v}\n"));
                     }
-                    out.push_str(&format!("{name}_sum {}\n", s.sum_ns));
-                    out.push_str(&format!("{name}_count {}\n", s.count));
+                    let suffix = match labels {
+                        Some(l) => format!("{{{l}}}"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!("{base}_sum{suffix} {}\n", s.sum_ns));
+                    out.push_str(&format!("{base}_count{suffix} {}\n", s.count));
                 }
             }
         }
@@ -412,6 +440,43 @@ mod tests {
         assert!(text.contains("latency_ns_sum 100000\n"));
         assert!(text.contains("latency_ns_count 100\n"));
         // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            value.parse::<i64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn prometheus_labeled_series_share_one_type_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dispatch_total{family=\"conn\",engine=\"batched\"}")
+            .add(3);
+        reg.counter("dispatch_total{family=\"conn\",engine=\"independent\"}")
+            .add(4);
+        reg.histogram("fam_ns{family=\"conn\",engine=\"batched\"}")
+            .record(2_000);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE dispatch_total counter\n").count(),
+            1,
+            "one TYPE header per base name:\n{text}"
+        );
+        assert!(text.contains("dispatch_total{family=\"conn\",engine=\"batched\"} 3\n"));
+        assert!(text.contains("dispatch_total{family=\"conn\",engine=\"independent\"} 4\n"));
+        assert!(text.contains("# TYPE fam_ns summary\n"));
+        // The quantile label merges into the existing label set, and the
+        // _sum/_count series keep the labels after the suffixed name.
+        assert!(
+            text.contains("fam_ns{family=\"conn\",engine=\"batched\",quantile=\"0.5\"} "),
+            "quantile merged into labels:\n{text}"
+        );
+        assert!(text.contains("fam_ns_sum{family=\"conn\",engine=\"batched\"} 2000\n"));
+        assert!(text.contains("fam_ns_count{family=\"conn\",engine=\"batched\"} 1\n"));
+        // Still line-shaped: every sample parses as `name value`.
         for line in text.lines() {
             if line.starts_with('#') {
                 continue;

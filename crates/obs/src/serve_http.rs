@@ -12,6 +12,7 @@
 //! | `/ready`        | readiness JSON; `503` while stalled/shutting down |
 //! | `/flight`       | flight-recorder dump ([`EpochTrace`] array)       |
 //! | `/traces`       | sampled + slow request traces ([`TraceDump`])     |
+//! | `/costmodel`    | adaptive-dispatch cost model ([`ObsSource::costmodel`]) |
 //!
 //! A connection whose first bytes are not an HTTP method is treated as a
 //! binary peer: one length-prefixed CRC-checked frame (byte-compatible
@@ -180,6 +181,13 @@ pub trait ObsSource: Send + Sync {
     fn traces(&self) -> TraceDump;
     /// Liveness view.
     fn health(&self) -> HealthView;
+    /// The adaptive-dispatch cost model as JSON ([`/costmodel`]), or an
+    /// empty object when the source has no model (the default).
+    ///
+    /// [`/costmodel`]: crate::CostModel::to_json
+    fn costmodel(&self) -> String {
+        "{}".into()
+    }
 }
 
 /// Render one [`EpochTrace`] as a JSON object (used by `/flight`).
@@ -218,9 +226,23 @@ pub fn epoch_trace_json(t: &EpochTrace) -> String {
         }
         first = false;
         out.push_str(&format!(
-            "\"{}\":{{\"count\":{},\"ns\":{}}}",
+            "\"{}\":{{\"count\":{},\"ns\":{}",
             name, t.family_counts[i], t.family_ns[i]
         ));
+        // Dispatch fields appear only when the serve tier recorded an
+        // engine choice, keeping pre-dispatch traces byte-stable.
+        if t.family_engine[i] > 0 {
+            let engine = crate::costmodel::ENGINE_NAMES
+                .get(t.family_engine[i] as usize - 1)
+                .unwrap_or(&"unknown");
+            out.push_str(&format!(
+                ",\"engine\":\"{}\",\"predicted_ns\":{},\"explored\":{}",
+                engine,
+                t.family_predicted_ns[i],
+                (t.family_explored >> i) & 1 == 1
+            ));
+        }
+        out.push('}');
     }
     out.push_str("}}");
     out
@@ -403,10 +425,13 @@ fn handle_http(
         ),
         "/flight" => ("200 OK", "application/json", flight_json(&source.flight())),
         "/traces" => ("200 OK", "application/json", source.traces().to_json()),
+        "/costmodel" => ("200 OK", "application/json", source.costmodel()),
         _ => (
             "404 Not Found",
             "text/plain",
-            format!("no route {path}; try /metrics /metrics.json /health /ready /flight /traces\n"),
+            format!(
+                "no route {path}; try /metrics /metrics.json /health /ready /flight /traces /costmodel\n"
+            ),
         ),
     };
     write_http_full(&mut stream, status, ctype, &body, with_body)

@@ -88,6 +88,16 @@ pub struct EpochTrace {
     pub family_ns: [u64; 8],
     /// Per-family query counts, indexed by [`FAMILY_NAMES`].
     pub family_counts: [u32; 8],
+    /// Per-family dispatch engine this epoch: 0 = family did not run,
+    /// else `1 + Engine::index()` (1 batched, 2 independent,
+    /// 3 sequential).
+    pub family_engine: [u8; 8],
+    /// Per-family predicted fan-out cost from the cost model, in ns
+    /// (0 when no prediction was available).
+    pub family_predicted_ns: [u64; 8],
+    /// Bitmask of families whose engine choice was an exploration
+    /// sample rather than the predicted-cheapest engine.
+    pub family_explored: u8,
     /// Buffer-recycle outcome of the publish step.
     pub recycle: RecycleOutcome,
     /// True if the epoch failed (WAL append error, compaction error);

@@ -41,7 +41,7 @@
 //! at least written. (See the README's "Epoch pipelining & MVCC reads".)
 
 use crate::agg::{ServeForest, ServeVertexWeight};
-use crate::exec::{answer_requests_timed, family_index};
+use crate::exec::{answer_requests_timed, family_index, Dispatcher};
 use crate::request::{Request, Response, ResponseHandle, Slot};
 use crate::stats::{EpochStats, LatencyHistogram, ServeStats};
 use crate::telemetry::{
@@ -51,8 +51,9 @@ use crate::telemetry::{
 use crate::version::{PublishedVersion, Snapshot, VersionTable};
 use rc_core::{DynamicForest, ForestError, ForestState};
 use rc_obs::{
-    trace_sampled, EpochTrace, HealthView, MetricsSnapshot, ObsServer, ObsServerConfig, ObsSource,
-    Probe, RecycleOutcome, TraceDump, Watchdog, WatchdogConfig,
+    trace_sampled, CalibrationTable, CostModel, DispatchMode, DispatchStats, EpochTrace,
+    HealthView, MetricsSnapshot, ObsServer, ObsServerConfig, ObsSource, Probe, RecycleOutcome,
+    TraceDump, Watchdog, WatchdogConfig,
 };
 use rc_parlay::hashtable::edge_key;
 use rc_store::{EpochRecord, FlushRecord, RecoveryReport, Store, StoreConfig, StoreError};
@@ -124,6 +125,23 @@ pub struct ServeConfig {
     /// unhealthy and a [`StallReport`] postmortem freezes. `None`
     /// disables the watchdog.
     pub stall_deadline: Option<Duration>,
+    /// Per-family query dispatch policy: [`DispatchMode::Adaptive`]
+    /// (default) routes each epoch's per-family fan-out to the batched /
+    /// independent / sequential engine the online [`CostModel`] predicts
+    /// cheapest; the `Always*` modes pin one engine (baselines, tests).
+    /// Engine choice never changes any answer — only where the time
+    /// goes.
+    pub dispatch_mode: DispatchMode,
+    /// Fraction of adaptive dispatch decisions that *explore* (run the
+    /// least-observed engine to keep the cost table current) instead of
+    /// exploiting the predicted-cheapest engine. Rolled deterministically
+    /// from [`Self::trace_seed`]; clamped to `[0, 1]`.
+    pub explore_frac: f64,
+    /// Persist the learned calibration table here (CRC-framed, the
+    /// rc-store codec discipline) on clean shutdown, and warm-start from
+    /// it at startup when the file exists and decodes. `None` disables
+    /// persistence; a torn or stale-format file is ignored (cold start).
+    pub calibration_path: Option<std::path::PathBuf>,
     /// Fault injection for the watchdog tests: wedge the worker for
     /// [`Self::wedge_for`] at the start of each listed epoch ordinal
     /// (multiple entries exercise repeated stall/recover episodes).
@@ -151,6 +169,9 @@ impl Default for ServeConfig {
             slow_request_threshold: Duration::from_millis(100),
             trace_ring: 128,
             stall_deadline: None,
+            dispatch_mode: DispatchMode::Adaptive,
+            explore_frac: 0.05,
+            calibration_path: None,
             wedge_epochs: Vec::new(),
             wedge_for: Duration::ZERO,
         }
@@ -268,6 +289,10 @@ struct Shared {
     /// Fast path: set once the first tap subscribes, read per epoch
     /// without taking the `taps` lock.
     tapped: AtomicBool,
+    /// The adaptive-dispatch engine picker: shared cost model + mode.
+    /// Both query sites (inline worker and pipelined executor) consult
+    /// it; observations feed it in every mode.
+    dispatch: Dispatcher,
 }
 
 /// A running coalescer: owns the forest on a dedicated worker thread.
@@ -331,6 +356,17 @@ impl RcServe {
     ) -> RcServe {
         let hist = Arc::new(LatencyHistogram::default());
         let tel = ServeTelemetry::new(&cfg, Arc::clone(&hist));
+        // The cost model shares the trace seed so a fixed-seed run
+        // replays the same explore/exploit schedule (and the oracle can
+        // pin it). A persisted calibration table warm-starts the cells;
+        // a missing or torn file is just a cold start.
+        let model = Arc::new(CostModel::new(cfg.explore_frac, cfg.trace_seed));
+        if let Some(path) = &cfg.calibration_path {
+            if let Some(table) = CalibrationTable::load(path) {
+                model.load_table(&table);
+            }
+        }
+        let dispatch = Dispatcher::new(model, cfg.dispatch_mode);
         if let Some(store) = &store {
             // The store created its metric handles at open; attach them
             // so snapshots carry WAL/snapshot/recovery series too, and
@@ -356,6 +392,7 @@ impl RcServe {
             tel,
             taps: Mutex::new(Vec::new()),
             tapped: AtomicBool::new(false),
+            dispatch,
             cfg,
         });
         let worker_shared = Arc::clone(&shared);
@@ -452,6 +489,29 @@ impl RcServe {
         self.shared.tel.traces()
     }
 
+    /// The adaptive-dispatch cost model — learned per-(family, engine,
+    /// k-octave) table, per-family crossover estimates, and decision
+    /// counters — as JSON (the `/costmodel` endpoint body).
+    pub fn cost_model_json(&self) -> String {
+        self.shared
+            .dispatch
+            .model
+            .to_json(self.shared.cfg.dispatch_mode.name())
+    }
+
+    /// Cumulative dispatch counters: per-(family, engine) decision and
+    /// query counts plus the explore total.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.shared.dispatch.model.dispatch_stats()
+    }
+
+    /// Snapshot of the learned calibration table (persistable via
+    /// [`rc_obs::CalibrationTable::save`] even without
+    /// [`ServeConfig::calibration_path`]).
+    pub fn calibration_table(&self) -> CalibrationTable {
+        self.shared.dispatch.model.table()
+    }
+
     /// The postmortem frozen by the epoch-stall watchdog, if a stall has
     /// ever been declared (requires [`ServeConfig::stall_deadline`]).
     pub fn stall_report(&self) -> Option<StallReport> {
@@ -469,8 +529,8 @@ impl RcServe {
     /// Start the live observability endpoint for this server: a
     /// zero-dependency blocking HTTP/1.0 listener answering `/metrics`
     /// (Prometheus text), `/metrics.json`, `/health`, `/ready`,
-    /// `/flight`, and `/traces`, plus the binary `DUMP_TELEMETRY` frame
-    /// protocol. The endpoint holds only the shared telemetry state, so
+    /// `/flight`, `/traces`, and `/costmodel` (the live adaptive-dispatch
+    /// cost table), plus the binary `DUMP_TELEMETRY` frame protocol. The endpoint holds only the shared telemetry state, so
     /// it keeps answering (unready) after shutdown until dropped.
     pub fn serve_obs(&self, cfg: ObsServerConfig) -> std::io::Result<ObsServer> {
         ObsServer::start(
@@ -582,6 +642,13 @@ impl ObsSource for ObsBridge {
         self.shared
             .tel
             .health_view(self.shared.accepting.load(Ordering::SeqCst))
+    }
+
+    fn costmodel(&self) -> String {
+        self.shared
+            .dispatch
+            .model
+            .to_json(self.shared.cfg.dispatch_mode.name())
     }
 }
 
@@ -718,6 +785,20 @@ impl ServeClient {
     /// The watchdog's stall postmortem (see [`RcServe::stall_report`]).
     pub fn stall_report(&self) -> Option<StallReport> {
         self.shared.tel.stall_report()
+    }
+
+    /// The adaptive-dispatch cost model as JSON (see
+    /// [`RcServe::cost_model_json`]).
+    pub fn cost_model_json(&self) -> String {
+        self.shared
+            .dispatch
+            .model
+            .to_json(self.shared.cfg.dispatch_mode.name())
+    }
+
+    /// Cumulative dispatch counters (see [`RcServe::dispatch_stats`]).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.shared.dispatch.model.dispatch_stats()
     }
 
     /// Liveness as `/health` reports it (see [`RcServe::health_view`]).
@@ -944,6 +1025,13 @@ impl Worker {
             // Clean shutdown must not lose an acknowledged epoch: flush
             // and fsync whatever tail the sync policy left pending.
             store.close().expect("flush + fsync WAL on shutdown");
+        }
+        if let Some(path) = &self.shared.cfg.calibration_path {
+            // Persist the learned cost table for a warm restart. Queries
+            // have all drained (the executor joined above), so the cells
+            // are final; a failed write only costs the next start its
+            // warm-up.
+            let _ = self.shared.dispatch.model.table().save(path);
         }
         forest
     }
@@ -1325,11 +1413,14 @@ impl Worker {
         self.shared.tel.set_worker_phase(PHASE_QUERY);
         let t1 = Instant::now();
         let refs: Vec<&Request> = queries.iter().map(|p| &p.request).collect();
-        let (responses, fam) = answer_requests_timed(forest, &refs);
+        let (responses, fam) = answer_requests_timed(forest, &refs, Some(&self.shared.dispatch));
         stats.query_ns = t1.elapsed().as_nanos() as u64;
         trace.query_ns = stats.query_ns;
         trace.family_ns = fam.ns;
         trace.family_counts = fam.counts;
+        trace.family_engine = fam.engine;
+        trace.family_predicted_ns = fam.predicted_ns;
+        trace.family_explored = fam.explored;
         layout.query_ns = stats.query_ns;
         self.shared.tel.set_worker_phase(PHASE_RESPOND);
         let t_respond = Instant::now();
@@ -1474,7 +1565,8 @@ fn query_executor(shared: Arc<Shared>, rx: Receiver<QueryJob>) {
             ..EpochTrace::default()
         };
         let refs: Vec<&Request> = job.queries.iter().map(|p| &p.request).collect();
-        let (responses, fam) = answer_requests_timed(&job.version.forest, &refs);
+        let (responses, fam) =
+            answer_requests_timed(&job.version.forest, &refs, Some(&shared.dispatch));
         // True executor-side timings — before the flight recorder these
         // were accounted on the worker that handed the job off.
         job.stats.query_ns = t.elapsed().as_nanos() as u64;
@@ -1482,6 +1574,9 @@ fn query_executor(shared: Arc<Shared>, rx: Receiver<QueryJob>) {
         trace.query_ns = job.stats.query_ns;
         trace.family_ns = fam.ns;
         trace.family_counts = fam.counts;
+        trace.family_engine = fam.engine;
+        trace.family_predicted_ns = fam.predicted_ns;
+        trace.family_explored = fam.explored;
         let mut layout = job.layout;
         layout.handoff_ns = trace.handoff_ns;
         layout.query_ns = trace.query_ns;

@@ -1,5 +1,4 @@
-//! Shared read-only query execution: one batch call per family, over an
-//! `&`-forest.
+//! Shared read-only query execution with adaptive per-family dispatch.
 //!
 //! Both halves of the pipelined coalescer run queries through this module
 //! — the epoch worker (inline, strict-alternation mode) and the query
@@ -9,19 +8,46 @@
 //! entry points are `&self` (scratch comes from an internal pool), which
 //! is exactly what lets a non-owning executor sweep version E while the
 //! worker mutates the live forest for epoch E+1.
+//!
+//! Each family's fan-out can run on one of three engines over the same
+//! forest state (the paper's fig. 11 regimes — see
+//! [`rc_obs::CostModel`]):
+//!
+//! - **batched** — one batch call per family (shared marked-subtree
+//!   sweep; wins 2–8x at large k),
+//! - **independent** — one parallel task per query, each an independent
+//!   `&self` walk (wins at small k, where the sweep setup dominates),
+//! - **sequential** — a plain loop of single-query walks (wins at tiny
+//!   k, where even task spawning costs more than the queries).
+//!
+//! The engines are answer-invariant by construction: the single-query
+//! entry points share the batch paths' out-of-range/`None` contract and
+//! exact aggregate semantics, so a [`Dispatcher`] may pick any engine
+//! per family per epoch without changing any response (the
+//! serializability oracle replays under every mode).
 
 use crate::agg::ServeForest;
 use crate::request::{CptResult, Request, Response};
 use rc_core::NO_VERTEX;
+use rc_obs::{CostModel, Decision, DispatchMode, Engine};
+use rc_parlay::parallel_for;
+use rc_parlay::slice::ParSlice;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-family wall time and query counts of one `answer_requests_timed`
-/// fan-out, indexed like [`rc_obs::FAMILY_NAMES`] (conn, repr, path,
-/// subtree, lca, bottleneck, near, cpt).
+/// Per-family wall time, query counts, and dispatch decisions of one
+/// query fan-out, indexed like [`rc_obs::FAMILY_NAMES`] (conn, repr,
+/// path, subtree, lca, bottleneck, near, cpt).
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct FamilyTimings {
     pub(crate) ns: [u64; 8],
     pub(crate) counts: [u32; 8],
+    /// 0 = family did not run, else `1 + Engine::index()`.
+    pub(crate) engine: [u8; 8],
+    /// Cost-model prediction for the chosen engine, ns (0 = none).
+    pub(crate) predicted_ns: [u64; 8],
+    /// Bitmask of families whose engine choice was an exploration.
+    pub(crate) explored: u8,
 }
 
 /// Span names for the per-family query spans on request traces, indexed
@@ -53,12 +79,50 @@ pub(crate) fn family_index(req: &Request) -> Option<usize> {
     }
 }
 
+/// The per-epoch engine picker: a shared [`CostModel`] plus the
+/// configured [`DispatchMode`]. Cloned handles (it is all `Arc`s) live
+/// on the epoch worker and the query executor; observations feed the
+/// model in every mode, so even `AlwaysBatched` servers learn a table
+/// they can export or persist.
+#[derive(Clone, Debug)]
+pub(crate) struct Dispatcher {
+    pub(crate) model: Arc<CostModel>,
+    pub(crate) mode: DispatchMode,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(model: Arc<CostModel>, mode: DispatchMode) -> Self {
+        Dispatcher { model, mode }
+    }
+
+    /// Pick the engine for `k` queries of `family` and count the
+    /// dispatch.
+    fn decide(&self, family: usize, k: u32) -> Decision {
+        let forced = match self.mode {
+            DispatchMode::Adaptive => None,
+            DispatchMode::AlwaysBatched => Some(Engine::Batched),
+            DispatchMode::AlwaysIndependent => Some(Engine::Independent),
+            DispatchMode::AlwaysSequential => Some(Engine::Sequential),
+        };
+        let d = match forced {
+            None => self.model.choose(family, k),
+            Some(engine) => Decision {
+                engine,
+                predicted_ns: self.model.predict(family, engine, k).unwrap_or(0),
+                explored: false,
+            },
+        };
+        self.model.note_dispatch(family, d.engine, k, d.explored);
+        d
+    }
+}
+
 /// Answer a slice of requests against `forest`, grouping queries by
 /// family into one batch call each. Update requests answer
 /// [`Response::Rejected`]: this executor is read-only by construction
 /// (the coalescer never routes updates here; snapshots may).
 pub(crate) fn answer_requests(forest: &ServeForest, requests: &[&Request]) -> Vec<Response> {
-    answer_requests_timed(forest, requests).0
+    answer_requests_timed(forest, requests, None).0
 }
 
 /// Public read-only query fan-out over a caller-owned forest: the same
@@ -71,11 +135,68 @@ pub fn answer_read_only(forest: &ServeForest, requests: &[Request]) -> Vec<Respo
     answer_requests(forest, &refs)
 }
 
-/// [`answer_requests`] plus per-family batch-call timings for the
-/// flight recorder.
+/// Run one family's fan-out on the engine the dispatcher picks (batched
+/// when there is no dispatcher), record its timing + decision in `fam`,
+/// feed the observation back to the model, and scatter the answers into
+/// their request slots.
+#[allow(clippy::too_many_arguments)]
+fn run_family<A: Sync>(
+    fam: &mut FamilyTimings,
+    responses: &mut [Option<Response>],
+    family: usize,
+    args: &[A],
+    idxs: &[usize],
+    dispatch: Option<&Dispatcher>,
+    batch: impl FnOnce(&[A]) -> Vec<Response>,
+    single: impl Fn(&A) -> Response + Sync,
+) {
+    if args.is_empty() {
+        return;
+    }
+    let k = args.len() as u32;
+    let decision = dispatch.map(|d| d.decide(family, k));
+    let engine = decision.map_or(Engine::Batched, |d| d.engine);
+    let t = Instant::now();
+    let answers: Vec<Response> = match engine {
+        Engine::Batched => batch(args),
+        Engine::Independent => {
+            let mut out: Vec<Option<Response>> = vec![None; args.len()];
+            let po = ParSlice::new(&mut out);
+            parallel_for(args.len(), |j| unsafe {
+                po.write(j, Some(single(&args[j])));
+            });
+            out.into_iter()
+                .map(|r| r.expect("independent slot filled"))
+                .collect()
+        }
+        Engine::Sequential => args.iter().map(&single).collect(),
+    };
+    let ns = t.elapsed().as_nanos() as u64;
+    fam.ns[family] = ns;
+    fam.counts[family] = k;
+    fam.engine[family] = 1 + engine.index() as u8;
+    if let Some(d) = decision {
+        fam.predicted_ns[family] = d.predicted_ns;
+        if d.explored {
+            fam.explored |= 1 << family;
+        }
+    }
+    if let Some(d) = dispatch {
+        d.model.observe(family, engine, k, ns);
+    }
+    for (ans, &i) in answers.into_iter().zip(idxs) {
+        responses[i] = Some(ans);
+    }
+}
+
+/// [`answer_requests`] plus per-family timings + dispatch decisions for
+/// the flight recorder. With a [`Dispatcher`], each family's fan-out
+/// routes to the engine the cost model picks; without one, every family
+/// runs batched (snapshots, follower reads).
 pub(crate) fn answer_requests_timed(
     forest: &ServeForest,
     requests: &[&Request],
+    dispatch: Option<&Dispatcher>,
 ) -> (Vec<Response>, FamilyTimings) {
     let mut fam = FamilyTimings::default();
     let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
@@ -119,10 +240,13 @@ pub(crate) fn answer_requests_timed(
                 near.1.push(i);
             }
             Request::Cpt { terminals } => {
+                // CPT extraction has no single-query form — it is one
+                // structured computation per request, always "batched".
                 let t = Instant::now();
                 let cpt = forest.compressed_path_tree(terminals);
                 fam.ns[7] += t.elapsed().as_nanos() as u64;
                 fam.counts[7] += 1;
+                fam.engine[7] = 1 + Engine::Batched.index() as u8;
                 responses[i] = Some(Response::Cpt(CptResult {
                     vertices: cpt.vertices,
                     edges: cpt.edges,
@@ -132,69 +256,121 @@ pub(crate) fn answer_requests_timed(
         }
     }
 
-    if !conn.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_connected(&conn.0);
-        fam.ns[0] = t.elapsed().as_nanos() as u64;
-        fam.counts[0] = conn.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&conn.1) {
-            responses[i] = Some(Response::Bool(ans));
-        }
-    }
-    if !repr.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_find_representatives(&repr.0);
-        fam.ns[1] = t.elapsed().as_nanos() as u64;
-        fam.counts[1] = repr.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&repr.1) {
-            responses[i] = Some(Response::Vertex((ans != NO_VERTEX).then_some(ans)));
-        }
-    }
-    if !path.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_path_aggregate(&path.0);
-        fam.ns[2] = t.elapsed().as_nanos() as u64;
-        fam.counts[2] = path.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&path.1) {
-            responses[i] = Some(Response::Sum(ans.map(|p| p.sum)));
-        }
-    }
-    if !subtree.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_subtree_aggregate(&subtree.0);
-        fam.ns[3] = t.elapsed().as_nanos() as u64;
-        fam.counts[3] = subtree.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&subtree.1) {
-            responses[i] = Some(Response::Sum(ans));
-        }
-    }
-    if !lca.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_lca(&lca.0);
-        fam.ns[4] = t.elapsed().as_nanos() as u64;
-        fam.counts[4] = lca.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&lca.1) {
-            responses[i] = Some(Response::Vertex(ans));
-        }
-    }
-    if !bottleneck.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_path_extrema(&bottleneck.0);
-        fam.ns[5] = t.elapsed().as_nanos() as u64;
-        fam.counts[5] = bottleneck.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&bottleneck.1) {
-            responses[i] = Some(Response::Extrema(ans));
-        }
-    }
-    if !near.0.is_empty() {
-        let t = Instant::now();
-        let answers = forest.batch_nearest_marked(&near.0);
-        fam.ns[6] = t.elapsed().as_nanos() as u64;
-        fam.counts[6] = near.0.len() as u32;
-        for (ans, &i) in answers.into_iter().zip(&near.1) {
-            responses[i] = Some(Response::Near(ans));
-        }
-    }
+    run_family(
+        &mut fam,
+        &mut responses,
+        0,
+        &conn.0,
+        &conn.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_connected(args)
+                .into_iter()
+                .map(Response::Bool)
+                .collect()
+        },
+        |&(u, v)| Response::Bool(forest.connected(u, v)),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        1,
+        &repr.0,
+        &repr.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_find_representatives(args)
+                .into_iter()
+                .map(|ans| Response::Vertex((ans != NO_VERTEX).then_some(ans)))
+                .collect()
+        },
+        |&v| Response::Vertex(forest.in_range(v).then(|| forest.find_representative(v))),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        2,
+        &path.0,
+        &path.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_path_aggregate(args)
+                .into_iter()
+                .map(|ans| Response::Sum(ans.map(|p| p.sum)))
+                .collect()
+        },
+        |&(u, v)| Response::Sum(forest.path_aggregate(u, v).map(|p| p.sum)),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        3,
+        &subtree.0,
+        &subtree.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_subtree_aggregate(args)
+                .into_iter()
+                .map(Response::Sum)
+                .collect()
+        },
+        |&(v, parent)| Response::Sum(forest.subtree_aggregate(v, parent)),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        4,
+        &lca.0,
+        &lca.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_lca(args)
+                .into_iter()
+                .map(Response::Vertex)
+                .collect()
+        },
+        |&(u, v, r)| Response::Vertex(forest.lca(u, v, r)),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        5,
+        &bottleneck.0,
+        &bottleneck.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_path_extrema(args)
+                .into_iter()
+                .map(Response::Extrema)
+                .collect()
+        },
+        // The single walk combines the full PathSummary monoid exactly
+        // (min/max over a total order is evaluation-order independent),
+        // with the same None / u==v identity contract as the CPT solver.
+        |&(u, v)| Response::Extrema(forest.path_aggregate(u, v)),
+    );
+    run_family(
+        &mut fam,
+        &mut responses,
+        6,
+        &near.0,
+        &near.1,
+        dispatch,
+        |args| {
+            forest
+                .batch_nearest_marked(args)
+                .into_iter()
+                .map(Response::Near)
+                .collect()
+        },
+        |&v| Response::Near(forest.nearest_marked(v)),
+    );
 
     (
         responses

@@ -103,9 +103,9 @@ pub use exec::answer_read_only;
 /// [`RcServe::metrics`] snapshot and [`RcServe::flight_dump`] trace is
 /// made of these (see the "Observability" section of the README).
 pub use rc_obs::{
-    EpochTrace, ExemplarEntry, HealthView, HistogramSummary, MetricValue, MetricsSnapshot,
-    ObsServer, ObsServerConfig, PhaseTotals, RecycleOutcome, RequestTrace, Span, StallInfo,
-    TraceDump, FAMILY_NAMES,
+    CalibrationTable, DispatchMode, DispatchStats, Engine, EpochTrace, ExemplarEntry, HealthView,
+    HistogramSummary, MetricValue, MetricsSnapshot, ObsServer, ObsServerConfig, PhaseTotals,
+    RecycleOutcome, RequestTrace, Span, StallInfo, TraceDump, ENGINE_NAMES, FAMILY_NAMES,
 };
 /// Durability knobs, re-exported from `rc-store`: pass a [`Durability`]
 /// to [`RcServe::start_durable`] to put a WAL + snapshot store under the

@@ -12,7 +12,7 @@ use crate::coalescer::ServeConfig;
 use rc_obs::{
     Counter, EpochTrace, FlightRecorder, Gauge, HealthState, HealthView, Histogram,
     MetricsRegistry, MetricsSnapshot, RecycleOutcome, RequestTrace, StallInfo, TraceDump,
-    TraceSink,
+    TraceSink, ENGINE_NAMES, FAMILY_NAMES,
 };
 use rc_store::StoreMetrics;
 use std::collections::HashMap;
@@ -148,6 +148,14 @@ pub(crate) struct ServeTelemetry {
     query_ns: Arc<Histogram>,
     respond_ns: Arc<Histogram>,
     epoch_wall_ns: Arc<Histogram>,
+    /// Per-(family, engine) fan-out wall time — the per-family timings
+    /// split by which dispatch engine ran them
+    /// (`serve_family_query_ns{family=...,engine=...}`).
+    family_engine_ns: [[Arc<Histogram>; 3]; 8],
+    /// Dispatch decisions per (family, engine).
+    dispatch_total: [[Arc<Counter>; 3]; 8],
+    /// Decisions that were exploration samples.
+    dispatch_explored_total: Arc<Counter>,
 }
 
 impl ServeTelemetry {
@@ -192,6 +200,23 @@ impl ServeTelemetry {
             query_ns: registry.histogram("serve_phase_query_ns"),
             respond_ns: registry.histogram("serve_phase_respond_ns"),
             epoch_wall_ns: registry.histogram("serve_epoch_wall_ns"),
+            family_engine_ns: std::array::from_fn(|f| {
+                std::array::from_fn(|e| {
+                    registry.histogram(&format!(
+                        "serve_family_query_ns{{family=\"{}\",engine=\"{}\"}}",
+                        FAMILY_NAMES[f], ENGINE_NAMES[e]
+                    ))
+                })
+            }),
+            dispatch_total: std::array::from_fn(|f| {
+                std::array::from_fn(|e| {
+                    registry.counter(&format!(
+                        "serve_dispatch_total{{family=\"{}\",engine=\"{}\"}}",
+                        FAMILY_NAMES[f], ENGINE_NAMES[e]
+                    ))
+                })
+            }),
+            dispatch_explored_total: registry.counter("serve_dispatch_explored_total"),
             registry,
         }
     }
@@ -409,6 +434,19 @@ impl ServeTelemetry {
         self.query_ns.record(t.query_ns);
         self.respond_ns.record(t.respond_ns);
         self.epoch_wall_ns.record(t.epoch_wall_ns);
+        for i in 0..8 {
+            // 0 = family did not run (or a pre-dispatch trace); else the
+            // recorded engine splits the family's timing series.
+            if t.family_engine[i] == 0 {
+                continue;
+            }
+            let e = (t.family_engine[i] as usize - 1).min(2);
+            self.family_engine_ns[i][e].record(t.family_ns[i]);
+            self.dispatch_total[i][e].inc();
+            if (t.family_explored >> i) & 1 == 1 {
+                self.dispatch_explored_total.inc();
+            }
+        }
         self.flight.record(t);
     }
 
@@ -512,6 +550,9 @@ fn merge_halves(a: EpochTrace, b: EpochTrace) -> EpochTrace {
         epoch_wall_ns: a.epoch_wall_ns.max(b.epoch_wall_ns),
         family_ns: [0; 8],
         family_counts: [0; 8],
+        family_engine: [0; 8],
+        family_predicted_ns: [0; 8],
+        family_explored: a.family_explored | b.family_explored,
         recycle: if a.recycle == RecycleOutcome::None {
             b.recycle
         } else {
@@ -522,6 +563,10 @@ fn merge_halves(a: EpochTrace, b: EpochTrace) -> EpochTrace {
     for i in 0..8 {
         t.family_ns[i] = a.family_ns[i] + b.family_ns[i];
         t.family_counts[i] = a.family_counts[i] + b.family_counts[i];
+        // Only the query side records a family's engine/prediction —
+        // max/sum are both "take the set half".
+        t.family_engine[i] = a.family_engine[i].max(b.family_engine[i]);
+        t.family_predicted_ns[i] = a.family_predicted_ns[i] + b.family_predicted_ns[i];
     }
     t
 }
